@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks run the experiment drivers at the ``default`` scale (≈400
+tables). The corpora are built once per session through the shared
+experiment context; the benchmarks time the experiment computation
+itself, not corpus construction (which has its own benchmark).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import get_context
+
+#: Scale used by every benchmark; switch to "large" for slower, more
+#: stable runs.
+BENCH_SCALE = "default"
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    """The shared default-scale experiment context (corpora pre-built)."""
+    context = get_context(scale=BENCH_SCALE)
+    # Force corpus construction outside of the timed sections.
+    _ = context.gittables
+    _ = context.viznet
+    _ = context.t2dv2
+    return context
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

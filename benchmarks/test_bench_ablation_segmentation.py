@@ -1,0 +1,73 @@
+"""Ablation A2: query segmentation granularity vs retrievable files.
+
+The GitHub Search API only exposes the first 1000 results of a query
+(§3.2); the pipeline works around it by segmenting topic queries on the
+``size:`` qualifier. This ablation compares (a) no segmentation, (b) the
+pipeline's adaptive segmentation and (c) very fine segmentation, reporting
+retrieved-file counts and API request counts.
+"""
+
+from __future__ import annotations
+
+from repro.config import ExtractionConfig
+from repro.core.extraction import CSVExtractor, build_topic_query, segment_query
+from repro.github.client import GitHubClient
+from repro.github.content import GeneratorConfig
+from repro.github.instance import build_instance
+from repro.github.search import SearchAPI
+
+SCALE = "default"
+
+
+def test_bench_ablation_query_segmentation(benchmark):
+    # A dedicated instance with a small result window makes the effect of
+    # segmentation visible without generating a huge corpus.
+    instance = build_instance(GeneratorConfig(n_repositories=300, mean_rows=25, seed=17))
+    result_window = 150
+
+    def run_strategies() -> dict[str, tuple[int, int]]:
+        outcomes: dict[str, tuple[int, int]] = {}
+        for strategy, segment_bytes in (("none", None), ("adaptive", 4096), ("fine", 512)):
+            client = GitHubClient(instance, search_api=SearchAPI(instance, result_window=result_window))
+            extractor = CSVExtractor(
+                client,
+                ExtractionConfig(
+                    topic_count=1,
+                    result_window=result_window,
+                    size_segment_bytes=segment_bytes or 4096,
+                ),
+            )
+            query = build_topic_query("id")
+            total = client.total_count(query)
+            if strategy == "none":
+                queries = [query]
+            else:
+                queries = segment_query(
+                    query,
+                    total,
+                    result_window=result_window,
+                    segment_bytes=segment_bytes,
+                    max_file_size=extractor.config.max_file_size,
+                )
+            urls: set[str] = set()
+            for segmented in queries:
+                for item in client.search_all_pages(segmented):
+                    urls.add(item.url)
+            outcomes[strategy] = (len(urls), client.request_count)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_strategies, rounds=1, iterations=1)
+    print("\nstrategy -> (files retrieved, api requests)")
+    for strategy, (files, requests) in outcomes.items():
+        print(f"  {strategy:>8} -> ({files}, {requests})")
+
+    files_none, requests_none = outcomes["none"]
+    files_adaptive, requests_adaptive = outcomes["adaptive"]
+    files_fine, requests_fine = outcomes["fine"]
+    # Segmentation retrieves at least as many files as the unsegmented
+    # query (which is capped by the result window), at the cost of more
+    # API requests; finer segmentation costs more requests again.
+    assert files_adaptive >= files_none
+    assert files_fine >= files_none
+    assert requests_adaptive >= requests_none
+    assert requests_fine >= requests_adaptive

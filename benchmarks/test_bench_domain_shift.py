@@ -1,0 +1,18 @@
+"""Benchmark E15 — §4.2: data-shift domain classifier (paper: 93% accuracy)."""
+
+from __future__ import annotations
+
+from repro.experiments.domain_shift import run_domain_shift
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_domain_shift(benchmark, bench_context):
+    result = benchmark.pedantic(run_domain_shift, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    row = result.rows[0]
+    # Paper shape: the domain classifier separates GitTables columns from
+    # VizNet columns far above chance.
+    assert row["mean_accuracy"] > 0.75
+    assert row["std_accuracy"] < 0.2

@@ -1,0 +1,21 @@
+"""Benchmark E9 — Figure 4a: cumulative table counts across dimensions."""
+
+from __future__ import annotations
+
+from repro.experiments.corpus_stats import run_fig4a
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_fig4a(benchmark, bench_context):
+    result = benchmark.pedantic(run_fig4a, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    for axis in ("rows", "columns"):
+        counts = [row["cumulative_tables"] for row in result.rows if row["axis"] == axis]
+        # Cumulative counts must be monotone and end at the corpus size.
+        assert counts == sorted(counts)
+        assert counts[-1] == len(bench_context.gittables)
+    # Long tail: some tables are much larger than the median.
+    row_dims = [row["dimension"] for row in result.rows if row["axis"] == "rows"]
+    assert max(row_dims) > 500

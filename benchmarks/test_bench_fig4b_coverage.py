@@ -1,0 +1,19 @@
+"""Benchmark E10 — Figure 4b: annotated-column coverage per table."""
+
+from __future__ import annotations
+
+from repro.experiments.annotation_stats import run_fig4b
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_fig4b(benchmark, bench_context):
+    result = benchmark.pedantic(run_fig4b, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    summary = result.row_by(method="mean coverage")
+    syntactic_mean, semantic_mean = summary["coverage_bin_low_pct"], summary["coverage_bin_high_pct"]
+    # Paper shape: semantic coverage (71%) well above syntactic (26%).
+    assert semantic_mean > syntactic_mean
+    assert semantic_mean > 40.0
+    assert syntactic_mean < 60.0

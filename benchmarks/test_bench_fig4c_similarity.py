@@ -1,0 +1,22 @@
+"""Benchmark E11 — Figure 4c: cosine similarity of semantic annotations."""
+
+from __future__ import annotations
+
+from repro.experiments.annotation_stats import run_fig4c
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_fig4c(benchmark, bench_context):
+    result = benchmark.pedantic(run_fig4c, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    for ontology in ("dbpedia", "schema_org"):
+        summary = result.row_by(ontology=f"{ontology} (summary)")
+        mean_similarity = summary["similarity_bin_low"]
+        fraction_at_one = summary["similarity_bin_high"]
+        # Paper shape: a visible peak at similarity 1.0 (exact syntactic
+        # resemblance) with the remaining mass at high-but-below-1 values.
+        assert fraction_at_one > 0.1
+        assert 0.5 <= mean_similarity <= 1.0
+        assert summary["annotation_count"] > 0

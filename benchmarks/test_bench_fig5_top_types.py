@@ -1,0 +1,21 @@
+"""Benchmark E12 — Figure 5: top-25 annotated semantic types per ontology."""
+
+from __future__ import annotations
+
+from repro.experiments.annotation_stats import run_fig5
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_fig5(benchmark, bench_context):
+    result = benchmark.pedantic(run_fig5, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    for ontology in ("dbpedia", "schema_org"):
+        rows = [row for row in result.rows if row["ontology"] == ontology]
+        assert 0 < len(rows) <= 25
+        counts = [row["column_count"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        top_types = {row["type"] for row in rows[:15]}
+        # Paper shape: database-flavoured types dominate GitTables.
+        assert top_types & {"id", "value", "status", "date", "code", "year", "name"}

@@ -1,0 +1,23 @@
+"""Benchmark E14 — Figure 6b: natural-language data search."""
+
+from __future__ import annotations
+
+from repro.experiments.data_search import run_fig6b
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_fig6b(benchmark, bench_context):
+    result = benchmark.pedantic(run_fig6b, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    top_rows = [row for row in result.rows if row["rank"] == 1]
+    assert top_rows
+    # The paper's example query should retrieve an order-like table with
+    # status / price / product attributes.
+    example = next(
+        row for row in top_rows if row["query"] == "status and sales amount per product"
+    )
+    schema_text = example["schema"].lower()
+    assert any(token in schema_text for token in ("order", "product", "price", "status", "amount"))
+    assert all(-1.0 <= row["score"] <= 1.0 for row in result.rows)

@@ -1,0 +1,31 @@
+"""Benchmark E17 — §3.3: CSV parse success rate (paper: 99.3%)."""
+
+from __future__ import annotations
+
+from repro.dataframe.io import table_to_csv
+from repro.dataframe.parser import parse_csv
+
+SCALE = "default"
+
+
+def test_bench_parse_rate(benchmark, bench_context):
+    """Report the pipeline's parse success rate and micro-benchmark the parser."""
+    report = bench_context.pipeline_result.parsing_report
+    print(
+        f"\nparse success rate: {report.success_rate:.4f} "
+        f"({report.parsed}/{report.attempted} files; paper: 0.993)"
+    )
+    assert report.success_rate > 0.95
+
+    # Micro-benchmark: parse 50 corpus tables rendered back to CSV text.
+    csv_texts = [table_to_csv(annotated.table) for annotated in list(bench_context.gittables)[:50]]
+
+    def parse_sample() -> int:
+        parsed = 0
+        for text in csv_texts:
+            parse_csv(text)
+            parsed += 1
+        return parsed
+
+    parsed = benchmark(parse_sample)
+    assert parsed == len(csv_texts)

@@ -1,0 +1,18 @@
+"""Benchmark E1 — Table 1: corpus comparison (tables, avg rows, avg cols)."""
+
+from __future__ import annotations
+
+from repro.experiments.corpus_stats import run_table1
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_table1(benchmark, bench_context):
+    result = benchmark.pedantic(run_table1, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    git = result.row_by(name="GitTables (reproduced)")
+    viz = result.row_by(name="VizNet (simulated)")
+    # Paper shape: GitTables tables are far larger than Web tables.
+    assert git["avg_rows"] > 3 * viz["avg_rows"]
+    assert git["avg_cols"] > 1.5 * viz["avg_cols"]

@@ -1,0 +1,19 @@
+"""Benchmark E3 — Table 3: PII types, column percentages, Faker classes."""
+
+from __future__ import annotations
+
+from repro.experiments.annotation_stats import run_table3
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_table3(benchmark, bench_context):
+    result = benchmark.pedantic(run_table3, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    rows = {row["semantic_type"]: row for row in result.rows}
+    # The Faker class mapping is fixed by the paper.
+    assert rows["email"]["faker_class"] == "faker.email"
+    assert rows["birth date"]["faker_class"] == "faker.date"
+    # PII columns are a small minority of the corpus.
+    assert sum(row["percentage_columns"] for row in result.rows) < 10.0

@@ -1,0 +1,20 @@
+"""Benchmark E4 — Table 4: atomic data type distribution."""
+
+from __future__ import annotations
+
+from repro.experiments.corpus_stats import run_table4
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_table4(benchmark, bench_context):
+    result = benchmark.pedantic(run_table4, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    numeric = result.row_by(atomic_type="numeric")
+    other = result.row_by(atomic_type="other")
+    # Paper shape: GitTables is majority-numeric (57.9%), more numeric than
+    # Web tables, and the "other" bucket is marginal.
+    assert numeric["gittables_pct"] > 45.0
+    assert numeric["gittables_pct"] > numeric["webtables_pct"]
+    assert other["gittables_pct"] < 5.0

@@ -1,0 +1,21 @@
+"""Benchmark E5 — Table 5: annotation statistics by method and ontology."""
+
+from __future__ import annotations
+
+from repro.experiments.annotation_stats import run_table5
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_table5(benchmark, bench_context):
+    result = benchmark.pedantic(run_table5, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    for ontology in ("dbpedia", "schema_org"):
+        semantic = result.row_by(method="semantic", ontology=ontology)
+        syntactic = result.row_by(method="syntactic", ontology=ontology)
+        # Paper shape: the semantic method annotates more tables, more
+        # columns and more distinct types than the syntactic method.
+        assert semantic["annotated_tables"] >= syntactic["annotated_tables"]
+        assert semantic["annotated_columns"] > syntactic["annotated_columns"]
+        assert semantic["unique_types"] >= syntactic["unique_types"]

@@ -1,0 +1,21 @@
+"""Benchmark E6 — Table 6: content biases (subregions / subpopulations)."""
+
+from __future__ import annotations
+
+from repro.experiments.content_bias import run_table6
+from repro.experiments.registry import format_result
+
+SCALE = "default"
+
+
+def test_bench_table6(benchmark, bench_context):
+    result = benchmark.pedantic(run_table6, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    country = result.row_by(semantic_type="country")
+    gender = result.row_by(semantic_type="gender")
+    # Paper shape: geographic/demographic columns are a small share of the
+    # corpus and the country distribution is dominated by Western /
+    # English-speaking countries.
+    assert country["percentage_columns"] < 10.0
+    assert "United States" in country["frequent_values"] or "USA" in country["frequent_values"]
+    assert any(token in gender["frequent_values"] for token in ("Male", "Female", "F", "M"))

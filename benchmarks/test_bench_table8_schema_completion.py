@@ -1,0 +1,20 @@
+"""Benchmark E8 — Table 8: schema completion for CTU prefixes."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import format_result
+from repro.experiments.schema_completion import run_table8
+
+SCALE = "default"
+
+
+def test_bench_table8(benchmark, bench_context):
+    result = benchmark.pedantic(run_table8, args=(SCALE,), rounds=1, iterations=1)
+    print("\n" + format_result(result))
+    average = result.row_by(header_prefix="(average)")
+    employees = result.row_by(header_prefix="emp_no, birth_date, first_name")
+    # Paper shape: completions are relevant, with full-schema cosine
+    # similarities averaging around 0.5 on a [-1, 1] scale.
+    assert average["cosine_similarity"] > 0.2
+    assert employees["cosine_similarity"] > 0.3
+    assert all(-1.0 <= row["cosine_similarity"] <= 1.0 for row in result.rows)

@@ -1,0 +1,34 @@
+"""Example: corpus analysis — regenerate the paper's §4 statistics.
+
+Builds the corpus once and prints the analysis-section artefacts: the
+Table 1/4 comparisons, the Table 5 annotation statistics, the Figure 4
+distributions, the Figure 5 top types, the Table 6 bias profile and the
+§4.2 domain-shift classifier accuracy.
+
+Run with::
+
+    python examples/corpus_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.annotation_stats import run_fig4b, run_fig5, run_table5
+from repro.experiments.content_bias import run_table6
+from repro.experiments.corpus_stats import run_fig4a, run_table1, run_table4
+from repro.experiments.domain_shift import run_domain_shift
+from repro.experiments.registry import format_result
+
+SCALE = "small"
+
+
+def main() -> None:
+    print("Running corpus analysis experiments (small scale)...\n")
+    for driver in (run_table1, run_table4, run_table5, run_fig4a, run_fig4b, run_fig5,
+                   run_table6, run_domain_shift):
+        result = driver(SCALE)
+        print(format_result(result))
+        print()
+
+
+if __name__ == "__main__":
+    main()

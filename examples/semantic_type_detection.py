@@ -1,0 +1,50 @@
+"""Example: train a Sherlock-style semantic type detection model (paper §5.1).
+
+Builds a GitTables corpus and a synthetic VizNet corpus, trains the MLP
+type detector on columns annotated with the paper's five target types
+(address, class, status, name, description), and reproduces the Table 7
+comparison: within-corpus F1 versus cross-corpus transfer.
+
+Run with::
+
+    python examples/semantic_type_detection.py
+"""
+
+from __future__ import annotations
+
+from repro.applications.type_detection import TypeDetectionExperiment
+from repro.experiments.context import get_context
+
+
+def main() -> None:
+    context = get_context(scale="small")
+    print("Building corpora (GitTables + simulated VizNet)...")
+    gittables = context.gittables
+    viznet = context.viznet
+    print(f"  GitTables: {len(gittables)} tables, VizNet: {len(viznet)} tables")
+
+    experiment = TypeDetectionExperiment(columns_per_type=40, epochs=20, n_splits=3)
+
+    print("\nSampling labelled columns per corpus...")
+    for corpus in (gittables, viznet):
+        data = experiment.sample_labelled_columns(corpus)
+        per_type = {label: int((data.labels == label).sum()) for label in set(data.labels)}
+        print(f"  {corpus.name}: {data.n_samples} columns {per_type}")
+
+    print("\nRunning the Table 7 experiment (this trains three models)...")
+    for result in experiment.run_table7(gittables, viznet):
+        row = result.as_table7_row()
+        print(
+            f"  train on {row['train_corpus']:>9} / evaluate on {row['eval_corpus']:>9}: "
+            f"macro F1 = {row['f1_macro']:.2f} (+/- {row['f1_std']:.2f})"
+        )
+
+    print(
+        "\nPaper reference: GitTables->GitTables 0.86, VizNet->VizNet 0.77, "
+        "VizNet->GitTables 0.66 — Web-table models do not transfer to "
+        "database-like tables."
+    )
+
+
+if __name__ == "__main__":
+    main()

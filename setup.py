@@ -1,0 +1,5 @@
+"""Setuptools shim enabling legacy editable installs (``pip install -e .``)
+in offline environments without the ``wheel`` package."""
+from setuptools import setup
+
+setup()

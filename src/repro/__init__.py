@@ -1,0 +1,40 @@
+"""Reproduction of *GitTables: A Large-Scale Corpus of Relational Tables*.
+
+The package is organised as a set of substrates (``dataframe``,
+``wordnet``, ``ontology``, ``embeddings``, ``anonymize``, ``github``), the
+core corpus-construction pipeline (``core``), machine-learning components
+(``ml``), the paper's applications (``applications``), evaluation datasets
+(``benchdata``) and experiment drivers regenerating every table and figure
+(``experiments``).
+
+Quickstart::
+
+    from repro import PipelineConfig, build_corpus
+
+    result = build_corpus(PipelineConfig.small())
+    print(len(result.corpus), "tables")
+"""
+
+from .config import AnnotationConfig, CurationConfig, ExtractionConfig, PipelineConfig
+from .core.corpus import AnnotatedTable, GitTablesCorpus
+from .core.pipeline import CorpusBuilder, PipelineResult, build_corpus
+from .core.stats import AnnotationStatistics, CorpusStatistics
+from .dataframe import Table, parse_csv
+
+__all__ = [
+    "AnnotatedTable",
+    "AnnotationConfig",
+    "AnnotationStatistics",
+    "CorpusBuilder",
+    "CorpusStatistics",
+    "CurationConfig",
+    "ExtractionConfig",
+    "GitTablesCorpus",
+    "PipelineConfig",
+    "PipelineResult",
+    "Table",
+    "build_corpus",
+    "parse_csv",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,44 @@
+"""Deterministic randomness helpers.
+
+Everything in the reproduction must be reproducible from a seed, so all
+random state is created through this module. A *name-spaced* seed scheme
+(``derive_rng``) means independent subsystems (corpus generator, parser
+noise, ML initialisation) get uncorrelated but stable streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 20230530
+
+
+def stable_hash(*parts: object, bits: int = 64) -> int:
+    """Return a stable non-negative integer hash of ``parts``.
+
+    Python's builtin :func:`hash` is randomised per-process for strings, so
+    it cannot be used to derive reproducible seeds. This helper uses
+    blake2b instead.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return int.from_bytes(digest.digest(), "big") % (2**bits)
+
+
+def derive_seed(base_seed: int, *namespace: object) -> int:
+    """Derive a child seed from ``base_seed`` and a namespace path."""
+    return stable_hash(base_seed, *namespace, bits=32)
+
+
+def derive_rng(base_seed: int, *namespace: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded from a namespace."""
+    return np.random.default_rng(derive_seed(base_seed, *namespace))
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a generator seeded with ``seed`` (or the library default)."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)

@@ -1,0 +1,12 @@
+"""Faker substrate and PII anonymisation.
+
+Replaces the Faker library the paper uses to overwrite PII column values
+(§3.3, Table 3) with a deterministic fake-data provider, plus the
+column-level scrubbing policy (anonymise columns annotated with PII
+types; ``name`` only when co-occurring with another PII type).
+"""
+
+from .provider import FakeDataProvider
+from .pii_scrubber import PIIScrubber, ScrubReport
+
+__all__ = ["FakeDataProvider", "PIIScrubber", "ScrubReport"]

@@ -1,0 +1,86 @@
+"""Column-level PII scrubbing policy (paper §3.3 'Content curation').
+
+Given a table and its column annotations, replace values of columns
+annotated with PII semantic types by fake values. The ``name`` type is
+conditional: it is only scrubbed when at least one *other* PII type was
+annotated in the same table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataframe.table import Table
+from ..ontology.pii import CONDITIONAL_PII_TYPES, PII_FAKER_CLASSES
+from .provider import FakeDataProvider
+
+__all__ = ["PIIScrubber", "ScrubReport"]
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of scrubbing one table."""
+
+    #: Column names that were replaced with fake values.
+    scrubbed_columns: list[str] = field(default_factory=list)
+    #: PII types detected per scrubbed column.
+    scrubbed_types: dict[str, str] = field(default_factory=dict)
+    #: Columns annotated with conditional PII types ('name') that were NOT
+    #: scrubbed because no other PII type co-occurred.
+    skipped_conditional: list[str] = field(default_factory=list)
+
+    @property
+    def scrubbed_count(self) -> int:
+        return len(self.scrubbed_columns)
+
+
+class PIIScrubber:
+    """Applies the PII anonymisation policy to annotated tables."""
+
+    def __init__(self, provider: FakeDataProvider | None = None, confidence_threshold: float = 0.7) -> None:
+        self.provider = provider or FakeDataProvider()
+        self.confidence_threshold = confidence_threshold
+
+    def scrub(
+        self,
+        table: Table,
+        column_annotations: dict[str, list[tuple[str, float]]],
+    ) -> tuple[Table, ScrubReport]:
+        """Scrub PII columns from ``table``.
+
+        ``column_annotations`` maps a column name to ``(type label,
+        confidence)`` pairs (any ontology). Returns the (possibly new)
+        table and a :class:`ScrubReport`.
+        """
+        report = ScrubReport()
+
+        pii_hits: dict[str, str] = {}
+        for column_name, annotations in column_annotations.items():
+            for label, confidence in annotations:
+                if label in PII_FAKER_CLASSES and confidence >= self.confidence_threshold:
+                    pii_hits[column_name] = label
+                    break
+
+        if not pii_hits:
+            return table, report
+
+        unconditional_present = any(
+            label not in CONDITIONAL_PII_TYPES for label in pii_hits.values()
+        )
+
+        result = table
+        for column_name, label in pii_hits.items():
+            if label in CONDITIONAL_PII_TYPES and not unconditional_present:
+                report.skipped_conditional.append(column_name)
+                continue
+            if column_name not in result.header:
+                continue
+            faker_class = PII_FAKER_CLASSES[label]
+            fake_values = self.provider.generate_column(faker_class, result.num_rows)
+            result = result.with_column_values(column_name, fake_values)
+            report.scrubbed_columns.append(column_name)
+            report.scrubbed_types[column_name] = label
+
+        if report.scrubbed_columns:
+            result = result.with_metadata(pii_scrubbed_columns=tuple(report.scrubbed_columns))
+        return result, report

@@ -1,0 +1,35 @@
+"""Applications of GitTables (paper §4.2 and §5).
+
+* :mod:`~repro.applications.domain_classifier` — data-shift detection
+  between GitTables and Web-table corpora (§4.2).
+* :mod:`~repro.applications.type_detection` — Sherlock-style semantic
+  column type detection trained on GitTables (§5.1, Table 7).
+* :mod:`~repro.applications.schema_completion` — NearestCompletion
+  (Algorithm 1) for schema prefixes (§5.2, Table 8).
+* :mod:`~repro.applications.data_search` — natural-language table search
+  over embedded schemas (§5.3, Figure 6b).
+* :mod:`~repro.applications.kg_matching` — the curated table-to-KG
+  matching benchmark and baseline matchers (§5.3, Figure 6a).
+"""
+
+from .data_search import SearchResult, TableSearchEngine
+from .domain_classifier import DomainShiftResult, detect_data_shift, sample_corpus_columns
+from .kg_matching import KGMatchingBenchmark, MatcherScore, PatternMatcher, ValueLinkingMatcher
+from .schema_completion import NearestCompletion, SchemaCompletion
+from .type_detection import TypeDetectionResult, TypeDetectionExperiment
+
+__all__ = [
+    "DomainShiftResult",
+    "KGMatchingBenchmark",
+    "MatcherScore",
+    "NearestCompletion",
+    "PatternMatcher",
+    "SchemaCompletion",
+    "SearchResult",
+    "TableSearchEngine",
+    "TypeDetectionExperiment",
+    "TypeDetectionResult",
+    "ValueLinkingMatcher",
+    "detect_data_shift",
+    "sample_corpus_columns",
+]

@@ -1,0 +1,74 @@
+"""Natural-language data search over table schemas (paper §5.3, Figure 6b).
+
+A search procedure similar to Algorithm 1, but embedding *entire table
+schemas* and comparing them with an embedded natural-language query. The
+paper's example query "status and sales amount per product" retrieves a
+typical order table with status / total_price / product_id columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.corpus import GitTablesCorpus
+from ..embeddings.sentence import SentenceEncoder
+
+__all__ = ["SearchResult", "TableSearchEngine"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked table for a search query."""
+
+    table_id: str
+    schema: tuple[str, ...]
+    score: float
+    rank: int
+
+
+class TableSearchEngine:
+    """Cosine-similarity search of embedded schemas against text queries."""
+
+    def __init__(self, corpus: GitTablesCorpus, encoder: SentenceEncoder | None = None) -> None:
+        self.encoder = encoder or SentenceEncoder()
+        self._table_ids: list[str] = []
+        self._schemas: list[tuple[str, ...]] = []
+        embeddings: list[np.ndarray] = []
+        for table_id, schema in corpus.schemas():
+            if not schema:
+                continue
+            self._table_ids.append(table_id)
+            self._schemas.append(schema)
+            embeddings.append(self.encoder.embed_schema(list(schema)))
+        self._embeddings = np.vstack(embeddings) if embeddings else np.zeros((0, self.encoder.dim))
+
+    def __len__(self) -> int:
+        return len(self._table_ids)
+
+    def search(self, query: str, k: int = 10) -> list[SearchResult]:
+        """Return the ``k`` highest-scoring tables for a text query."""
+        if not query or not query.strip():
+            raise ValueError("query must not be empty")
+        if len(self._table_ids) == 0:
+            return []
+        query_embedding = self.encoder.embed(query)
+        norms = np.linalg.norm(self._embeddings, axis=1)
+        norms[norms == 0.0] = 1.0
+        scores = (self._embeddings @ query_embedding) / norms
+        order = np.argsort(-scores)[: min(k, len(self._table_ids))]
+        return [
+            SearchResult(
+                table_id=self._table_ids[i],
+                schema=self._schemas[i],
+                score=float(scores[i]),
+                rank=rank + 1,
+            )
+            for rank, i in enumerate(order)
+        ]
+
+    def best(self, query: str) -> SearchResult | None:
+        """The single best table for a query (None for an empty corpus)."""
+        results = self.search(query, k=1)
+        return results[0] if results else None

@@ -1,0 +1,110 @@
+"""Data-shift detection between table corpora (paper §4.2).
+
+The paper samples 5K deduplicated columns from GitTables and from VizNet,
+extracts Sherlock features, and trains a Random Forest "domain
+classifier" to predict which corpus a column came from. 10-fold
+cross-validation accuracy of 93% demonstrates that the two corpora have
+clearly different content distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._rand import derive_rng
+from ..core.corpus import GitTablesCorpus
+from ..ml.crossval import cross_validate
+from ..ml.features import ColumnFeaturizer
+from ..ml.metrics import accuracy_score
+from ..ml.random_forest import RandomForestClassifier
+
+__all__ = ["DomainShiftResult", "sample_corpus_columns", "detect_data_shift"]
+
+
+@dataclass(frozen=True)
+class DomainShiftResult:
+    """Outcome of the domain-classifier experiment."""
+
+    fold_accuracies: tuple[float, ...]
+    n_columns_per_corpus: int
+    n_features: int
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.fold_accuracies))
+
+    @property
+    def std_accuracy(self) -> float:
+        return float(np.std(self.fold_accuracies))
+
+
+def sample_corpus_columns(
+    corpus: GitTablesCorpus,
+    n_columns: int,
+    seed: int = 0,
+    deduplicate: bool = True,
+) -> list[tuple[str, tuple]]:
+    """Sample up to ``n_columns`` (column name, values) pairs from a corpus.
+
+    Columns are deduplicated on (name, first values) so repeated snapshot
+    tables do not dominate the sample, mirroring the paper's
+    "deduplicated columns".
+    """
+    pool: list[tuple[str, tuple]] = []
+    seen: set[tuple] = set()
+    for annotated in corpus:
+        for column in annotated.table.columns:
+            key = (column.name, column.values[:5])
+            if deduplicate and key in seen:
+                continue
+            seen.add(key)
+            pool.append((column.name, column.values))
+    if not pool:
+        return []
+    rng = derive_rng(seed, "corpus-column-sample", corpus.name)
+    if len(pool) <= n_columns:
+        return pool
+    picks = rng.choice(len(pool), size=n_columns, replace=False)
+    return [pool[i] for i in sorted(picks)]
+
+
+def detect_data_shift(
+    corpus_a: GitTablesCorpus,
+    corpus_b: GitTablesCorpus,
+    n_columns_per_corpus: int = 500,
+    n_splits: int = 10,
+    n_estimators: int = 20,
+    featurizer: ColumnFeaturizer | None = None,
+    seed: int = 0,
+) -> DomainShiftResult:
+    """Train a domain classifier separating columns of two corpora.
+
+    Returns per-fold accuracies of a random forest trained on Sherlock
+    features; a high accuracy means the corpora are distinguishable
+    (content shift), which is the paper's headline 93% result.
+    """
+    featurizer = featurizer or ColumnFeaturizer()
+    columns_a = sample_corpus_columns(corpus_a, n_columns_per_corpus, seed=seed)
+    columns_b = sample_corpus_columns(corpus_b, n_columns_per_corpus, seed=seed + 1)
+    if not columns_a or not columns_b:
+        raise ValueError("both corpora must contain at least one column")
+
+    features = featurizer.featurize_many([values for _, values in columns_a + columns_b])
+    labels = np.array([0] * len(columns_a) + [1] * len(columns_b))
+
+    scores = cross_validate(
+        lambda: RandomForestClassifier(n_estimators=n_estimators, seed=seed),
+        features,
+        labels,
+        accuracy_score,
+        n_splits=n_splits,
+        stratified=True,
+        seed=seed,
+    )
+    return DomainShiftResult(
+        fold_accuracies=tuple(scores),
+        n_columns_per_corpus=min(len(columns_a), len(columns_b)),
+        n_features=featurizer.n_features,
+    )

@@ -1,0 +1,24 @@
+"""Evaluation datasets.
+
+* :mod:`~repro.benchdata.webtables` — synthetic Web-table corpora
+  standing in for WDC WebTables / VizNet (small dimensions, Web-style
+  column names), used as the contrast class for Tables 1, 4, 7 and the
+  domain classifier.
+* :mod:`~repro.benchdata.t2dv2` — a synthetic T2Dv2-style gold standard
+  used to evaluate annotation quality (§4.3).
+* :mod:`~repro.benchdata.ctu` — the CTU Prague relational-learning
+  schemas used by the schema-completion experiment (Table 8).
+"""
+
+from .ctu import CTU_SCHEMAS, CTUSchema
+from .t2dv2 import T2Dv2Benchmark, build_t2dv2
+from .webtables import WebTableConfig, build_webtables_corpus
+
+__all__ = [
+    "CTU_SCHEMAS",
+    "CTUSchema",
+    "T2Dv2Benchmark",
+    "WebTableConfig",
+    "build_t2dv2",
+    "build_webtables_corpus",
+]

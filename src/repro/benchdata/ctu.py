@@ -1,0 +1,64 @@
+"""CTU Prague Relational Learning Repository schemas (paper §5.2, Table 8).
+
+The paper evaluates schema completion with prefixes from three real
+database tables: the ``employees`` table of the Employee database, the
+``orders`` table of the ClassicModels database, and the ``WorkOrder``
+table of the AdventureWorks database. The schemas below follow the
+published database documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CTUSchema", "CTU_SCHEMAS", "schema_by_name"]
+
+
+@dataclass(frozen=True)
+class CTUSchema:
+    """One CTU database table schema."""
+
+    database: str
+    table: str
+    attributes: tuple[str, ...]
+
+    def prefix(self, length: int = 3) -> tuple[str, ...]:
+        """The first ``length`` attributes, used as the completion target."""
+        if length < 1 or length > len(self.attributes):
+            raise ValueError("prefix length out of range")
+        return self.attributes[:length]
+
+
+CTU_SCHEMAS: tuple[CTUSchema, ...] = (
+    CTUSchema(
+        database="Employee",
+        table="employees",
+        attributes=(
+            "emp_no", "birth_date", "first_name", "last_name", "gender", "hire_date",
+        ),
+    ),
+    CTUSchema(
+        database="ClassicModels",
+        table="orders",
+        attributes=(
+            "orderNumber", "orderDate", "requiredDate", "shippedDate", "status",
+            "comments", "customerNumber",
+        ),
+    ),
+    CTUSchema(
+        database="AdventureWorks",
+        table="WorkOrder",
+        attributes=(
+            "WorkOrderID", "ProductID", "OrderQty", "StockedQty", "ScrappedQty",
+            "StartDate", "EndDate", "DueDate", "ScrapReasonID", "ModifiedDate",
+        ),
+    ),
+)
+
+
+def schema_by_name(table: str) -> CTUSchema:
+    """Look up a CTU schema by table name."""
+    for schema in CTU_SCHEMAS:
+        if schema.table.lower() == table.lower():
+            return schema
+    raise KeyError(table)

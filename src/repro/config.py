@@ -1,0 +1,151 @@
+"""Configuration dataclasses for the GitTables construction pipeline.
+
+The paper's pipeline has three stages (extraction, parsing/curation,
+annotation); each stage gets its own configuration object so that
+experiments can override exactly the knobs they need. ``PipelineConfig``
+bundles the three plus global determinism settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import PipelineConfigError
+
+#: File size cap imposed by the GitHub Search API (bytes); files larger
+#: than this are not retrievable (paper §3.2).
+GITHUB_MAX_FILE_SIZE = 438 * 1024
+
+#: Maximum number of results the GitHub Search API returns per query.
+GITHUB_RESULT_WINDOW = 1000
+
+#: Results per page of the (simulated) Search API.
+GITHUB_PAGE_SIZE = 100
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Settings for the CSV extraction stage (paper §3.2)."""
+
+    #: Number of WordNet topics used to build topic queries.
+    topic_count: int = 40
+    #: Maximum file size retrievable through the search API (bytes).
+    max_file_size: int = GITHUB_MAX_FILE_SIZE
+    #: Result window per query before size-segmentation is required.
+    result_window: int = GITHUB_RESULT_WINDOW
+    #: Page size used while paginating search responses.
+    page_size: int = GITHUB_PAGE_SIZE
+    #: Width (bytes) of the size ranges used to segment large topic queries.
+    size_segment_bytes: int = 50 * 1024
+    #: Whether to exclude files from forked repositories.
+    exclude_forks: bool = True
+
+    def validate(self) -> None:
+        if self.topic_count < 1:
+            raise PipelineConfigError("topic_count must be >= 1")
+        if self.page_size < 1 or self.page_size > self.result_window:
+            raise PipelineConfigError("page_size must be in [1, result_window]")
+        if self.size_segment_bytes < 1:
+            raise PipelineConfigError("size_segment_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class CurationConfig:
+    """Settings for parsing, filtering and content curation (paper §3.3)."""
+
+    #: Minimum number of rows for a table to be retained.
+    min_rows: int = 2
+    #: Minimum number of columns for a table to be retained.
+    min_columns: int = 2
+    #: Maximum fraction of unnamed columns tolerated per table.
+    max_unnamed_fraction: float = 0.5
+    #: Column-name substrings that cause a table to be dropped
+    #: (social-media content filter).
+    blocked_column_terms: tuple[str, ...] = ("twitter", "tweet", "reddit", "facebook")
+    #: Only keep tables from repositories with a permissive license.
+    require_permissive_license: bool = True
+    #: Whether to anonymize columns annotated with PII semantic types.
+    anonymize_pii: bool = True
+    #: Minimum confidence for a PII annotation to trigger anonymisation.
+    pii_confidence_threshold: float = 0.7
+
+    def validate(self) -> None:
+        if self.min_rows < 0 or self.min_columns < 0:
+            raise PipelineConfigError("minimum dimensions must be non-negative")
+        if not 0.0 <= self.max_unnamed_fraction <= 1.0:
+            raise PipelineConfigError("max_unnamed_fraction must be within [0, 1]")
+        if not 0.0 <= self.pii_confidence_threshold <= 1.0:
+            raise PipelineConfigError("pii_confidence_threshold must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class AnnotationConfig:
+    """Settings for the column annotation stage (paper §3.4)."""
+
+    #: Ontologies to annotate against.
+    ontologies: tuple[str, ...] = ("dbpedia", "schema_org")
+    #: Minimum cosine similarity retained by the semantic method.
+    semantic_similarity_threshold: float = 0.5
+    #: Whether to skip column names containing digits (paper §3.4).
+    skip_numeric_column_names: bool = True
+    #: Embedding dimensionality of the FastText-style model.
+    embedding_dim: int = 64
+    #: Character n-gram sizes for the FastText-style model.
+    ngram_sizes: tuple[int, ...] = (3, 4, 5)
+
+    def validate(self) -> None:
+        if not self.ontologies:
+            raise PipelineConfigError("at least one ontology is required")
+        unknown = set(self.ontologies) - {"dbpedia", "schema_org"}
+        if unknown:
+            raise PipelineConfigError(f"unknown ontologies: {sorted(unknown)}")
+        if not 0.0 <= self.semantic_similarity_threshold <= 1.0:
+            raise PipelineConfigError("semantic_similarity_threshold must be within [0, 1]")
+        if self.embedding_dim < 4:
+            raise PipelineConfigError("embedding_dim must be >= 4")
+        if not self.ngram_sizes or any(n < 1 for n in self.ngram_sizes):
+            raise PipelineConfigError("ngram_sizes must be positive")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Bundle of all stage configurations plus global determinism settings."""
+
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    curation: CurationConfig = field(default_factory=CurationConfig)
+    annotation: AnnotationConfig = field(default_factory=AnnotationConfig)
+    #: Seed driving every random choice in the pipeline.
+    seed: int = 20230530
+    #: Target number of tables for corpus construction runs.
+    target_tables: int = 400
+
+    def validate(self) -> None:
+        """Validate every stage configuration; raise on the first error."""
+        self.extraction.validate()
+        self.curation.validate()
+        self.annotation.validate()
+        if self.target_tables < 1:
+            raise PipelineConfigError("target_tables must be >= 1")
+
+    @classmethod
+    def small(cls, seed: int = 20230530) -> "PipelineConfig":
+        """A configuration sized for tests (fast, ~100 tables)."""
+        return cls(
+            extraction=ExtractionConfig(topic_count=8),
+            seed=seed,
+            target_tables=100,
+        )
+
+    @classmethod
+    def default(cls, seed: int = 20230530) -> "PipelineConfig":
+        """The default experiment configuration (~400 tables)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def large(cls, seed: int = 20230530) -> "PipelineConfig":
+        """A larger configuration used by the benchmark harness."""
+        return cls(
+            extraction=ExtractionConfig(topic_count=80),
+            seed=seed,
+            target_tables=1200,
+        )

@@ -1,0 +1,278 @@
+"""Column annotation with semantic types (paper §3.4).
+
+Two annotation methods are provided:
+
+* :class:`SyntacticAnnotator` — normalises the column name (underscores,
+  hyphens, camel-case, lower-casing) and matches it *exactly* against the
+  normalised labels of the ontology. Matches carry confidence 1.0.
+* :class:`SemanticAnnotator` — embeds the normalised column name and
+  every ontology type label with a FastText-style character-n-gram model
+  and annotates with the most similar type, keeping the cosine similarity
+  as the annotation confidence. Annotations below a configurable
+  threshold are discarded.
+
+Both methods skip column names containing digits, because experiments in
+the paper showed those produce spurious matches against types that
+coincidentally contain a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..config import AnnotationConfig
+from ..dataframe.table import Table
+from ..embeddings.fasttext import FastTextModel
+from ..embeddings.similarity import NearestNeighbourIndex
+from ..errors import AnnotationError
+from ..ontology.registry import load_ontologies
+from ..ontology.types import Ontology, normalize_label
+
+__all__ = [
+    "AnnotationMethod",
+    "ColumnAnnotation",
+    "TableAnnotations",
+    "SyntacticAnnotator",
+    "SemanticAnnotator",
+    "annotate_table",
+]
+
+
+class AnnotationMethod(str, Enum):
+    """The annotation method that produced a column annotation."""
+
+    SYNTACTIC = "syntactic"
+    SEMANTIC = "semantic"
+
+
+@dataclass(frozen=True)
+class ColumnAnnotation:
+    """A single column annotation."""
+
+    column: str
+    type_label: str
+    ontology: str
+    method: AnnotationMethod
+    #: Cosine similarity (semantic) or 1.0 (syntactic exact match).
+    confidence: float
+
+    def as_tuple(self) -> tuple[str, float]:
+        """(type label, confidence) pair used by the PII scrubber."""
+        return (self.type_label, self.confidence)
+
+
+@dataclass
+class TableAnnotations:
+    """All annotations of one table, grouped by method and ontology."""
+
+    table_id: str
+    #: method -> ontology -> list of ColumnAnnotation
+    annotations: dict[AnnotationMethod, dict[str, list[ColumnAnnotation]]] = field(
+        default_factory=dict
+    )
+
+    def add(self, annotation: ColumnAnnotation) -> None:
+        per_method = self.annotations.setdefault(annotation.method, {})
+        per_method.setdefault(annotation.ontology, []).append(annotation)
+
+    def for_method(self, method: AnnotationMethod, ontology: str | None = None) -> list[ColumnAnnotation]:
+        """Annotations of one method, optionally restricted to one ontology."""
+        per_method = self.annotations.get(method, {})
+        if ontology is not None:
+            return list(per_method.get(ontology, []))
+        result: list[ColumnAnnotation] = []
+        for annotations in per_method.values():
+            result.extend(annotations)
+        return result
+
+    def all(self) -> list[ColumnAnnotation]:
+        """Every annotation across methods and ontologies."""
+        result: list[ColumnAnnotation] = []
+        for per_method in self.annotations.values():
+            for annotations in per_method.values():
+                result.extend(annotations)
+        return result
+
+    def column_types(
+        self, method: AnnotationMethod, ontology: str
+    ) -> dict[str, tuple[str, float]]:
+        """column name -> (type label, confidence) for one method+ontology."""
+        return {
+            annotation.column: (annotation.type_label, annotation.confidence)
+            for annotation in self.for_method(method, ontology)
+        }
+
+    def annotated_column_fraction(self, method: AnnotationMethod, n_columns: int) -> float:
+        """Fraction of the table's columns annotated by ``method`` (any ontology)."""
+        if n_columns == 0:
+            return 0.0
+        columns = {annotation.column for annotation in self.for_method(method)}
+        return len(columns) / n_columns
+
+    def pii_view(self) -> dict[str, list[tuple[str, float]]]:
+        """column -> [(type, confidence), ...] across everything (for the scrubber)."""
+        view: dict[str, list[tuple[str, float]]] = {}
+        for annotation in self.all():
+            view.setdefault(annotation.column, []).append(annotation.as_tuple())
+        return view
+
+
+def _contains_digit(text: str) -> bool:
+    return any(char.isdigit() for char in text)
+
+
+def preprocess_column_name(name: str) -> str:
+    """Normalise a column name for matching (paper §3.4)."""
+    return normalize_label(name)
+
+
+class SyntacticAnnotator:
+    """Exact-match annotation of normalised column names against an ontology."""
+
+    method = AnnotationMethod.SYNTACTIC
+
+    def __init__(self, ontology: Ontology, skip_numeric_column_names: bool = True) -> None:
+        self.ontology = ontology
+        self.skip_numeric_column_names = skip_numeric_column_names
+
+    def annotate_column(self, column_name: str) -> ColumnAnnotation | None:
+        """Annotate a single column name; None when no exact match exists."""
+        if not column_name or not column_name.strip():
+            return None
+        if self.skip_numeric_column_names and _contains_digit(column_name):
+            return None
+        normalized = preprocess_column_name(column_name)
+        if not normalized:
+            return None
+        match = self.ontology.match_normalized(normalized)
+        if match is None:
+            return None
+        return ColumnAnnotation(
+            column=column_name,
+            type_label=match.label,
+            ontology=self.ontology.name,
+            method=self.method,
+            confidence=1.0,
+        )
+
+    def annotate(self, table: Table) -> list[ColumnAnnotation]:
+        """Annotate every column of ``table`` (missing matches are skipped)."""
+        annotations = []
+        for name in table.header:
+            annotation = self.annotate_column(name)
+            if annotation is not None:
+                annotations.append(annotation)
+        return annotations
+
+
+class SemanticAnnotator:
+    """Embedding-based annotation using a FastText-style model."""
+
+    method = AnnotationMethod.SEMANTIC
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        model: FastTextModel | None = None,
+        similarity_threshold: float = 0.5,
+        skip_numeric_column_names: bool = True,
+    ) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise AnnotationError("similarity_threshold must be within [0, 1]")
+        self.ontology = ontology
+        self.model = model or FastTextModel()
+        self.similarity_threshold = similarity_threshold
+        self.skip_numeric_column_names = skip_numeric_column_names
+        self._index = self._build_index()
+
+    def _build_index(self) -> NearestNeighbourIndex:
+        labels = self.ontology.labels()
+        vectors = self.model.embed_batch([normalize_label(label) for label in labels])
+        return NearestNeighbourIndex(labels, vectors)
+
+    def annotate_column(self, column_name: str) -> ColumnAnnotation | None:
+        """Annotate a single column name with its nearest semantic type."""
+        if not column_name or not column_name.strip():
+            return None
+        if self.skip_numeric_column_names and _contains_digit(column_name):
+            return None
+        normalized = preprocess_column_name(column_name)
+        if not normalized:
+            return None
+        vector = self.model.embed(normalized)
+        best = self._index.best(vector)
+        if best is None:
+            return None
+        label, similarity = best
+        if similarity < self.similarity_threshold:
+            return None
+        return ColumnAnnotation(
+            column=column_name,
+            type_label=label,
+            ontology=self.ontology.name,
+            method=self.method,
+            confidence=float(min(max(similarity, 0.0), 1.0)),
+        )
+
+    def annotate(self, table: Table) -> list[ColumnAnnotation]:
+        """Annotate every column of ``table`` (below-threshold matches dropped)."""
+        annotations = []
+        for name in table.header:
+            annotation = self.annotate_column(name)
+            if annotation is not None:
+                annotations.append(annotation)
+        return annotations
+
+
+class AnnotationPipeline:
+    """Runs both annotation methods against every configured ontology."""
+
+    def __init__(self, config: AnnotationConfig | None = None) -> None:
+        self.config = config or AnnotationConfig()
+        self.config.validate()
+        self._ontologies = load_ontologies(self.config.ontologies)
+        model = FastTextModel(
+            dim=self.config.embedding_dim, ngram_sizes=self.config.ngram_sizes
+        )
+        self.syntactic = {
+            name: SyntacticAnnotator(
+                ontology, skip_numeric_column_names=self.config.skip_numeric_column_names
+            )
+            for name, ontology in self._ontologies.items()
+        }
+        self.semantic = {
+            name: SemanticAnnotator(
+                ontology,
+                model=model,
+                similarity_threshold=self.config.semantic_similarity_threshold,
+                skip_numeric_column_names=self.config.skip_numeric_column_names,
+            )
+            for name, ontology in self._ontologies.items()
+        }
+
+    def annotate(self, table: Table) -> TableAnnotations:
+        """Annotate ``table`` with both methods against every ontology."""
+        result = TableAnnotations(table_id=table.table_id)
+        for annotator_group in (self.syntactic, self.semantic):
+            for annotator in annotator_group.values():
+                for annotation in annotator.annotate(table):
+                    result.add(annotation)
+        return result
+
+
+_DEFAULT_PIPELINE: AnnotationPipeline | None = None
+
+
+def annotate_table(table: Table, config: AnnotationConfig | None = None) -> TableAnnotations:
+    """Annotate a single table with the default (or given) configuration.
+
+    The default pipeline is cached because building the semantic
+    annotators embeds every ontology label once.
+    """
+    global _DEFAULT_PIPELINE
+    if config is not None:
+        return AnnotationPipeline(config).annotate(table)
+    if _DEFAULT_PIPELINE is None:
+        _DEFAULT_PIPELINE = AnnotationPipeline()
+    return _DEFAULT_PIPELINE.annotate(table)

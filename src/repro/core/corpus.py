@@ -1,0 +1,188 @@
+"""The GitTables corpus container.
+
+An :class:`AnnotatedTable` bundles a curated table with its column
+annotations and provenance; :class:`GitTablesCorpus` is the queryable
+collection the analysis and application layers operate on. The corpus can
+be persisted to (and re-loaded from) a directory of JSON files so that
+expensive corpus builds can be cached between experiments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..dataframe.table import Table
+from ..errors import CorpusError
+from .annotation import AnnotationMethod, ColumnAnnotation, TableAnnotations
+
+__all__ = ["AnnotatedTable", "GitTablesCorpus"]
+
+
+@dataclass
+class AnnotatedTable:
+    """A curated table plus its annotations and provenance."""
+
+    table: Table
+    annotations: TableAnnotations
+    topic: str
+    repository: str
+    source_url: str
+    license_key: str | None = None
+
+    @property
+    def table_id(self) -> str:
+        return self.table.table_id or self.source_url
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "table_id": self.table_id,
+            "topic": self.topic,
+            "repository": self.repository,
+            "source_url": self.source_url,
+            "license_key": self.license_key,
+            "header": list(self.table.header),
+            "rows": [list(row) for row in self.table.rows],
+            "metadata": dict(self.table.metadata),
+            "annotations": [
+                {
+                    "column": annotation.column,
+                    "type_label": annotation.type_label,
+                    "ontology": annotation.ontology,
+                    "method": annotation.method.value,
+                    "confidence": annotation.confidence,
+                }
+                for annotation in self.annotations.all()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnnotatedTable":
+        """Inverse of :meth:`to_dict`."""
+        table = Table(
+            payload["header"],
+            payload["rows"],
+            table_id=payload["table_id"],
+            metadata=payload.get("metadata", {}),
+        )
+        annotations = TableAnnotations(table_id=payload["table_id"])
+        for entry in payload.get("annotations", []):
+            annotations.add(
+                ColumnAnnotation(
+                    column=entry["column"],
+                    type_label=entry["type_label"],
+                    ontology=entry["ontology"],
+                    method=AnnotationMethod(entry["method"]),
+                    confidence=float(entry["confidence"]),
+                )
+            )
+        return cls(
+            table=table,
+            annotations=annotations,
+            topic=payload.get("topic", ""),
+            repository=payload.get("repository", ""),
+            source_url=payload.get("source_url", payload["table_id"]),
+            license_key=payload.get("license_key"),
+        )
+
+
+class GitTablesCorpus:
+    """A collection of annotated tables."""
+
+    def __init__(self, name: str = "gittables") -> None:
+        self.name = name
+        self._tables: dict[str, AnnotatedTable] = {}
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[AnnotatedTable]:
+        return iter(self._tables.values())
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._tables
+
+    def get(self, table_id: str) -> AnnotatedTable | None:
+        return self._tables.get(table_id)
+
+    def add(self, annotated: AnnotatedTable) -> None:
+        """Add a table; duplicate table ids are rejected."""
+        table_id = annotated.table_id
+        if table_id in self._tables:
+            raise CorpusError(f"duplicate table id {table_id!r}")
+        self._tables[table_id] = annotated
+
+    # -- queries -----------------------------------------------------------
+
+    def tables(self) -> list[AnnotatedTable]:
+        return list(self._tables.values())
+
+    def topics(self) -> list[str]:
+        """Sorted list of distinct topics present in the corpus."""
+        return sorted({annotated.topic for annotated in self._tables.values()})
+
+    def topic_subset(self, topic: str) -> "GitTablesCorpus":
+        """The sub-corpus of tables extracted for one topic."""
+        subset = GitTablesCorpus(name=f"{self.name}:{topic}")
+        for annotated in self._tables.values():
+            if annotated.topic == topic:
+                subset.add(annotated)
+        return subset
+
+    def filter(self, predicate: Callable[[AnnotatedTable], bool], name: str | None = None) -> "GitTablesCorpus":
+        """A sub-corpus of the tables satisfying ``predicate``."""
+        subset = GitTablesCorpus(name=name or f"{self.name}:filtered")
+        for annotated in self._tables.values():
+            if predicate(annotated):
+                subset.add(annotated)
+        return subset
+
+    def repositories(self) -> dict[str, int]:
+        """repository full name -> number of tables contributed."""
+        counts: dict[str, int] = {}
+        for annotated in self._tables.values():
+            counts[annotated.repository] = counts.get(annotated.repository, 0) + 1
+        return counts
+
+    def schemas(self) -> list[tuple[str, tuple[str, ...]]]:
+        """(table id, schema) pairs, used by schema completion and search."""
+        return [(annotated.table_id, annotated.table.schema) for annotated in self._tables.values()]
+
+    def total_rows(self) -> int:
+        return sum(annotated.table.num_rows for annotated in self._tables.values())
+
+    def total_columns(self) -> int:
+        return sum(annotated.table.num_columns for annotated in self._tables.values())
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, directory: str | os.PathLike[str]) -> None:
+        """Persist the corpus as one JSON file per table plus an index."""
+        os.makedirs(directory, exist_ok=True)
+        index = []
+        for position, annotated in enumerate(self._tables.values()):
+            filename = f"table_{position:06d}.json"
+            with open(os.path.join(directory, filename), "w", encoding="utf-8") as handle:
+                json.dump(annotated.to_dict(), handle)
+            index.append({"file": filename, "table_id": annotated.table_id, "topic": annotated.topic})
+        with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as handle:
+            json.dump({"name": self.name, "tables": index}, handle)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike[str]) -> "GitTablesCorpus":
+        """Load a corpus previously written by :meth:`save`."""
+        index_path = os.path.join(directory, "index.json")
+        if not os.path.exists(index_path):
+            raise CorpusError(f"no corpus index found at {index_path}")
+        with open(index_path, "r", encoding="utf-8") as handle:
+            index = json.load(handle)
+        corpus = cls(name=index.get("name", "gittables"))
+        for entry in index.get("tables", []):
+            with open(os.path.join(directory, entry["file"]), "r", encoding="utf-8") as handle:
+                corpus.add(AnnotatedTable.from_dict(json.load(handle)))
+        return corpus

@@ -1,0 +1,150 @@
+"""Table filtering rules (paper §3.3, 'Table filtering').
+
+Filters applied to parsed tables, in order:
+
+1. **License** — only tables from repositories with a license allowing
+   redistribution are retained (~16% of tables in the paper).
+2. **Dimensions** — tables with fewer than two rows or two columns are
+   dropped.
+3. **Header quality** — tables where more than half of the column names
+   are unspecified, or where any column name is not a string (i.e. the
+   first row was data, not a header), are dropped.
+4. **Social-media content** — tables with a column name containing
+   "twitter", "tweet", "reddit" or "facebook" are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import CurationConfig
+from ..dataframe.dtypes import AtomicType, infer_value_type
+from ..dataframe.table import Table
+from ..github.licenses import is_permissive
+from .parsing import ParsedFile
+
+__all__ = ["FilterDecision", "FilterReport", "TableFilter"]
+
+#: Reason codes, in the order rules are evaluated.
+REASON_LICENSE = "no_permissive_license"
+REASON_TOO_SMALL = "too_small"
+REASON_UNNAMED = "unnamed_columns"
+REASON_NON_STRING_HEADER = "non_string_header"
+REASON_SOCIAL_MEDIA = "social_media_content"
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """The outcome of filtering one table."""
+
+    keep: bool
+    reason: str | None = None
+
+    @classmethod
+    def kept(cls) -> "FilterDecision":
+        return cls(keep=True)
+
+    @classmethod
+    def dropped(cls, reason: str) -> "FilterDecision":
+        return cls(keep=False, reason=reason)
+
+
+@dataclass
+class FilterReport:
+    """Aggregate statistics of the filtering stage."""
+
+    evaluated: int = 0
+    kept: int = 0
+    dropped: int = 0
+    dropped_by_reason: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def drop_rate(self) -> float:
+        if self.evaluated == 0:
+            return 0.0
+        return self.dropped / self.evaluated
+
+    def drop_rate_excluding_license(self) -> float:
+        """Drop rate of the curation filters only (paper reports ~9%)."""
+        license_drops = self.dropped_by_reason.get(REASON_LICENSE, 0)
+        considered = self.evaluated - license_drops
+        if considered <= 0:
+            return 0.0
+        return (self.dropped - license_drops) / considered
+
+    def record(self, decision: FilterDecision) -> None:
+        self.evaluated += 1
+        if decision.keep:
+            self.kept += 1
+        else:
+            self.dropped += 1
+            reason = decision.reason or "unknown"
+            self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+
+
+#: Sentinel distinguishing "license not provided, use table metadata"
+#: from an explicit ``None`` (repository without a license).
+_LICENSE_FROM_METADATA = object()
+
+
+class TableFilter:
+    """Applies the §3.3 filtering rules to parsed tables."""
+
+    def __init__(self, config: CurationConfig | None = None) -> None:
+        self.config = config or CurationConfig()
+        self.config.validate()
+
+    def evaluate(self, table: Table, license_key: object = _LICENSE_FROM_METADATA) -> FilterDecision:
+        """Evaluate one table.
+
+        ``license_key`` overrides the table's ``license`` metadata entry;
+        pass ``None`` explicitly to mean "repository without a license".
+        """
+        config = self.config
+
+        if config.require_permissive_license:
+            license_value = (
+                table.metadata.get("license")
+                if license_key is _LICENSE_FROM_METADATA
+                else license_key
+            )
+            if not is_permissive(license_value if isinstance(license_value, str) else None):
+                return FilterDecision.dropped(REASON_LICENSE)
+
+        if table.num_rows < config.min_rows or table.num_columns < config.min_columns:
+            return FilterDecision.dropped(REASON_TOO_SMALL)
+
+        if table.unnamed_column_fraction() > config.max_unnamed_fraction:
+            return FilterDecision.dropped(REASON_UNNAMED)
+
+        # A column name that parses as a number or date indicates the first
+        # row was data rather than a header (paper: "column names not of
+        # the type string"). Short alphabetic names like "y" stay strings.
+        for name in table.header:
+            if name.strip() and infer_value_type(name) in (
+                AtomicType.INTEGER,
+                AtomicType.FLOAT,
+                AtomicType.DATE,
+            ):
+                return FilterDecision.dropped(REASON_NON_STRING_HEADER)
+
+        blocked = tuple(term.lower() for term in config.blocked_column_terms)
+        for name in table.header:
+            lowered = name.lower()
+            if any(term in lowered for term in blocked):
+                return FilterDecision.dropped(REASON_SOCIAL_MEDIA)
+
+        return FilterDecision.kept()
+
+    def filter_parsed(self, parsed_files: list[ParsedFile]) -> tuple[list[ParsedFile], FilterReport]:
+        """Filter a list of parsed files, returning survivors and a report."""
+        report = FilterReport()
+        kept: list[ParsedFile] = []
+        for parsed in parsed_files:
+            license_obj = parsed.source.license
+            license_key = license_obj.key if license_obj is not None else None
+            decision = self.evaluate(parsed.table, license_key=license_key)
+            report.record(decision)
+            if decision.keep:
+                kept.append(parsed)
+        return kept, report

@@ -1,0 +1,79 @@
+"""Parsing stage: raw CSV files → tables (paper §3.3, 'CSV parsing').
+
+Wraps :func:`repro.dataframe.parse_csv` with provenance metadata and
+bookkeeping of the parse success rate (the paper reports 99.3% of files
+parsing successfully).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dataframe.parser import ParseReport, parse_csv
+from ..dataframe.table import Table
+from ..errors import CSVParseError
+from ..github.licenses import License
+from .extraction import ExtractedFile
+
+__all__ = ["ParsedFile", "ParsingReport", "ParsingStage"]
+
+
+@dataclass
+class ParsedFile:
+    """A successfully parsed CSV file with its provenance."""
+
+    table: Table
+    parse_report: ParseReport
+    source: ExtractedFile
+
+
+@dataclass
+class ParsingReport:
+    """Aggregate statistics of the parsing stage."""
+
+    attempted: int = 0
+    parsed: int = 0
+    failed: int = 0
+    failures_by_reason: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of files parsed into tables (paper: 0.993)."""
+        if self.attempted == 0:
+            return 0.0
+        return self.parsed / self.attempted
+
+
+class ParsingStage:
+    """Parses extracted files into tables, collecting success statistics."""
+
+    def parse_file(self, extracted: ExtractedFile) -> ParsedFile:
+        """Parse one extracted file (raises :class:`CSVParseError` on failure)."""
+        table, report = parse_csv(
+            extracted.content,
+            table_id=extracted.url,
+            metadata={
+                "source_url": extracted.url,
+                "repository": extracted.repository,
+                "path": extracted.path,
+                "topic": extracted.topic,
+                "license": extracted.license.key if isinstance(extracted.license, License) else None,
+                "license_name": extracted.license.name if isinstance(extracted.license, License) else None,
+            },
+        )
+        return ParsedFile(table=table, parse_report=report, source=extracted)
+
+    def parse_all(self, files: list[ExtractedFile]) -> tuple[list[ParsedFile], ParsingReport]:
+        """Parse every file, dropping unparseable ones."""
+        report = ParsingReport()
+        parsed: list[ParsedFile] = []
+        for extracted in files:
+            report.attempted += 1
+            try:
+                parsed.append(self.parse_file(extracted))
+                report.parsed += 1
+            except CSVParseError as error:
+                report.failed += 1
+                reason = str(error).split(":")[0]
+                report.failures_by_reason[reason] = report.failures_by_reason.get(reason, 0) + 1
+        return parsed, report

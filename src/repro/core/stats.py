@@ -1,0 +1,267 @@
+"""Corpus and annotation statistics (paper §4.1).
+
+These functions compute every number reported in the paper's analysis
+section for a given corpus: table/row/column counts (Tables 1-2), atomic
+data type distribution (Table 4), per-method/per-ontology annotation
+statistics (Table 5), the cumulative dimension distributions (Figure 4a),
+annotation coverage per table (Figure 4b), confidence-score distributions
+(Figure 4c), top-k annotated types (Figure 5), and tables-per-repository
+statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dataframe.dtypes import AtomicType
+from .annotation import AnnotationMethod
+from .corpus import GitTablesCorpus
+
+__all__ = ["CorpusStatistics", "AnnotationStatistics", "dimension_cdf", "top_types"]
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Structural statistics of a corpus (Tables 1, 2 and 4; Figure 4a)."""
+
+    table_count: int
+    total_rows: int
+    total_columns: int
+    avg_rows: float
+    avg_cols: float
+    avg_cells: float
+    median_rows: float
+    median_cols: float
+    #: Coarse atomic type distribution: numeric / string / other fractions.
+    atomic_type_fractions: dict[str, float]
+    #: Fine-grained atomic type counts.
+    atomic_type_counts: dict[str, int]
+    #: Tables-per-repository distribution summary.
+    tables_per_repository_mean: float
+    repositories_with_at_most_5_tables_fraction: float
+
+    @classmethod
+    def from_corpus(cls, corpus: GitTablesCorpus) -> "CorpusStatistics":
+        """Compute statistics for ``corpus``."""
+        row_counts = []
+        col_counts = []
+        atomic_counts: Counter[str] = Counter()
+        for annotated in corpus:
+            table = annotated.table
+            row_counts.append(table.num_rows)
+            col_counts.append(table.num_columns)
+            for column in table.columns:
+                atomic_counts[column.atomic_type.value] += 1
+
+        table_count = len(corpus)
+        total_rows = int(sum(row_counts))
+        total_columns = int(sum(col_counts))
+        total_columns_nonzero = max(total_columns, 1)
+
+        coarse: Counter[str] = Counter()
+        for type_value, count in atomic_counts.items():
+            coarse[AtomicType(type_value).coarse] += count
+        fractions = {
+            bucket: coarse.get(bucket, 0) / total_columns_nonzero
+            for bucket in ("numeric", "string", "other")
+        }
+
+        repo_counts = corpus.repositories()
+        repo_values = np.array(list(repo_counts.values())) if repo_counts else np.array([0])
+        at_most_5 = float(np.mean(repo_values <= 5)) if repo_counts else 0.0
+
+        return cls(
+            table_count=table_count,
+            total_rows=total_rows,
+            total_columns=total_columns,
+            avg_rows=total_rows / table_count if table_count else 0.0,
+            avg_cols=total_columns / table_count if table_count else 0.0,
+            avg_cells=(
+                sum(r * c for r, c in zip(row_counts, col_counts)) / table_count
+                if table_count
+                else 0.0
+            ),
+            median_rows=float(np.median(row_counts)) if row_counts else 0.0,
+            median_cols=float(np.median(col_counts)) if col_counts else 0.0,
+            atomic_type_fractions=fractions,
+            atomic_type_counts=dict(atomic_counts),
+            tables_per_repository_mean=float(repo_values.mean()) if repo_counts else 0.0,
+            repositories_with_at_most_5_tables_fraction=at_most_5,
+        )
+
+    def as_table1_row(self, name: str = "GitTables", source: str = "CSVs from GitHub") -> dict:
+        """One row of paper Table 1."""
+        return {
+            "name": name,
+            "table_source": source,
+            "n_tables": self.table_count,
+            "avg_rows": round(self.avg_rows, 1),
+            "avg_cols": round(self.avg_cols, 1),
+        }
+
+    def as_table4_rows(self) -> dict[str, float]:
+        """Coarse atomic type percentages (paper Table 4)."""
+        return {
+            bucket: round(100.0 * fraction, 1)
+            for bucket, fraction in self.atomic_type_fractions.items()
+        }
+
+
+@dataclass(frozen=True)
+class MethodOntologyStats:
+    """Annotation statistics for one (method, ontology) pair (Table 5)."""
+
+    method: str
+    ontology: str
+    annotated_tables: int
+    annotated_columns: int
+    unique_types: int
+    types_above_threshold: int
+
+    def as_row(self) -> dict:
+        return {
+            "method": self.method,
+            "ontology": self.ontology,
+            "annotated_tables": self.annotated_tables,
+            "annotated_columns": self.annotated_columns,
+            "unique_types": self.unique_types,
+            "types_above_threshold": self.types_above_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class AnnotationStatistics:
+    """Annotation statistics of a corpus (Table 5; Figures 4b, 4c, 5)."""
+
+    table_count: int
+    per_method_ontology: tuple[MethodOntologyStats, ...]
+    #: method -> fraction of columns annotated, averaged over tables (Fig 4b).
+    mean_coverage: dict[str, float]
+    #: method -> list of per-table coverage fractions (Fig 4b histogram input).
+    coverage_per_table: dict[str, list[float]] = field(repr=False, default_factory=dict)
+    #: ontology -> list of semantic-annotation confidence scores (Fig 4c).
+    similarity_scores: dict[str, list[float]] = field(repr=False, default_factory=dict)
+    #: (method, ontology) -> Counter of type labels (Fig 5 input).
+    type_counts: dict[tuple[str, str], Counter] = field(repr=False, default_factory=dict)
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: GitTablesCorpus,
+        popular_type_column_threshold: int = 5,
+    ) -> "AnnotationStatistics":
+        """Compute annotation statistics for ``corpus``.
+
+        ``popular_type_column_threshold`` plays the role of the paper's
+        "# types (#columns > 1K)" row, scaled down for smaller corpora.
+        """
+        methods = (AnnotationMethod.SYNTACTIC, AnnotationMethod.SEMANTIC)
+        ontologies = ("dbpedia", "schema_org")
+
+        annotated_tables: Counter[tuple[str, str]] = Counter()
+        annotated_columns: Counter[tuple[str, str]] = Counter()
+        type_counts: dict[tuple[str, str], Counter] = {
+            (method.value, ontology): Counter() for method in methods for ontology in ontologies
+        }
+        coverage_per_table: dict[str, list[float]] = {method.value: [] for method in methods}
+        similarity_scores: dict[str, list[float]] = {ontology: [] for ontology in ontologies}
+
+        for annotated in corpus:
+            n_columns = annotated.table.num_columns
+            for method in methods:
+                coverage_per_table[method.value].append(
+                    annotated.annotations.annotated_column_fraction(method, n_columns)
+                )
+                for ontology in ontologies:
+                    annotations = annotated.annotations.for_method(method, ontology)
+                    if annotations:
+                        annotated_tables[(method.value, ontology)] += 1
+                        annotated_columns[(method.value, ontology)] += len(annotations)
+                        for annotation in annotations:
+                            type_counts[(method.value, ontology)][annotation.type_label] += 1
+                            if method is AnnotationMethod.SEMANTIC:
+                                similarity_scores[ontology].append(annotation.confidence)
+
+        per_method_ontology = []
+        for method in methods:
+            for ontology in ontologies:
+                key = (method.value, ontology)
+                counts = type_counts[key]
+                per_method_ontology.append(
+                    MethodOntologyStats(
+                        method=method.value,
+                        ontology=ontology,
+                        annotated_tables=annotated_tables[key],
+                        annotated_columns=annotated_columns[key],
+                        unique_types=len(counts),
+                        types_above_threshold=sum(
+                            1 for count in counts.values() if count > popular_type_column_threshold
+                        ),
+                    )
+                )
+
+        mean_coverage = {
+            method: float(np.mean(values)) if values else 0.0
+            for method, values in coverage_per_table.items()
+        }
+
+        return cls(
+            table_count=len(corpus),
+            per_method_ontology=tuple(per_method_ontology),
+            mean_coverage=mean_coverage,
+            coverage_per_table=coverage_per_table,
+            similarity_scores=similarity_scores,
+            type_counts=type_counts,
+        )
+
+    def stats_for(self, method: str, ontology: str) -> MethodOntologyStats:
+        """Statistics of one (method, ontology) pair."""
+        for stats in self.per_method_ontology:
+            if stats.method == method and stats.ontology == ontology:
+                return stats
+        raise KeyError((method, ontology))
+
+    def unique_type_count(self, method: str) -> int:
+        """Unique types annotated by a method across both ontologies."""
+        labels: set[str] = set()
+        for (stat_method, _ontology), counts in self.type_counts.items():
+            if stat_method == method:
+                labels.update(counts)
+        return len(labels)
+
+    def as_table5_rows(self) -> list[dict]:
+        """Rows of paper Table 5."""
+        return [stats.as_row() for stats in self.per_method_ontology]
+
+
+def dimension_cdf(corpus: GitTablesCorpus, axis: str = "rows", points: int = 40) -> list[tuple[float, int]]:
+    """Cumulative table counts over a dimension (paper Figure 4a).
+
+    Returns (dimension value, number of tables with dimension <= value)
+    pairs over log-spaced dimension values.
+    """
+    if axis not in ("rows", "columns"):
+        raise ValueError("axis must be 'rows' or 'columns'")
+    values = np.array(
+        [
+            annotated.table.num_rows if axis == "rows" else annotated.table.num_columns
+            for annotated in corpus
+        ]
+    )
+    if values.size == 0:
+        return []
+    grid = np.unique(np.logspace(0, np.log10(max(values.max(), 2)), points).astype(int))
+    if grid[-1] < values.max():
+        grid = np.append(grid, values.max())
+    return [(float(point), int(np.sum(values <= point))) for point in grid]
+
+
+def top_types(
+    stats: AnnotationStatistics, method: str, ontology: str, k: int = 25
+) -> list[tuple[str, int]]:
+    """The ``k`` most frequently annotated types (paper Figure 5)."""
+    counts = stats.type_counts.get((method, ontology), Counter())
+    return counts.most_common(k)

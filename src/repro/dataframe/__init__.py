@@ -1,0 +1,33 @@
+"""Lightweight relational table substrate.
+
+This subpackage replaces the paper's use of ``pandas.read_csv`` and
+Python's ``csv.Sniffer``. It provides:
+
+* :class:`~repro.dataframe.table.Table` and
+  :class:`~repro.dataframe.table.Column` — in-memory relational tables,
+* :func:`~repro.dataframe.sniffer.sniff_dialect` — delimiter detection,
+* :func:`~repro.dataframe.parser.parse_csv` — a tolerant CSV parser
+  implementing the curation rules from paper §3.3,
+* :mod:`~repro.dataframe.dtypes` — atomic data type inference.
+"""
+
+from .dtypes import AtomicType, infer_column_type, infer_value_type
+from .io import read_csv_file, table_to_csv, write_csv_file
+from .parser import ParseReport, parse_csv
+from .sniffer import Dialect, sniff_dialect
+from .table import Column, Table
+
+__all__ = [
+    "AtomicType",
+    "Column",
+    "Dialect",
+    "ParseReport",
+    "Table",
+    "infer_column_type",
+    "infer_value_type",
+    "parse_csv",
+    "read_csv_file",
+    "sniff_dialect",
+    "table_to_csv",
+    "write_csv_file",
+]

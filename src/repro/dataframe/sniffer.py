@@ -1,0 +1,103 @@
+"""CSV dialect sniffing.
+
+The paper leverages "the integrated functionality of Python's Sniffer
+tool" to determine the delimiter of CSV files (§3.3). This module provides
+an equivalent sniffer operating on raw text: it scores candidate
+delimiters by the consistency of the per-line field counts they induce,
+preferring delimiters that split most lines into the same, largest number
+of fields.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..errors import SnifferError
+
+__all__ = ["Dialect", "sniff_dialect", "CANDIDATE_DELIMITERS"]
+
+#: Delimiters considered by the sniffer, in preference order for ties.
+CANDIDATE_DELIMITERS = (",", ";", "\t", "|", ":")
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """A detected CSV dialect."""
+
+    delimiter: str
+    quotechar: str = '"'
+    #: Fraction of sampled lines whose field count equals the modal count.
+    consistency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.delimiter) != 1:
+            raise SnifferError(f"delimiter must be a single character, got {self.delimiter!r}")
+
+
+def _split_respecting_quotes(line: str, delimiter: str, quotechar: str = '"') -> list[str]:
+    """Split ``line`` on ``delimiter`` outside quoted regions."""
+    fields: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    i = 0
+    length = len(line)
+    while i < length:
+        char = line[i]
+        if char == quotechar:
+            if in_quotes and i + 1 < length and line[i + 1] == quotechar:
+                current.append(quotechar)
+                i += 2
+                continue
+            in_quotes = not in_quotes
+        elif char == delimiter and not in_quotes:
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+        i += 1
+    fields.append("".join(current))
+    return fields
+
+
+def _score_delimiter(lines: list[str], delimiter: str) -> tuple[float, int]:
+    """Return (consistency, modal field count) for a candidate delimiter."""
+    counts = Counter(len(_split_respecting_quotes(line, delimiter)) for line in lines)
+    if not counts:
+        return 0.0, 1
+    modal_count, modal_freq = counts.most_common(1)[0]
+    if modal_count <= 1:
+        return 0.0, modal_count
+    return modal_freq / len(lines), modal_count
+
+
+def sniff_dialect(text: str, sample_lines: int = 50) -> Dialect:
+    """Detect the delimiter of ``text``.
+
+    Raises :class:`~repro.errors.SnifferError` when no candidate delimiter
+    splits the sample into more than one field consistently — the caller
+    (the CSV parser) treats this as an unparseable file.
+    """
+    lines = [line for line in text.splitlines() if line.strip()][:sample_lines]
+    if not lines:
+        raise SnifferError("cannot sniff an empty payload")
+
+    best: tuple[float, int, str] | None = None
+    for delimiter in CANDIDATE_DELIMITERS:
+        consistency, modal_count = _score_delimiter(lines, delimiter)
+        if consistency == 0.0:
+            continue
+        # Prefer higher consistency, then more fields, then candidate order.
+        key = (consistency, modal_count)
+        if best is None or key > (best[0], best[1]):
+            best = (consistency, modal_count, delimiter)
+
+    if best is None:
+        raise SnifferError("no candidate delimiter produced a consistent split")
+    consistency, _, delimiter = best
+    return Dialect(delimiter=delimiter, consistency=consistency)
+
+
+def split_line(line: str, dialect: Dialect) -> list[str]:
+    """Split a single CSV line according to ``dialect``."""
+    return _split_respecting_quotes(line, dialect.delimiter, dialect.quotechar)

@@ -1,0 +1,29 @@
+"""Embedding substrates.
+
+The paper embeds column names and semantic types with a pretrained
+character-n-gram FastText model and embeds schemas/queries with the
+Universal Sentence Encoder. Offline we replace both with deterministic
+hashed-feature embedding models that preserve the two properties the
+pipeline relies on:
+
+* sub-word compositionality — related strings ("product id", "id",
+  "productID") map to nearby vectors;
+* exact-match degeneracy — identical normalised strings have cosine
+  similarity 1.0, reproducing the "peak at 1" in paper Figure 4c.
+"""
+
+from .fasttext import FastTextModel
+from .hashing import hashed_unit_vector, ngrams, tokenize
+from .sentence import SentenceEncoder
+from .similarity import NearestNeighbourIndex, cosine_similarity, cosine_similarity_matrix
+
+__all__ = [
+    "FastTextModel",
+    "NearestNeighbourIndex",
+    "SentenceEncoder",
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "hashed_unit_vector",
+    "ngrams",
+    "tokenize",
+]

@@ -1,0 +1,93 @@
+"""FastText-style character n-gram embedding model.
+
+Replaces the pretrained FastText model the paper uses for the semantic
+annotation method (§3.4). A string is embedded as the mean of hashed
+vectors of its word tokens and their character n-grams. Identical
+normalised strings embed identically (cosine similarity 1.0); strings
+sharing tokens or sub-words land close together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hashing import hashed_unit_vector, ngrams, tokenize
+
+__all__ = ["FastTextModel"]
+
+
+class FastTextModel:
+    """Deterministic sub-word embedding model.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    ngram_sizes:
+        Character n-gram sizes pooled with word tokens.
+    word_weight:
+        Relative weight of whole-word vectors versus n-gram vectors.
+        Whole words dominate so that exact token matches drive similarity,
+        with n-grams providing sub-word generalisation.
+    seed:
+        Seed namespace for the hashed vectors.
+    """
+
+    def __init__(
+        self,
+        dim: int = 64,
+        ngram_sizes: tuple[int, ...] = (3, 4, 5),
+        word_weight: float = 3.0,
+        seed: int = 0,
+    ) -> None:
+        if dim < 4:
+            raise ValueError("dim must be >= 4")
+        self.dim = dim
+        self.ngram_sizes = tuple(ngram_sizes)
+        self.word_weight = float(word_weight)
+        self.seed = seed
+        self._cache: dict[str, np.ndarray] = {}
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed ``text`` into a unit vector (zero vector for empty text)."""
+        key = text.strip().lower()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        tokens = tokenize(key)
+        if not tokens:
+            vector = np.zeros(self.dim)
+        else:
+            accumulator = np.zeros(self.dim)
+            total_weight = 0.0
+            for token in tokens:
+                accumulator += self.word_weight * hashed_unit_vector(token, self.dim, self.seed)
+                total_weight += self.word_weight
+                for gram in ngrams(token, self.ngram_sizes):
+                    accumulator += hashed_unit_vector(gram, self.dim, self.seed)
+                    total_weight += 1.0
+            vector = accumulator / total_weight
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector = vector / norm
+
+        vector.setflags(write=False)
+        if len(self._cache) < 500_000:
+            self._cache[key] = vector
+        return vector
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed a list of strings into a (len(texts), dim) matrix."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed(text) for text in texts])
+
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity between the embeddings of two strings."""
+        a = self.embed(left)
+        b = self.embed(right)
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0.0:
+            return 0.0
+        return float(np.dot(a, b) / denom)

@@ -1,0 +1,61 @@
+"""Deterministic hashed feature vectors for strings.
+
+Both embedding substrates are built from the same primitive: a stable
+hash of a token (or character n-gram) seeds a pseudo-random unit vector.
+Two different tokens get (almost surely) near-orthogonal vectors; the
+same token always gets the same vector. Summing token vectors therefore
+approximates a bag-of-subwords embedding with compositionality.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+import numpy as np
+
+from .._rand import stable_hash
+
+__all__ = ["hashed_unit_vector", "ngrams", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokens of ``text`` (alphanumeric runs)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def ngrams(token: str, sizes: tuple[int, ...] = (3, 4, 5)) -> list[str]:
+    """Character n-grams of a token, padded with boundary markers.
+
+    Follows the FastText convention of wrapping the token in ``<`` and
+    ``>`` so that prefixes/suffixes are distinguishable from word-internal
+    n-grams, and always including the full padded token itself.
+    """
+    padded = f"<{token}>"
+    grams: list[str] = [padded]
+    for size in sizes:
+        if len(padded) <= size:
+            continue
+        grams.extend(padded[i : i + size] for i in range(len(padded) - size + 1))
+    return grams
+
+
+@lru_cache(maxsize=200_000)
+def hashed_unit_vector(token: str, dim: int, seed: int = 0) -> np.ndarray:
+    """A deterministic unit vector for ``token``.
+
+    The vector is drawn from a normal distribution seeded by a stable
+    hash of (token, dim, seed) and normalised to unit length. Cached
+    because annotation repeatedly embeds the same ontology labels.
+    """
+    rng = np.random.default_rng(stable_hash("hv", token, dim, seed, bits=32))
+    vector = rng.standard_normal(dim)
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:  # pragma: no cover - probability zero
+        vector[0] = 1.0
+        norm = 1.0
+    result = vector / norm
+    result.setflags(write=False)
+    return result

@@ -1,0 +1,87 @@
+"""Universal-Sentence-Encoder-style embedding model.
+
+Used by schema completion (Algorithm 1) and data search (§5.2-5.3). A
+sentence (attribute name, whole schema, or natural-language query) is the
+weighted mean of hashed token vectors plus lighter-weight character
+n-gram vectors, which handles multi-word attributes ("OrderTrackingNumber"
+vs "order tracking number") the way USE handles them in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .hashing import hashed_unit_vector, ngrams, tokenize
+
+__all__ = ["SentenceEncoder"]
+
+#: Tokens so common in schemas that they carry little signal; they get a
+#: reduced weight, mimicking the IDF weighting inside USE-like encoders.
+_COMMON_TOKENS = frozenset(
+    {"the", "a", "an", "of", "and", "or", "per", "for", "to", "in", "on", "by", "with"}
+)
+
+
+class SentenceEncoder:
+    """Deterministic sentence embedding model."""
+
+    def __init__(self, dim: int = 128, ngram_sizes: tuple[int, ...] = (4,), seed: int = 1) -> None:
+        if dim < 8:
+            raise ValueError("dim must be >= 8")
+        self.dim = dim
+        self.ngram_sizes = tuple(ngram_sizes)
+        self.seed = seed
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _token_weight(self, token: str) -> float:
+        if token in _COMMON_TOKENS:
+            return 0.3
+        # Longer tokens tend to be more specific; weight grows slowly.
+        return 1.0 + 0.1 * math.log1p(len(token))
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed a sentence (or attribute name) into a unit vector."""
+        key = text.strip().lower()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        tokens = tokenize(key)
+        if not tokens:
+            vector = np.zeros(self.dim)
+        else:
+            accumulator = np.zeros(self.dim)
+            total = 0.0
+            for token in tokens:
+                weight = self._token_weight(token)
+                accumulator += weight * hashed_unit_vector(token, self.dim, self.seed)
+                total += weight
+                for gram in ngrams(token, self.ngram_sizes):
+                    accumulator += 0.25 * hashed_unit_vector(gram, self.dim, self.seed)
+                    total += 0.25
+            vector = accumulator / total
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector = vector / norm
+
+        vector.setflags(write=False)
+        if len(self._cache) < 500_000:
+            self._cache[key] = vector
+        return vector
+
+    def embed_many(self, texts: list[str]) -> np.ndarray:
+        """Embed a list of sentences into a (len(texts), dim) matrix."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed(text) for text in texts])
+
+    def embed_schema(self, attributes: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Embed a whole schema as the mean of its attribute embeddings."""
+        if not attributes:
+            return np.zeros(self.dim)
+        matrix = self.embed_many(list(attributes))
+        vector = matrix.mean(axis=0)
+        norm = np.linalg.norm(vector)
+        return vector / norm if norm > 0 else vector

@@ -1,0 +1,57 @@
+"""Cosine similarity utilities and a small nearest-neighbour index."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cosine_similarity", "cosine_similarity_matrix", "NearestNeighbourIndex"]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0.0 when either is zero)."""
+    denom = float(np.linalg.norm(a)) * float(np.linalg.norm(b))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / denom)
+
+
+def cosine_similarity_matrix(queries: np.ndarray, index: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities: (n_queries, n_index)."""
+    if queries.size == 0 or index.size == 0:
+        return np.zeros((queries.shape[0], index.shape[0]))
+    query_norms = np.linalg.norm(queries, axis=1, keepdims=True)
+    index_norms = np.linalg.norm(index, axis=1, keepdims=True)
+    query_norms[query_norms == 0.0] = 1.0
+    index_norms[index_norms == 0.0] = 1.0
+    return (queries / query_norms) @ (index / index_norms).T
+
+
+class NearestNeighbourIndex:
+    """Exact cosine nearest-neighbour search over labelled vectors."""
+
+    def __init__(self, labels: list[str], vectors: np.ndarray) -> None:
+        if len(labels) != vectors.shape[0]:
+            raise ValueError("labels and vectors must have the same length")
+        self.labels = list(labels)
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        self._unit_vectors = vectors / norms
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def query(self, vector: np.ndarray, top_k: int = 1) -> list[tuple[str, float]]:
+        """Return the ``top_k`` most similar labels with their similarities."""
+        if len(self.labels) == 0:
+            return []
+        norm = np.linalg.norm(vector)
+        unit = vector / norm if norm > 0 else vector
+        similarities = self._unit_vectors @ unit
+        top_k = min(top_k, len(self.labels))
+        order = np.argsort(-similarities)[:top_k]
+        return [(self.labels[i], float(similarities[i])) for i in order]
+
+    def best(self, vector: np.ndarray) -> tuple[str, float] | None:
+        """The single most similar label, or None for an empty index."""
+        results = self.query(vector, top_k=1)
+        return results[0] if results else None

@@ -1,0 +1,20 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each driver produces an :class:`~repro.experiments.registry.ExperimentResult`
+holding the rows/series the paper reports plus the paper's reference
+values, so the benchmark harness and ``EXPERIMENTS.md`` can compare them
+side by side. Corpora are built once per process and shared across
+drivers through :mod:`~repro.experiments.context`.
+"""
+
+from .context import ExperimentContext, get_context
+from .registry import ExperimentResult, format_result, run_all_experiments, EXPERIMENT_REGISTRY
+
+__all__ = [
+    "EXPERIMENT_REGISTRY",
+    "ExperimentContext",
+    "ExperimentResult",
+    "format_result",
+    "get_context",
+    "run_all_experiments",
+]

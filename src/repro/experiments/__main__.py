@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate every paper table and figure.
+
+Usage::
+
+    python -m repro.experiments                 # default scale, print report
+    python -m repro.experiments --scale small   # fast run
+    python -m repro.experiments --output EXPERIMENTS.md
+    python -m repro.experiments --only table7 fig6a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import format_result, run_all_experiments
+from .report import generate_report, write_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the GitTables paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default", "large"),
+        default="default",
+        help="corpus scale used by every experiment (default: default)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write a Markdown report (paper vs measured) to this path",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="EXPERIMENT_ID",
+        help="run only these experiment ids (e.g. table7 fig6a)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.only:
+        results = run_all_experiments(scale=args.scale)
+        unknown = [experiment_id for experiment_id in args.only if experiment_id not in results]
+        if unknown:
+            print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        for experiment_id in args.only:
+            print(format_result(results[experiment_id]))
+            print()
+        return 0
+
+    if args.output:
+        write_report(args.output, scale=args.scale)
+        print(f"wrote report to {args.output}")
+        return 0
+
+    print(generate_report(scale=args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Experiments E3/E5/E10/E11/E12: annotations (Tables 3, 5; Figures 4b, 4c, 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.stats import AnnotationStatistics, top_types
+from ..ontology.pii import PII_FAKER_CLASSES
+from .context import get_context
+from .registry import ExperimentResult, register_experiment
+
+__all__ = ["run_table3", "run_table5", "run_fig4b", "run_fig4c", "run_fig5"]
+
+_PAPER_TABLE3 = [
+    {"semantic_type": "name", "percentage_columns": 2.202, "faker_class": "faker.name"},
+    {"semantic_type": "address", "percentage_columns": 0.163, "faker_class": "faker.address"},
+    {"semantic_type": "person", "percentage_columns": 0.068, "faker_class": "faker.name"},
+    {"semantic_type": "email", "percentage_columns": 0.042, "faker_class": "faker.email"},
+    {"semantic_type": "birth date", "percentage_columns": 0.017, "faker_class": "faker.date"},
+    {"semantic_type": "home location", "percentage_columns": 0.008, "faker_class": "faker.city"},
+    {"semantic_type": "birth place", "percentage_columns": 0.003, "faker_class": "faker.postcode"},
+    {"semantic_type": "postal code", "percentage_columns": 0.003, "faker_class": "faker.city"},
+]
+
+_PAPER_TABLE5 = [
+    {"method": "syntactic", "ontology": "dbpedia", "annotated_tables": 723_000, "annotated_columns": 2_900_000, "unique_types": 835},
+    {"method": "syntactic", "ontology": "schema_org", "annotated_tables": 738_000, "annotated_columns": 2_400_000, "unique_types": 677},
+    {"method": "semantic", "ontology": "dbpedia", "annotated_tables": 958_000, "annotated_columns": 8_500_000, "unique_types": 2_400},
+    {"method": "semantic", "ontology": "schema_org", "annotated_tables": 962_000, "annotated_columns": 8_400_000, "unique_types": 2_400},
+]
+
+_PAPER_FIG5_DBPEDIA_TOP = [
+    "id", "title", "type", "author", "created", "parent", "name", "comment", "min", "rank",
+    "class", "status", "year", "note", "species", "genus", "date", "description", "speaker",
+    "time", "value", "dam", "code", "state", "artist",
+]
+_PAPER_FIG5_SCHEMA_TOP = [
+    "id", "title", "author", "url", "parent", "name", "text", "comment", "class", "status",
+    "date", "description", "time", "line", "value", "code", "state", "artist", "person",
+    "events", "country", "city", "lyrics", "abstract", "category",
+]
+
+
+@register_experiment("table3")
+def run_table3(scale: str = "default") -> ExperimentResult:
+    """Table 3: PII semantic types, column percentages, Faker classes."""
+    context = get_context(scale)
+    report = context.pipeline_result.curation_report
+    percentages = report.type_percentages()
+    rows = []
+    for semantic_type, faker_class in PII_FAKER_CLASSES.items():
+        rows.append(
+            {
+                "semantic_type": semantic_type,
+                "percentage_columns": round(percentages.get(semantic_type, 0.0), 3),
+                "faker_class": faker_class,
+            }
+        )
+    rows.sort(key=lambda row: -row["percentage_columns"])
+    overall = round(100.0 * report.scrubbed_column_fraction, 3)
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Semantic types associated with PII and Faker classes",
+        rows=rows,
+        paper_reference=_PAPER_TABLE3,
+        notes=(
+            f"Overall {overall}% of columns contain fake values "
+            "(paper: 0.3%); the ordering of PII types and the Faker class "
+            "mapping are the reproduced structure."
+        ),
+    )
+
+
+@register_experiment("table5")
+def run_table5(scale: str = "default") -> ExperimentResult:
+    """Table 5: annotation statistics by method and ontology."""
+    context = get_context(scale)
+    stats = AnnotationStatistics.from_corpus(context.gittables)
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Statistics of annotations by method and ontology",
+        rows=stats.as_table5_rows(),
+        paper_reference=_PAPER_TABLE5,
+        notes=(
+            "The semantic method annotates more tables and roughly 2-3x more "
+            "columns than the syntactic method, across both ontologies."
+        ),
+    )
+
+
+@register_experiment("fig4b")
+def run_fig4b(scale: str = "default") -> ExperimentResult:
+    """Figure 4b: percentage of annotated columns per table, per method."""
+    context = get_context(scale)
+    stats = AnnotationStatistics.from_corpus(context.gittables)
+    bins = np.linspace(0.0, 1.0, 11)
+    rows = []
+    for method, coverages in stats.coverage_per_table.items():
+        histogram, _ = np.histogram(np.array(coverages), bins=bins)
+        for bin_index, count in enumerate(histogram):
+            rows.append(
+                {
+                    "method": method,
+                    "coverage_bin_low_pct": round(100 * bins[bin_index], 0),
+                    "coverage_bin_high_pct": round(100 * bins[bin_index + 1], 0),
+                    "table_count": int(count),
+                }
+            )
+    rows.append(
+        {
+            "method": "mean coverage",
+            "coverage_bin_low_pct": round(100 * stats.mean_coverage["syntactic"], 1),
+            "coverage_bin_high_pct": round(100 * stats.mean_coverage["semantic"], 1),
+            "table_count": stats.table_count,
+        }
+    )
+    return ExperimentResult(
+        experiment_id="fig4b",
+        title="Percentage annotated columns per table, per annotation method",
+        rows=rows,
+        paper_reference=[
+            {"method": "syntactic", "mean_coverage_pct": 26},
+            {"method": "semantic", "mean_coverage_pct": 71},
+        ],
+        notes="The semantic method yields more annotations per table than the syntactic one.",
+    )
+
+
+@register_experiment("fig4c")
+def run_fig4c(scale: str = "default") -> ExperimentResult:
+    """Figure 4c: cosine similarity distribution of semantic annotations."""
+    context = get_context(scale)
+    stats = AnnotationStatistics.from_corpus(context.gittables)
+    bins = np.linspace(0.5, 1.0, 11)
+    rows = []
+    for ontology, scores in stats.similarity_scores.items():
+        histogram, _ = np.histogram(np.array(scores), bins=bins)
+        for bin_index, count in enumerate(histogram):
+            rows.append(
+                {
+                    "ontology": ontology,
+                    "similarity_bin_low": round(float(bins[bin_index]), 2),
+                    "similarity_bin_high": round(float(bins[bin_index + 1]), 2),
+                    "annotation_count": int(count),
+                }
+            )
+        scores_array = np.array(scores) if scores else np.array([0.0])
+        rows.append(
+            {
+                "ontology": f"{ontology} (summary)",
+                "similarity_bin_low": round(float(np.mean(scores_array)), 3),
+                "similarity_bin_high": round(float(np.mean(scores_array >= 0.99)), 3),
+                "annotation_count": len(scores),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig4c",
+        title="Cosine similarity of semantic annotations",
+        rows=rows,
+        paper_reference=[
+            {"observation": "peak at similarity 1.0 (syntactic resemblance)"},
+            {"observation": "remaining distribution centred around 0.75"},
+        ],
+        notes="Summary rows report (mean similarity, fraction at 1.0, count) per ontology.",
+    )
+
+
+@register_experiment("fig5")
+def run_fig5(scale: str = "default") -> ExperimentResult:
+    """Figure 5: top-25 column semantic types per ontology (syntactic method)."""
+    context = get_context(scale)
+    stats = AnnotationStatistics.from_corpus(context.gittables)
+    rows = []
+    for ontology in ("dbpedia", "schema_org"):
+        for rank, (type_label, count) in enumerate(
+            top_types(stats, "syntactic", ontology, k=25), start=1
+        ):
+            rows.append(
+                {"ontology": ontology, "rank": rank, "type": type_label, "column_count": count}
+            )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Column annotation counts of top-25 semantic types (syntactic method)",
+        rows=rows,
+        paper_reference=[
+            {"ontology": "dbpedia", "top_types": ", ".join(_PAPER_FIG5_DBPEDIA_TOP)},
+            {"ontology": "schema_org", "top_types": ", ".join(_PAPER_FIG5_SCHEMA_TOP)},
+        ],
+        notes=(
+            "Database-flavoured types (id, value, status, date, code) dominate, "
+            "unlike the name/title-dominated Web-table distribution."
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Shared experiment context: corpora built once, reused everywhere.
+
+Building a GitTables corpus is the expensive step of every experiment, so
+the context caches one corpus (plus the synthetic VizNet contrast corpus
+and the T2Dv2 benchmark) per scale. Scales:
+
+* ``"small"`` — fast, used by the test suite (~100 tables),
+* ``"default"`` — the standard experiment scale (~400 tables),
+* ``"large"`` — used by the benchmark harness when more statistical
+  stability is wanted (~1200 tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..benchdata.t2dv2 import T2Dv2Benchmark, build_t2dv2
+from ..benchdata.webtables import WebTableConfig, build_webtables_corpus
+from ..config import PipelineConfig
+from ..core.corpus import GitTablesCorpus
+from ..core.pipeline import PipelineResult, build_corpus
+from ..github.content import GeneratorConfig
+
+__all__ = ["ExperimentContext", "get_context", "clear_context_cache"]
+
+_SCALES = ("small", "default", "large")
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily built corpora shared by the experiment drivers."""
+
+    scale: str = "default"
+    seed: int = 20230530
+    _pipeline_result: PipelineResult | None = field(default=None, repr=False)
+    _viznet: GitTablesCorpus | None = field(default=None, repr=False)
+    _t2dv2: T2Dv2Benchmark | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale not in _SCALES:
+            raise ValueError(f"unknown scale {self.scale!r}; expected one of {_SCALES}")
+
+    # -- configuration per scale -------------------------------------------
+
+    def pipeline_config(self) -> PipelineConfig:
+        if self.scale == "small":
+            return PipelineConfig.small(seed=self.seed)
+        if self.scale == "large":
+            return PipelineConfig.large(seed=self.seed)
+        return PipelineConfig.default(seed=self.seed)
+
+    def generator_config(self) -> GeneratorConfig | None:
+        if self.scale == "small":
+            return GeneratorConfig(n_repositories=250, mean_rows=60, mean_cols=10, seed=self.seed)
+        return None
+
+    def webtable_config(self) -> WebTableConfig:
+        if self.scale == "small":
+            return WebTableConfig(n_tables=120, seed=self.seed)
+        if self.scale == "large":
+            return WebTableConfig(n_tables=800, seed=self.seed)
+        return WebTableConfig(n_tables=300, seed=self.seed)
+
+    # -- cached artefacts -----------------------------------------------------
+
+    @property
+    def pipeline_result(self) -> PipelineResult:
+        """The GitTables construction run (corpus + stage reports)."""
+        if self._pipeline_result is None:
+            self._pipeline_result = build_corpus(
+                self.pipeline_config(), generator_config=self.generator_config()
+            )
+        return self._pipeline_result
+
+    @property
+    def gittables(self) -> GitTablesCorpus:
+        """The constructed GitTables corpus."""
+        return self.pipeline_result.corpus
+
+    @property
+    def viznet(self) -> GitTablesCorpus:
+        """The synthetic VizNet/Web-table contrast corpus."""
+        if self._viznet is None:
+            self._viznet = build_webtables_corpus(self.webtable_config())
+        return self._viznet
+
+    @property
+    def t2dv2(self) -> T2Dv2Benchmark:
+        """The synthetic T2Dv2 gold standard."""
+        if self._t2dv2 is None:
+            n_tables = {"small": 40, "default": 60, "large": 120}[self.scale]
+            self._t2dv2 = build_t2dv2(n_tables=n_tables, seed=self.seed)
+        return self._t2dv2
+
+
+_CONTEXT_CACHE: dict[tuple[str, int], ExperimentContext] = {}
+
+
+def get_context(scale: str = "default", seed: int = 20230530) -> ExperimentContext:
+    """Return the cached context for (scale, seed), building it lazily."""
+    key = (scale, seed)
+    if key not in _CONTEXT_CACHE:
+        _CONTEXT_CACHE[key] = ExperimentContext(scale=scale, seed=seed)
+    return _CONTEXT_CACHE[key]
+
+
+def clear_context_cache() -> None:
+    """Drop all cached contexts (used by tests that need isolation)."""
+    _CONTEXT_CACHE.clear()

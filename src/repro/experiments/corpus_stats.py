@@ -1,0 +1,132 @@
+"""Experiments E1/E2/E4/E9: corpus structure (Tables 1, 2, 4; Figure 4a)."""
+
+from __future__ import annotations
+
+from ..core.stats import AnnotationStatistics, CorpusStatistics, dimension_cdf
+from .context import get_context
+from .registry import ExperimentResult, register_experiment
+
+__all__ = ["run_table1", "run_table2", "run_table4", "run_fig4a"]
+
+_PAPER_TABLE1 = [
+    {"name": "WDC WebTables", "n_tables": 90_000_000, "avg_rows": 11, "avg_cols": 4},
+    {"name": "Dresden Web Table Corpus", "n_tables": 59_000_000, "avg_rows": 17, "avg_cols": 6},
+    {"name": "WikiTables", "n_tables": 2_000_000, "avg_rows": 15, "avg_cols": 6},
+    {"name": "Open Data Portal Watch", "n_tables": 107_000, "avg_rows": 365, "avg_cols": 14},
+    {"name": "VizNet", "n_tables": 31_000_000, "avg_rows": 17, "avg_cols": 3},
+    {"name": "GitTables", "n_tables": 1_000_000, "avg_rows": 142, "avg_cols": 12},
+]
+
+_PAPER_TABLE2 = [
+    {"dataset": "T2Dv2", "n_tables": 779, "avg_rows": 17, "avg_cols": 4, "n_types": 275, "ontology": "DBpedia"},
+    {"dataset": "SemTab", "n_tables": 132_000, "avg_rows": 224, "avg_cols": 4, "n_types": None, "ontology": "DBpedia"},
+    {"dataset": "TURL", "n_tables": 407_000, "avg_rows": 18, "avg_cols": 3, "n_types": 255, "ontology": "Freebase"},
+    {"dataset": "GitTables", "n_tables": 962_000, "avg_rows": 142, "avg_cols": 12, "n_types": 2400,
+     "ontology": "DBpedia + Schema.org"},
+]
+
+_PAPER_TABLE4 = [
+    {"atomic_type": "numeric", "gittables_pct": 57.9, "wdc_webtables_pct": 51.4},
+    {"atomic_type": "string", "gittables_pct": 41.6, "wdc_webtables_pct": 47.4},
+    {"atomic_type": "other", "gittables_pct": 0.5, "wdc_webtables_pct": 1.2},
+]
+
+
+@register_experiment("table1")
+def run_table1(scale: str = "default") -> ExperimentResult:
+    """Table 1: corpus comparison (tables, avg rows, avg columns)."""
+    context = get_context(scale)
+    git_stats = CorpusStatistics.from_corpus(context.gittables)
+    viz_stats = CorpusStatistics.from_corpus(context.viznet)
+    rows = [
+        viz_stats.as_table1_row(name="VizNet (simulated)", source="HTML pages (simulated)"),
+        git_stats.as_table1_row(name="GitTables (reproduced)", source="CSVs from simulated GitHub"),
+    ]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Existing large-scale relational table corpora vs GitTables",
+        rows=rows,
+        paper_reference=_PAPER_TABLE1,
+        notes=(
+            "Corpora are rebuilt at reduced scale; the relevant shape is that "
+            "GitTables tables are an order of magnitude larger than Web tables "
+            "in rows and 2-4x wider in columns."
+        ),
+    )
+
+
+@register_experiment("table2")
+def run_table2(scale: str = "default") -> ExperimentResult:
+    """Table 2: annotated-corpus characteristics."""
+    context = get_context(scale)
+    corpus_stats = CorpusStatistics.from_corpus(context.gittables)
+    annotation_stats = AnnotationStatistics.from_corpus(context.gittables)
+    annotated_tables = max(
+        stats.annotated_tables for stats in annotation_stats.per_method_ontology
+    )
+    unique_types = annotation_stats.unique_type_count("semantic")
+    rows = [
+        {
+            "dataset": "T2Dv2 (synthetic)",
+            "n_tables": len({column.table_id for column in context.t2dv2.columns}),
+            "avg_rows": 18,
+            "avg_cols": 4,
+            "n_types": len({column.gold_type for column in context.t2dv2.columns}),
+            "ontology": "DBpedia",
+        },
+        {
+            "dataset": "GitTables (reproduced)",
+            "n_tables": annotated_tables,
+            "avg_rows": round(corpus_stats.avg_rows, 1),
+            "avg_cols": round(corpus_stats.avg_cols, 1),
+            "n_types": unique_types,
+            "ontology": "DBpedia + Schema.org",
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Characteristics of annotated relational table datasets",
+        rows=rows,
+        paper_reference=_PAPER_TABLE2,
+        notes="GitTables is annotated with far more types than column-annotation benchmarks.",
+    )
+
+
+@register_experiment("table4")
+def run_table4(scale: str = "default") -> ExperimentResult:
+    """Table 4: atomic data type distribution, GitTables vs Web tables."""
+    context = get_context(scale)
+    git = CorpusStatistics.from_corpus(context.gittables).as_table4_rows()
+    web = CorpusStatistics.from_corpus(context.viznet).as_table4_rows()
+    rows = [
+        {"atomic_type": bucket, "gittables_pct": git[bucket], "webtables_pct": web[bucket]}
+        for bucket in ("numeric", "string", "other")
+    ]
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Distribution of atomic data types",
+        rows=rows,
+        paper_reference=_PAPER_TABLE4,
+        notes="GitTables is more numeric than Web tables; 'other' stays marginal.",
+    )
+
+
+@register_experiment("fig4a")
+def run_fig4a(scale: str = "default") -> ExperimentResult:
+    """Figure 4a: cumulative table counts across table dimensions."""
+    context = get_context(scale)
+    rows = []
+    for axis in ("rows", "columns"):
+        for dimension, cumulative in dimension_cdf(context.gittables, axis=axis, points=25):
+            rows.append({"axis": axis, "dimension": dimension, "cumulative_tables": cumulative})
+    stats = CorpusStatistics.from_corpus(context.gittables)
+    return ExperimentResult(
+        experiment_id="fig4a",
+        title="Cumulative table counts across table dimensions",
+        rows=rows,
+        paper_reference=[{"axis": "rows", "mean": 142}, {"axis": "columns", "mean": 12}],
+        notes=(
+            f"Long-tailed distributions around mean {stats.avg_rows:.0f} rows x "
+            f"{stats.avg_cols:.0f} columns."
+        ),
+    )

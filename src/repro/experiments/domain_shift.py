@@ -1,0 +1,47 @@
+"""Experiment E15: data-shift domain classifier (paper §4.2, 93% accuracy)."""
+
+from __future__ import annotations
+
+from ..applications.domain_classifier import detect_data_shift
+from .context import get_context
+from .registry import ExperimentResult, register_experiment
+
+__all__ = ["run_domain_shift"]
+
+_SCALE_SETTINGS = {
+    "small": {"n_columns_per_corpus": 120, "n_splits": 5, "n_estimators": 10},
+    "default": {"n_columns_per_corpus": 300, "n_splits": 10, "n_estimators": 20},
+    "large": {"n_columns_per_corpus": 600, "n_splits": 10, "n_estimators": 30},
+}
+
+
+@register_experiment("domain_shift")
+def run_domain_shift(scale: str = "default") -> ExperimentResult:
+    """Train the GitTables-vs-VizNet domain classifier and report accuracy."""
+    context = get_context(scale)
+    settings = _SCALE_SETTINGS.get(scale, _SCALE_SETTINGS["default"])
+    result = detect_data_shift(
+        context.gittables,
+        context.viznet,
+        seed=context.seed,
+        **settings,
+    )
+    rows = [
+        {
+            "classifier": "RandomForest (Sherlock features)",
+            "mean_accuracy": round(result.mean_accuracy, 3),
+            "std_accuracy": round(result.std_accuracy, 3),
+            "columns_per_corpus": result.n_columns_per_corpus,
+            "n_features": result.n_features,
+        }
+    ]
+    return ExperimentResult(
+        experiment_id="domain_shift",
+        title="Data shift detection between GitTables and VizNet (§4.2)",
+        rows=rows,
+        paper_reference=[{"mean_accuracy": 0.93, "std_accuracy": 0.04, "columns_per_corpus": 5000}],
+        notes=(
+            "High accuracy means the corpora are structurally distinguishable, "
+            "confirming GitTables' complementary content."
+        ),
+    )

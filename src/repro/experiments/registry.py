@@ -1,0 +1,85 @@
+"""Experiment result container, formatting, and the experiment registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["ExperimentResult", "format_result", "register_experiment", "EXPERIMENT_REGISTRY", "run_all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment driver."""
+
+    #: Paper artefact id, e.g. ``"table1"`` or ``"fig4a"``.
+    experiment_id: str
+    #: Human-readable title.
+    title: str
+    #: Measured rows (list of dicts, one per output row/series point).
+    rows: list[dict] = field(default_factory=list)
+    #: The corresponding values reported by the paper, for comparison.
+    paper_reference: list[dict] = field(default_factory=list)
+    #: Free-text notes about substitutions and expected deviations.
+    notes: str = ""
+
+    def row_by(self, **criteria) -> dict:
+        """The first measured row matching all key=value criteria."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria}")
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render an experiment result as readable text (used by examples/benches)."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if result.rows:
+        keys = list(result.rows[0].keys())
+        lines.append(" | ".join(str(key) for key in keys))
+        for row in result.rows:
+            lines.append(" | ".join(str(row.get(key, "")) for key in keys))
+    if result.paper_reference:
+        lines.append("-- paper reference --")
+        keys = list(result.paper_reference[0].keys())
+        lines.append(" | ".join(str(key) for key in keys))
+        for row in result.paper_reference:
+            lines.append(" | ".join(str(row.get(key, "")) for key in keys))
+    if result.notes:
+        lines.append(f"notes: {result.notes}")
+    return "\n".join(lines)
+
+
+#: experiment id -> callable(scale) -> ExperimentResult
+EXPERIMENT_REGISTRY: dict[str, Callable[[str], ExperimentResult]] = {}
+
+
+def register_experiment(experiment_id: str):
+    """Decorator registering a driver under ``experiment_id``."""
+
+    def decorator(func: Callable[[str], ExperimentResult]):
+        EXPERIMENT_REGISTRY[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def run_all_experiments(scale: str = "default") -> dict[str, ExperimentResult]:
+    """Run every registered experiment at the given scale."""
+    # Import the driver modules for their registration side effects.
+    from . import (  # noqa: F401
+        annotation_quality,
+        annotation_stats,
+        content_bias,
+        corpus_stats,
+        data_search,
+        domain_shift,
+        kg_matching,
+        schema_completion,
+        type_detection,
+    )
+
+    return {
+        experiment_id: driver(scale)
+        for experiment_id, driver in sorted(EXPERIMENT_REGISTRY.items())
+    }

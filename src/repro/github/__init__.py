@@ -1,0 +1,40 @@
+"""GitHub simulator.
+
+The paper extracts CSV files through the GitHub Search API, which imposes
+constraints the pipeline has to engineer around (result window of 1000
+files per query, 438 kB file-size cap, rate limits, forked repositories,
+license availability). This subpackage provides an in-memory GitHub
+instance with the same observable behaviour:
+
+* :class:`~repro.github.instance.GitHubInstance` hosts repositories and
+  exposes a :class:`~repro.github.search.SearchAPI`,
+* :class:`~repro.github.content.ContentGenerator` synthesises repositories
+  and CSV files whose dimension/type/topic distributions follow the
+  long-tailed shapes reported in the paper,
+* :class:`~repro.github.client.GitHubClient` is a rate-limit-aware client
+  used by the extraction stage.
+"""
+
+from .client import GitHubClient
+from .content import ContentGenerator, GeneratorConfig
+from .instance import GitHubInstance, build_instance
+from .licenses import LICENSES, License, is_permissive
+from .models import RepoFile, Repository, SearchResponse, SearchResultItem
+from .search import SearchAPI, SearchQuery
+
+__all__ = [
+    "ContentGenerator",
+    "GeneratorConfig",
+    "GitHubClient",
+    "GitHubInstance",
+    "LICENSES",
+    "License",
+    "RepoFile",
+    "Repository",
+    "SearchAPI",
+    "SearchQuery",
+    "SearchResponse",
+    "SearchResultItem",
+    "build_instance",
+    "is_permissive",
+]

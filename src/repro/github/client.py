@@ -1,0 +1,123 @@
+"""Rate-limit-aware GitHub client used by the extraction stage.
+
+The real GitHub Search API allows 30 search requests per minute for
+authenticated users; the paper's extraction has to pace itself
+accordingly. The simulator enforces a request budget per sliding window
+on a virtual clock so the pipeline's back-off logic can be exercised in
+tests without real waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RateLimitExceeded
+from .instance import GitHubInstance
+from .models import SearchResponse, SearchResultItem
+from .search import SearchAPI, SearchQuery
+
+__all__ = ["RateLimiter", "GitHubClient"]
+
+
+@dataclass
+class RateLimiter:
+    """A sliding-window rate limiter over a virtual clock."""
+
+    requests_per_window: int = 30
+    window_seconds: float = 60.0
+    #: Virtual clock (seconds); advanced by :meth:`advance`.
+    now: float = 0.0
+    _timestamps: list[float] = field(default_factory=list)
+
+    def advance(self, seconds: float) -> None:
+        """Advance the virtual clock."""
+        if seconds < 0:
+            raise ValueError("cannot move the clock backwards")
+        self.now += seconds
+
+    def _prune(self) -> None:
+        cutoff = self.now - self.window_seconds
+        self._timestamps = [t for t in self._timestamps if t > cutoff]
+
+    @property
+    def remaining(self) -> int:
+        """Requests still allowed in the current window."""
+        self._prune()
+        return max(0, self.requests_per_window - len(self._timestamps))
+
+    def check(self) -> None:
+        """Record a request or raise :class:`RateLimitExceeded`."""
+        self._prune()
+        if len(self._timestamps) >= self.requests_per_window:
+            oldest = min(self._timestamps)
+            retry_after = (oldest + self.window_seconds) - self.now
+            raise RateLimitExceeded(retry_after=max(retry_after, 0.0))
+        self._timestamps.append(self.now)
+
+    def wait_time(self) -> float:
+        """Seconds to wait before the next request is allowed (0 if free)."""
+        self._prune()
+        if len(self._timestamps) < self.requests_per_window:
+            return 0.0
+        oldest = min(self._timestamps)
+        return max(0.0, (oldest + self.window_seconds) - self.now)
+
+
+class GitHubClient:
+    """Client bundling search and raw-content access with rate limiting.
+
+    When a search hits the rate limit, the client advances its virtual
+    clock by the required wait (simulating a sleep) and retries, keeping
+    track of the total simulated wait time — the quantity the query
+    segmentation ablation reports.
+    """
+
+    def __init__(
+        self,
+        instance: GitHubInstance,
+        search_api: SearchAPI | None = None,
+        rate_limiter: RateLimiter | None = None,
+        seconds_per_request: float = 0.5,
+    ) -> None:
+        self.instance = instance
+        self.search_api = search_api or SearchAPI(instance)
+        self.rate_limiter = rate_limiter or RateLimiter()
+        self.seconds_per_request = seconds_per_request
+        self.total_wait_seconds = 0.0
+        self.request_count = 0
+
+    def _pace(self) -> None:
+        wait = self.rate_limiter.wait_time()
+        if wait > 0:
+            self.total_wait_seconds += wait
+            self.rate_limiter.advance(wait)
+        self.rate_limiter.check()
+        self.rate_limiter.advance(self.seconds_per_request)
+        self.request_count += 1
+
+    def search(self, query: SearchQuery, page: int = 1) -> SearchResponse:
+        """One page of search results (rate limited)."""
+        self._pace()
+        return self.search_api.search(query, page=page)
+
+    def total_count(self, query: SearchQuery) -> int:
+        """The total result count of a query (rate limited)."""
+        self._pace()
+        return self.search_api.total_count(query)
+
+    def search_all_pages(self, query: SearchQuery) -> list[SearchResultItem]:
+        """All retrievable result items for a query (rate limited per page)."""
+        items: list[SearchResultItem] = []
+        page = 1
+        while True:
+            response = self.search(query, page=page)
+            items.extend(response.items)
+            if not response.has_next_page:
+                break
+            page += 1
+        return items
+
+    def raw_content(self, url: str) -> str:
+        """Download the raw contents of a file (rate limited)."""
+        self._pace()
+        return self.instance.raw_content(url)

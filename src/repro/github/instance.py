@@ -1,0 +1,74 @@
+"""The simulated GitHub instance: hosts repositories and serves content."""
+
+from __future__ import annotations
+
+from .content import ContentGenerator, GeneratorConfig
+from .models import RepoFile, Repository
+
+__all__ = ["GitHubInstance", "build_instance"]
+
+
+class GitHubInstance:
+    """An in-memory GitHub hosting a set of repositories.
+
+    Provides raw-content retrieval by URL (the analogue of
+    ``raw.githubusercontent.com``) plus repository metadata lookup; the
+    Search API lives in :mod:`repro.github.search` and queries this
+    instance.
+    """
+
+    def __init__(self, repositories: list[Repository]) -> None:
+        self.repositories = list(repositories)
+        self._by_full_name: dict[str, Repository] = {}
+        self._file_index: dict[str, tuple[Repository, RepoFile]] = {}
+        for repository in self.repositories:
+            self._by_full_name[repository.full_name] = repository
+            for file in repository.files:
+                self._file_index[repository.url_for(file)] = (repository, file)
+
+    # -- repository metadata ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.repositories)
+
+    def repository(self, full_name: str) -> Repository | None:
+        """Look up a repository by ``owner/name``."""
+        return self._by_full_name.get(full_name)
+
+    @property
+    def file_count(self) -> int:
+        """Total number of files across all repositories."""
+        return len(self._file_index)
+
+    def csv_file_count(self) -> int:
+        """Number of files with a ``.csv`` extension."""
+        return sum(1 for _, file in self._file_index.values() if file.extension == "csv")
+
+    def iter_files(self):
+        """Iterate over (repository, file) pairs."""
+        return iter(self._file_index.values())
+
+    # -- raw content ------------------------------------------------------
+
+    def raw_content(self, url: str) -> str:
+        """Return the raw contents of the file at ``url``.
+
+        Raises ``KeyError`` for unknown URLs, mirroring a 404.
+        """
+        entry = self._file_index.get(url)
+        if entry is None:
+            raise KeyError(f"unknown file URL: {url}")
+        return entry[1].content
+
+    def file_at(self, url: str) -> tuple[Repository, RepoFile]:
+        """Return the (repository, file) pair behind ``url``."""
+        entry = self._file_index.get(url)
+        if entry is None:
+            raise KeyError(f"unknown file URL: {url}")
+        return entry
+
+
+def build_instance(config: GeneratorConfig | None = None) -> GitHubInstance:
+    """Generate a synthetic GitHub instance from a generator config."""
+    generator = ContentGenerator(config)
+    return GitHubInstance(generator.generate_repositories())

@@ -1,0 +1,63 @@
+"""Repository license catalogue.
+
+The curation stage only publishes tables from repositories whose license
+allows redistribution of the contents (paper §3.3, ~16% of tables). We
+model a small catalogue of real license identifiers with a permissive
+flag and the relative frequency used by the content generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["License", "LICENSES", "is_permissive", "license_by_key"]
+
+
+@dataclass(frozen=True)
+class License:
+    """A repository license."""
+
+    key: str
+    name: str
+    #: Whether the license allows redistribution of repository contents.
+    permissive: bool
+    #: Relative sampling weight used by the synthetic content generator.
+    weight: float
+
+
+#: The catalogue. ``None`` (no license) is handled separately by the
+#: generator and is by far the most common case on GitHub, which is what
+#: produces the paper's ~16% retention rate.
+LICENSES: tuple[License, ...] = (
+    License("mit", "MIT License", True, 5.0),
+    License("apache-2.0", "Apache License 2.0", True, 3.0),
+    License("bsd-3-clause", "BSD 3-Clause License", True, 1.0),
+    License("bsd-2-clause", "BSD 2-Clause License", True, 0.5),
+    License("cc0-1.0", "Creative Commons Zero v1.0", True, 0.7),
+    License("cc-by-4.0", "Creative Commons Attribution 4.0", True, 0.8),
+    License("unlicense", "The Unlicense", True, 0.3),
+    License("gpl-3.0", "GNU General Public License v3.0", True, 2.0),
+    License("gpl-2.0", "GNU General Public License v2.0", True, 0.8),
+    License("lgpl-3.0", "GNU Lesser General Public License v3.0", True, 0.4),
+    License("mpl-2.0", "Mozilla Public License 2.0", True, 0.4),
+    License("epl-2.0", "Eclipse Public License 2.0", True, 0.2),
+    License("proprietary", "All rights reserved", False, 1.5),
+    License("custom-restricted", "Custom non-redistributable license", False, 0.6),
+)
+
+_BY_KEY = {license.key: license for license in LICENSES}
+
+
+def license_by_key(key: str) -> License | None:
+    """Look up a license by its key (e.g. ``"mit"``)."""
+    return _BY_KEY.get(key)
+
+
+def is_permissive(license: License | str | None) -> bool:
+    """True when the license allows redistribution of repository contents."""
+    if license is None:
+        return False
+    if isinstance(license, License):
+        return license.permissive
+    found = _BY_KEY.get(license)
+    return bool(found and found.permissive)

@@ -1,0 +1,80 @@
+"""Data model of the simulated GitHub instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .licenses import License
+
+__all__ = ["RepoFile", "Repository", "SearchResultItem", "SearchResponse"]
+
+
+@dataclass
+class RepoFile:
+    """A file stored in a repository."""
+
+    path: str
+    content: str
+    #: Search topics this file is indexed under (derived from its content
+    #: by the generator; the search API also falls back to scanning the
+    #: content for the query term).
+    topics: frozenset[str] = frozenset()
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.content.encode("utf-8"))
+
+    @property
+    def extension(self) -> str:
+        _, _, ext = self.path.rpartition(".")
+        return ext.lower() if ext != self.path else ""
+
+
+@dataclass
+class Repository:
+    """A repository: owner/name, license, fork flag, and files."""
+
+    owner: str
+    name: str
+    license: License | None = None
+    is_fork: bool = False
+    #: For forks: full name of the repository this one was forked from.
+    forked_from: str | None = None
+    files: list[RepoFile] = field(default_factory=list)
+    #: Dominant topical domain of the repository (informational).
+    domain: str = "general"
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.owner}/{self.name}"
+
+    def url_for(self, file: RepoFile) -> str:
+        return f"https://github.com/{self.full_name}/blob/main/{file.path}"
+
+    def add_file(self, file: RepoFile) -> None:
+        self.files.append(file)
+
+
+@dataclass(frozen=True)
+class SearchResultItem:
+    """One item of a search response: a pointer to a repository file."""
+
+    repository: str
+    path: str
+    url: str
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """A page of search results."""
+
+    #: Total number of matches for the query (before the result window cap).
+    total_count: int
+    items: tuple[SearchResultItem, ...]
+    page: int
+    #: True when more pages are retrievable within the result window.
+    has_next_page: bool
+    #: True when the total count exceeds the retrievable result window,
+    #: i.e. the query must be segmented to retrieve everything.
+    incomplete_results: bool

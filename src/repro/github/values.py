@@ -1,0 +1,332 @@
+"""Value pools and cell-value generators for synthetic tables.
+
+Shared by the GitHub content generator and the synthetic Web-table
+corpora in :mod:`repro.benchdata.webtables`. Pools are weighted where the
+paper reports specific frequent values (Table 6: country, city, gender,
+ethnicity, race, nationality skew towards Western / English-speaking
+values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ValuePools", "generate_values", "VALUE_KINDS"]
+
+
+class ValuePools:
+    """Weighted string pools used to generate categorical cell values."""
+
+    FIRST_NAMES = (
+        "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+        "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+        "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Wei", "Ana",
+        "Mohammed", "Yuki", "Carlos", "Fatima", "Lars", "Priya",
+    )
+    LAST_NAMES = (
+        "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+        "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+        "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+        "Nguyen", "Kim", "Chen", "Singh", "Kumar", "Ali", "Khan", "Ivanov",
+    )
+    # Table 6: "United States, Canada, Belgium, Germany" top the country values.
+    COUNTRIES = (
+        ("United States", 30), ("USA", 12), ("Canada", 14), ("Belgium", 10),
+        ("Germany", 9), ("United Kingdom", 8), ("France", 6), ("Australia", 5),
+        ("Netherlands", 4), ("Spain", 3), ("Italy", 3), ("Vietnam", 2),
+        ("Brazil", 2), ("India", 2), ("Japan", 2), ("China", 2), ("Mexico", 1),
+        ("Nigeria", 1), ("Kenya", 1), ("Sweden", 1),
+    )
+    CITIES = (
+        ("New York", 22), ("London", 16), ("Coquitlam", 8), ("Cambridge", 8),
+        ("Toronto", 6), ("Chicago", 6), ("Los Angeles", 6), ("Boston", 5),
+        ("Berlin", 4), ("Paris", 4), ("Brussels", 4), ("Amsterdam", 3),
+        ("San Francisco", 3), ("Seattle", 3), ("Sydney", 2), ("Vancouver", 2),
+        ("Hanoi", 1), ("Tokyo", 1), ("Mumbai", 1), ("Lagos", 1),
+    )
+    GENDERS = (("Male", 30), ("Female", 28), ("F", 16), ("M", 16), ("Other", 2), ("Unknown", 2))
+    ETHNICITIES = (
+        ("French", 18), ("Dutch", 16), ("Spanish", 14), ("Mexican", 12),
+        ("German", 8), ("Irish", 7), ("Italian", 6), ("English", 6),
+        ("Chinese", 4), ("Indian", 3), ("Vietnamese", 2), ("Nigerian", 1),
+    )
+    RACES = (("Men", 20), ("Human", 18), ("White", 16), ("Black", 6), ("Asian", 6), ("Women", 5))
+    NATIONALITIES = (
+        ("Hispanic", 20), ("White", 18), ("Caucasian (White)", 12), ("American", 10),
+        ("British", 6), ("Canadian", 6), ("German", 4), ("Dutch", 4), ("Indian", 2),
+    )
+    STATES = (
+        "California", "Texas", "New York", "Florida", "Ontario", "Quebec",
+        "Bavaria", "Flanders", "nan", "nan", "nan",
+    )
+    STATUSES = (
+        "ACTIVE", "INACTIVE", "PENDING", "AVAILABLE", "CLOSED", "OPEN",
+        "COMPLETED", "CANCELLED", "SHIPPED", "FAILED", "PASSED", "NEW",
+    )
+    CATEGORIES = (
+        "electronics", "clothing", "food", "books", "tools", "sports",
+        "health", "automotive", "garden", "toys", "office", "music",
+    )
+    PRIORITIES = ("low", "medium", "high", "critical")
+    BOOLEANS = ("true", "false", "yes", "no", "0", "1")
+    SPECIES = (
+        "Enterococcus faecium", "Escherichia coli", "Staphylococcus aureus",
+        "Klebsiella pneumoniae", "Pseudomonas aeruginosa", "Homo sapiens",
+        "Mus musculus", "Drosophila melanogaster", "Arabidopsis thaliana",
+        "Danio rerio", "Saccharomyces cerevisiae", "Candida albicans",
+    )
+    GENERA = (
+        "Enterococcus", "Escherichia", "Staphylococcus", "Klebsiella",
+        "Pseudomonas", "Homo", "Mus", "Drosophila", "Arabidopsis", "Danio",
+    )
+    ORGANISM_GROUPS = (
+        "Enterococcus spp", "Enterobacteriaceae", "Non-fermenters",
+        "Staphylococcus spp", "Streptococcus spp", "Candida spp",
+    )
+    STUDIES = ("TEST", "SENTRY", "ATLAS", "SMART", "BASELINE", "PILOT")
+    AGE_GROUPS = ("0 to 18 Years", "19 to 64 Years", "65 and Over", "Unknown")
+    TEAMS = (
+        "Eagles", "Tigers", "Sharks", "Wolves", "Falcons", "Lions", "Bears",
+        "Hawks", "Panthers", "Dragons", "Rovers", "United", "City", "Athletic",
+    )
+    POSITIONS = ("Forward", "Midfielder", "Defender", "Goalkeeper", "Guard", "Center")
+    DEPARTMENTS = (
+        "Engineering", "Sales", "Marketing", "Finance", "Human Resources",
+        "Operations", "Research", "Support", "Legal", "Procurement",
+    )
+    JOB_TITLES = (
+        "Engineer", "Senior Engineer", "Manager", "Analyst", "Director",
+        "Technician", "Consultant", "Specialist", "Coordinator", "Intern",
+    )
+    PRODUCTS = (
+        "Widget", "Gadget", "Sprocket", "Gizmo", "Bracket", "Module", "Sensor",
+        "Cable", "Battery", "Adapter", "Panel", "Valve", "Filter", "Pump",
+    )
+    BRANDS = ("Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Wonka", "Hooli")
+    CURRENCIES = ("USD", "EUR", "GBP", "CAD", "JPY", "AUD")
+    GENRES = ("rock", "pop", "jazz", "classical", "hip hop", "electronic", "folk", "metal")
+    ARTISTS = (
+        "The Blue Notes", "Silver Echo", "Crimson Tide Band", "Northern Lights",
+        "The Wanderers", "Golden Hour", "Velvet Sky", "Iron Valley",
+    )
+    LANGUAGES = ("English", "Spanish", "German", "French", "Dutch", "Mandarin", "Hindi")
+    SENSOR_UNITS = ("C", "F", "Pa", "hPa", "%", "m/s", "V", "A")
+    COURSES = (
+        "Mathematics", "Physics", "Chemistry", "Biology", "History",
+        "Computer Science", "Economics", "Literature", "Statistics",
+    )
+    COMMENT_SNIPPETS = (
+        "needs review", "approved by manager", "duplicate entry", "verified",
+        "see attached report", "pending confirmation", "legacy record",
+        "imported from backup", "flagged for follow up", "ok",
+    )
+    TITLE_WORDS = (
+        "annual", "quarterly", "regional", "global", "daily", "monthly",
+        "summary", "report", "analysis", "overview", "survey", "inventory",
+        "results", "performance", "forecast", "baseline", "snapshot",
+    )
+    STREETS = (
+        "Main Street", "High Street", "Park Avenue", "Oak Lane", "Maple Road",
+        "Church Street", "Mill Road", "Station Road", "King Street", "Queen Street",
+    )
+    EMAIL_DOMAINS = ("example.com", "mail.com", "test.org", "company.io", "uni.edu")
+
+
+def _weighted_choice(rng: np.random.Generator, pool, size: int) -> list[str]:
+    """Sample ``size`` values from a pool of (value, weight) or plain strings."""
+    if pool and isinstance(pool[0], tuple):
+        values = [item[0] for item in pool]
+        weights = np.array([item[1] for item in pool], dtype=float)
+        weights = weights / weights.sum()
+        picks = rng.choice(len(values), size=size, p=weights)
+    else:
+        values = list(pool)
+        picks = rng.integers(0, len(values), size=size)
+    return [values[i] for i in picks]
+
+
+def _person_names(rng: np.random.Generator, size: int) -> list[str]:
+    firsts = _weighted_choice(rng, ValuePools.FIRST_NAMES, size)
+    lasts = _weighted_choice(rng, ValuePools.LAST_NAMES, size)
+    return [f"{first} {last}" for first, last in zip(firsts, lasts)]
+
+
+def _emails(rng: np.random.Generator, size: int) -> list[str]:
+    firsts = _weighted_choice(rng, ValuePools.FIRST_NAMES, size)
+    lasts = _weighted_choice(rng, ValuePools.LAST_NAMES, size)
+    domains = _weighted_choice(rng, ValuePools.EMAIL_DOMAINS, size)
+    return [
+        f"{first.lower()}.{last.lower()}@{domain}"
+        for first, last, domain in zip(firsts, lasts, domains)
+    ]
+
+
+def _addresses(rng: np.random.Generator, size: int) -> list[str]:
+    numbers = rng.integers(1, 9999, size=size)
+    streets = _weighted_choice(rng, ValuePools.STREETS, size)
+    return [f"{number} {street}" for number, street in zip(numbers, streets)]
+
+
+def _dates(rng: np.random.Generator, size: int, start_year: int = 1990, end_year: int = 2022) -> list[str]:
+    years = rng.integers(start_year, end_year + 1, size=size)
+    months = rng.integers(1, 13, size=size)
+    days = rng.integers(1, 29, size=size)
+    return [f"{y:04d}-{m:02d}-{d:02d}" for y, m, d in zip(years, months, days)]
+
+
+def _timestamps(rng: np.random.Generator, size: int) -> list[str]:
+    dates = _dates(rng, size, start_year=2015, end_year=2022)
+    hours = rng.integers(0, 24, size=size)
+    minutes = rng.integers(0, 60, size=size)
+    seconds = rng.integers(0, 60, size=size)
+    return [
+        f"{date} {h:02d}:{m:02d}:{s:02d}"
+        for date, h, m, s in zip(dates, hours, minutes, seconds)
+    ]
+
+
+def _sequential_ids(rng: np.random.Generator, size: int) -> list[str]:
+    start = int(rng.integers(1, 100000))
+    return [str(start + i) for i in range(size)]
+
+
+def _codes(rng: np.random.Generator, size: int) -> list[str]:
+    letters = rng.integers(65, 91, size=(size, 3))
+    numbers = rng.integers(0, 10000, size=size)
+    return [
+        "".join(chr(c) for c in row) + f"-{number:04d}"
+        for row, number in zip(letters, numbers)
+    ]
+
+
+def _urls(rng: np.random.Generator, size: int) -> list[str]:
+    slugs = rng.integers(1000, 999999, size=size)
+    domains = _weighted_choice(rng, ValuePools.EMAIL_DOMAINS, size)
+    return [f"https://{domain}/item/{slug}" for domain, slug in zip(domains, slugs)]
+
+
+def _titles(rng: np.random.Generator, size: int) -> list[str]:
+    first = _weighted_choice(rng, ValuePools.TITLE_WORDS, size)
+    second = _weighted_choice(rng, ValuePools.TITLE_WORDS, size)
+    return [f"{a} {b}".title() for a, b in zip(first, second)]
+
+
+def _descriptions(rng: np.random.Generator, size: int) -> list[str]:
+    first = _weighted_choice(rng, ValuePools.TITLE_WORDS, size)
+    snippets = _weighted_choice(rng, ValuePools.COMMENT_SNIPPETS, size)
+    return [f"{a} record, {b}" for a, b in zip(first, snippets)]
+
+
+def _numeric(
+    rng: np.random.Generator,
+    size: int,
+    low: float,
+    high: float,
+    integer: bool = False,
+    decimals: int = 2,
+) -> list[str]:
+    values = rng.uniform(low, high, size=size)
+    if integer:
+        return [str(int(value)) for value in values]
+    return [f"{value:.{decimals}f}" for value in values]
+
+
+#: kind → callable(rng, size) -> list[str]
+VALUE_KINDS = {
+    "id": _sequential_ids,
+    "code": _codes,
+    "person_name": _person_names,
+    "first_name": lambda rng, n: _weighted_choice(rng, ValuePools.FIRST_NAMES, n),
+    "last_name": lambda rng, n: _weighted_choice(rng, ValuePools.LAST_NAMES, n),
+    "email": _emails,
+    "address": _addresses,
+    "city": lambda rng, n: _weighted_choice(rng, ValuePools.CITIES, n),
+    "country": lambda rng, n: _weighted_choice(rng, ValuePools.COUNTRIES, n),
+    "state": lambda rng, n: _weighted_choice(rng, ValuePools.STATES, n),
+    "gender": lambda rng, n: _weighted_choice(rng, ValuePools.GENDERS, n),
+    "ethnicity": lambda rng, n: _weighted_choice(rng, ValuePools.ETHNICITIES, n),
+    "race": lambda rng, n: _weighted_choice(rng, ValuePools.RACES, n),
+    "nationality": lambda rng, n: _weighted_choice(rng, ValuePools.NATIONALITIES, n),
+    "age_group": lambda rng, n: _weighted_choice(rng, ValuePools.AGE_GROUPS, n),
+    "date": _dates,
+    "birth_date": lambda rng, n: _dates(rng, n, start_year=1950, end_year=2005),
+    "timestamp": _timestamps,
+    "year": lambda rng, n: _numeric(rng, n, 1950, 2023, integer=True),
+    "status": lambda rng, n: _weighted_choice(rng, ValuePools.STATUSES, n),
+    "category": lambda rng, n: _weighted_choice(rng, ValuePools.CATEGORIES, n),
+    "priority": lambda rng, n: _weighted_choice(rng, ValuePools.PRIORITIES, n),
+    "boolean": lambda rng, n: _weighted_choice(rng, ValuePools.BOOLEANS, n),
+    "species": lambda rng, n: _weighted_choice(rng, ValuePools.SPECIES, n),
+    "genus": lambda rng, n: _weighted_choice(rng, ValuePools.GENERA, n),
+    "organism_group": lambda rng, n: _weighted_choice(rng, ValuePools.ORGANISM_GROUPS, n),
+    "study": lambda rng, n: _weighted_choice(rng, ValuePools.STUDIES, n),
+    "team": lambda rng, n: _weighted_choice(rng, ValuePools.TEAMS, n),
+    "position": lambda rng, n: _weighted_choice(rng, ValuePools.POSITIONS, n),
+    "department": lambda rng, n: _weighted_choice(rng, ValuePools.DEPARTMENTS, n),
+    "job_title": lambda rng, n: _weighted_choice(rng, ValuePools.JOB_TITLES, n),
+    "product": lambda rng, n: _weighted_choice(rng, ValuePools.PRODUCTS, n),
+    "brand": lambda rng, n: _weighted_choice(rng, ValuePools.BRANDS, n),
+    "currency": lambda rng, n: _weighted_choice(rng, ValuePools.CURRENCIES, n),
+    "genre": lambda rng, n: _weighted_choice(rng, ValuePools.GENRES, n),
+    "artist": lambda rng, n: _weighted_choice(rng, ValuePools.ARTISTS, n),
+    "language": lambda rng, n: _weighted_choice(rng, ValuePools.LANGUAGES, n),
+    "unit": lambda rng, n: _weighted_choice(rng, ValuePools.SENSOR_UNITS, n),
+    "course": lambda rng, n: _weighted_choice(rng, ValuePools.COURSES, n),
+    "comment": lambda rng, n: _weighted_choice(rng, ValuePools.COMMENT_SNIPPETS, n),
+    "title": _titles,
+    "description": _descriptions,
+    "url": _urls,
+    "price": lambda rng, n: _numeric(rng, n, 0.5, 5000.0),
+    "amount": lambda rng, n: _numeric(rng, n, 1.0, 100000.0),
+    "quantity": lambda rng, n: _numeric(rng, n, 1, 1000, integer=True),
+    "count": lambda rng, n: _numeric(rng, n, 0, 10000, integer=True),
+    "score": lambda rng, n: _numeric(rng, n, 0.0, 100.0),
+    "rating": lambda rng, n: _numeric(rng, n, 1.0, 5.0, decimals=1),
+    "rank": lambda rng, n: _numeric(rng, n, 1, 500, integer=True),
+    "age": lambda rng, n: _numeric(rng, n, 1, 99, integer=True),
+    "salary": lambda rng, n: _numeric(rng, n, 20000, 200000, integer=True),
+    "percentage": lambda rng, n: _numeric(rng, n, 0.0, 100.0),
+    "latitude": lambda rng, n: _numeric(rng, n, -90.0, 90.0, decimals=5),
+    "longitude": lambda rng, n: _numeric(rng, n, -180.0, 180.0, decimals=5),
+    "temperature": lambda rng, n: _numeric(rng, n, -30.0, 45.0, decimals=1),
+    "humidity": lambda rng, n: _numeric(rng, n, 0.0, 100.0, decimals=1),
+    "pressure": lambda rng, n: _numeric(rng, n, 950.0, 1050.0, decimals=1),
+    "measurement": lambda rng, n: _numeric(rng, n, 0.0, 1000.0, decimals=3),
+    "population": lambda rng, n: _numeric(rng, n, 1000, 10000000, integer=True),
+    "area": lambda rng, n: _numeric(rng, n, 1.0, 100000.0),
+    "distance": lambda rng, n: _numeric(rng, n, 0.1, 10000.0),
+    "duration": lambda rng, n: _numeric(rng, n, 1, 7200, integer=True),
+    "weight": lambda rng, n: _numeric(rng, n, 0.1, 500.0),
+    "height": lambda rng, n: _numeric(rng, n, 50, 220, integer=True),
+    "goals": lambda rng, n: _numeric(rng, n, 0, 60, integer=True),
+    "points": lambda rng, n: _numeric(rng, n, 0, 120, integer=True),
+    "wins": lambda rng, n: _numeric(rng, n, 0, 40, integer=True),
+    "losses": lambda rng, n: _numeric(rng, n, 0, 40, integer=True),
+    "grade": lambda rng, n: _weighted_choice(rng, ("A", "B", "C", "D", "F", "A-", "B+"), n),
+    "postcode": lambda rng, n: [str(v) for v in rng.integers(10000, 99999, size=n)],
+    "phone": lambda rng, n: [
+        f"+1-555-{a:03d}-{b:04d}"
+        for a, b in zip(rng.integers(100, 999, size=n), rng.integers(1000, 9999, size=n))
+    ],
+    "twitter_handle": lambda rng, n: [
+        f"@user{v}" for v in rng.integers(100, 99999, size=n)
+    ],
+    "value": lambda rng, n: _numeric(rng, n, 0.0, 10000.0, decimals=3),
+    "min": lambda rng, n: _numeric(rng, n, 0.0, 100.0, decimals=3),
+    "max": lambda rng, n: _numeric(rng, n, 100.0, 1000.0, decimals=3),
+    "mean": lambda rng, n: _numeric(rng, n, 10.0, 500.0, decimals=3),
+    "error": lambda rng, n: _numeric(rng, n, 0.0, 1.0, decimals=5),
+    "line": lambda rng, n: _numeric(rng, n, 1, 10000, integer=True),
+    "text": _descriptions,
+    "lyrics": _descriptions,
+    "abstract": _descriptions,
+    "note": lambda rng, n: _weighted_choice(rng, ValuePools.COMMENT_SNIPPETS, n),
+}
+
+
+def generate_values(kind: str, rng: np.random.Generator, size: int) -> list[str]:
+    """Generate ``size`` cell values of the given kind."""
+    generator = VALUE_KINDS.get(kind)
+    if generator is None:
+        raise KeyError(f"unknown value kind {kind!r}")
+    return generator(rng, size)

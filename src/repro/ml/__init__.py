@@ -1,0 +1,36 @@
+"""Machine-learning substrate (no scikit-learn / tensorflow available).
+
+Implements, from scratch on numpy, the estimators the paper's experiments
+rely on:
+
+* :mod:`~repro.ml.features` — Sherlock-style column featurisation
+  (character distributions, statistical aggregates, embedding aggregates),
+* :mod:`~repro.ml.tree` / :mod:`~repro.ml.random_forest` — CART decision
+  trees and a random forest (the paper's domain classifier, §4.2),
+* :mod:`~repro.ml.neural` — an MLP classifier standing in for the
+  Sherlock deep model (§5.1),
+* :mod:`~repro.ml.metrics` and :mod:`~repro.ml.crossval` — evaluation
+  utilities (macro F1, k-fold cross-validation).
+"""
+
+from .crossval import KFold, StratifiedKFold, cross_validate
+from .features import ColumnFeaturizer, FeatureVector
+from .metrics import accuracy_score, confusion_matrix, f1_score_macro, precision_recall_f1
+from .neural import MLPClassifier
+from .random_forest import RandomForestClassifier
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "ColumnFeaturizer",
+    "DecisionTreeClassifier",
+    "FeatureVector",
+    "KFold",
+    "MLPClassifier",
+    "RandomForestClassifier",
+    "StratifiedKFold",
+    "accuracy_score",
+    "confusion_matrix",
+    "cross_validate",
+    "f1_score_macro",
+    "precision_recall_f1",
+]

@@ -1,0 +1,94 @@
+"""K-fold cross-validation utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .._rand import derive_rng
+
+__all__ = ["KFold", "StratifiedKFold", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class KFold:
+    """Plain k-fold splitter with optional shuffling."""
+
+    n_splits: int = 5
+    shuffle: bool = True
+    seed: int = 0
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) pairs."""
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        if n_samples < self.n_splits:
+            raise ValueError("more splits than samples")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            derive_rng(self.seed, "kfold").shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+@dataclass(frozen=True)
+class StratifiedKFold:
+    """K-fold splitter preserving per-class proportions."""
+
+    n_splits: int = 5
+    seed: int = 0
+
+    def split(self, labels) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) stratified by ``labels``."""
+        labels = np.asarray(labels)
+        if self.n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        rng = derive_rng(self.seed, "stratified-kfold")
+        per_class_folds: list[list[np.ndarray]] = []
+        for label in np.unique(labels):
+            class_indices = np.where(labels == label)[0]
+            rng.shuffle(class_indices)
+            per_class_folds.append(np.array_split(class_indices, self.n_splits))
+        for i in range(self.n_splits):
+            test = np.concatenate([folds[i] for folds in per_class_folds])
+            train = np.concatenate(
+                [folds[j] for folds in per_class_folds for j in range(self.n_splits) if j != i]
+            )
+            yield np.sort(train), np.sort(test)
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    features: np.ndarray,
+    labels,
+    scorer: Callable,
+    n_splits: int = 5,
+    stratified: bool = True,
+    seed: int = 0,
+) -> list[float]:
+    """Train/evaluate a fresh model per fold and return per-fold scores.
+
+    ``model_factory`` must return an unfitted estimator exposing
+    ``fit(X, y)`` and ``predict(X)``; ``scorer(y_true, y_pred)`` returns a
+    float.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    scores: list[float] = []
+    if stratified:
+        splitter = StratifiedKFold(n_splits=n_splits, seed=seed)
+        splits = splitter.split(labels)
+    else:
+        splitter = KFold(n_splits=n_splits, seed=seed)
+        splits = splitter.split(len(labels))
+    for train_index, test_index in splits:
+        model = model_factory()
+        model.fit(features[train_index], labels[train_index])
+        predictions = model.predict(features[test_index])
+        scores.append(float(scorer(labels[test_index], predictions)))
+    return scores

@@ -1,0 +1,97 @@
+"""Hierarchy-aware evaluation of semantic type predictions (paper §3.4).
+
+The paper notes that the type hierarchy shipped with GitTables lets one
+"adopt a loss or evaluation function ... that favors a less granular type
+(e.g. the type place for a ground-truth column of type city), instead of
+predicting an unrelated type (e.g. size)". This module implements that
+idea as an evaluation metric: a prediction earns full credit for an exact
+match, partial credit when it is an ancestor or descendant of the gold
+type, and no credit otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ontology.types import Ontology
+
+__all__ = ["hierarchical_credit", "hierarchical_accuracy", "hierarchical_report"]
+
+
+def hierarchical_credit(
+    predicted: str,
+    gold: str,
+    ontology: Ontology,
+    ancestor_credit: float = 0.5,
+) -> float:
+    """Credit assigned to one prediction.
+
+    1.0 for an exact label match, ``ancestor_credit`` when the predicted
+    type is an ancestor of the gold type (a less granular but related
+    annotation) or a descendant of it (more granular), 0.0 otherwise.
+    """
+    if not 0.0 <= ancestor_credit <= 1.0:
+        raise ValueError("ancestor_credit must be within [0, 1]")
+    if predicted == gold:
+        return 1.0
+    if ontology.is_descendant(gold, predicted) or ontology.is_descendant(predicted, gold):
+        return ancestor_credit
+    return 0.0
+
+
+def hierarchical_accuracy(
+    predictions,
+    gold_labels,
+    ontology: Ontology,
+    ancestor_credit: float = 0.5,
+) -> float:
+    """Mean hierarchical credit over a batch of predictions."""
+    predictions = list(predictions)
+    gold_labels = list(gold_labels)
+    if len(predictions) != len(gold_labels):
+        raise ValueError("predictions and gold labels must have the same length")
+    if not predictions:
+        raise ValueError("cannot score an empty batch")
+    credits = [
+        hierarchical_credit(predicted, gold, ontology, ancestor_credit)
+        for predicted, gold in zip(predictions, gold_labels)
+    ]
+    return float(np.mean(credits))
+
+
+def hierarchical_report(
+    predictions,
+    gold_labels,
+    ontology: Ontology,
+    ancestor_credit: float = 0.5,
+) -> dict[str, float]:
+    """Breakdown of exact / related / unrelated predictions.
+
+    Returns a dict with the exact-match rate, the related-match rate
+    (ancestor or descendant), the unrelated rate, and the overall
+    hierarchical accuracy.
+    """
+    predictions = list(predictions)
+    gold_labels = list(gold_labels)
+    if len(predictions) != len(gold_labels):
+        raise ValueError("predictions and gold labels must have the same length")
+    if not predictions:
+        raise ValueError("cannot score an empty batch")
+    exact = related = unrelated = 0
+    for predicted, gold in zip(predictions, gold_labels):
+        credit = hierarchical_credit(predicted, gold, ontology, ancestor_credit)
+        if credit == 1.0:
+            exact += 1
+        elif credit > 0.0:
+            related += 1
+        else:
+            unrelated += 1
+    total = len(predictions)
+    return {
+        "exact_rate": exact / total,
+        "related_rate": related / total,
+        "unrelated_rate": unrelated / total,
+        "hierarchical_accuracy": hierarchical_accuracy(
+            predictions, gold_labels, ontology, ancestor_credit
+        ),
+    }

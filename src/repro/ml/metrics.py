@@ -1,0 +1,79 @@
+"""Classification metrics: accuracy, precision/recall/F1 (macro), confusion."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "f1_score_macro",
+    "precision_score_macro",
+    "recall_score_macro",
+]
+
+
+def _as_arrays(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty predictions")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels: list | None = None) -> tuple[np.ndarray, list]:
+    """Confusion matrix (rows = true label, columns = predicted label)."""
+    y_true, y_pred = _as_arrays(y_true, y_pred)
+    if labels is None:
+        labels = sorted(set(y_true.tolist()) | set(y_pred.tolist()), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for true, pred in zip(y_true.tolist(), y_pred.tolist()):
+        if true in index and pred in index:
+            matrix[index[true], index[pred]] += 1
+    return matrix, list(labels)
+
+
+def precision_recall_f1(y_true, y_pred, labels: list | None = None) -> dict[object, dict[str, float]]:
+    """Per-class precision, recall and F1."""
+    matrix, labels = confusion_matrix(y_true, y_pred, labels)
+    results: dict[object, dict[str, float]] = {}
+    for i, label in enumerate(labels):
+        true_positive = matrix[i, i]
+        predicted = matrix[:, i].sum()
+        actual = matrix[i, :].sum()
+        precision = true_positive / predicted if predicted else 0.0
+        recall = true_positive / actual if actual else 0.0
+        denominator = precision + recall
+        f1 = 2 * precision * recall / denominator if denominator else 0.0
+        results[label] = {"precision": float(precision), "recall": float(recall), "f1": float(f1)}
+    return results
+
+
+def _macro(y_true, y_pred, key: str) -> float:
+    per_class = precision_recall_f1(y_true, y_pred)
+    return float(np.mean([scores[key] for scores in per_class.values()]))
+
+
+def f1_score_macro(y_true, y_pred) -> float:
+    """Macro-averaged F1 (the paper's Table 7 metric)."""
+    return _macro(y_true, y_pred, "f1")
+
+
+def precision_score_macro(y_true, y_pred) -> float:
+    """Macro-averaged precision."""
+    return _macro(y_true, y_pred, "precision")
+
+
+def recall_score_macro(y_true, y_pred) -> float:
+    """Macro-averaged recall."""
+    return _macro(y_true, y_pred, "recall")

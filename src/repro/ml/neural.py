@@ -1,0 +1,165 @@
+"""A numpy MLP classifier standing in for the Sherlock deep model (§5.1).
+
+Two hidden layers with ReLU activations, softmax output, cross-entropy
+loss, Adam optimiser, mini-batch training and optional input
+standardisation. Deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rand import derive_rng
+from ..errors import ModelNotFittedError
+
+__all__ = ["MLPClassifier"]
+
+
+def _one_hot(encoded: np.ndarray, n_classes: int) -> np.ndarray:
+    matrix = np.zeros((encoded.shape[0], n_classes))
+    matrix[np.arange(encoded.shape[0]), encoded] = 1.0
+    return matrix
+
+
+class MLPClassifier:
+    """Multi-layer perceptron classifier trained with Adam."""
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (128, 64),
+        learning_rate: float = 1e-3,
+        epochs: int = 40,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        standardize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_sizes:
+            raise ValueError("hidden_sizes must contain at least one layer")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.standardize = standardize
+        self.seed = seed
+        self.classes_: np.ndarray | None = None
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.loss_history_: list[float] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _standardize(self, features: np.ndarray, fit: bool = False) -> np.ndarray:
+        if not self.standardize:
+            return features
+        if fit:
+            self._mean = features.mean(axis=0)
+            self._std = features.std(axis=0)
+            self._std[self._std == 0.0] = 1.0
+        return (features - self._mean) / self._std
+
+    def _init_parameters(self, n_features: int, n_classes: int) -> None:
+        rng = derive_rng(self.seed, "mlp-init")
+        sizes = [n_features, *self.hidden_sizes, n_classes]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.standard_normal((fan_in, fan_out)) * scale)
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, batch: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [batch]
+        hidden = batch
+        for weight, bias in zip(self._weights[:-1], self._biases[:-1]):
+            hidden = np.maximum(hidden @ weight + bias, 0.0)
+            activations.append(hidden)
+        logits = hidden @ self._weights[-1] + self._biases[-1]
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        probabilities = exp / exp.sum(axis=1, keepdims=True)
+        return activations, probabilities
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, features: np.ndarray, labels) -> "MLPClassifier":
+        """Train the network on ``features`` and ``labels``."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2D array")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("features and labels must have the same length")
+
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n_classes = len(self.classes_)
+        features = self._standardize(features, fit=True)
+        targets = _one_hot(encoded, n_classes)
+        self._init_parameters(features.shape[1], n_classes)
+
+        rng = derive_rng(self.seed, "mlp-batches")
+        n_samples = features.shape[0]
+        n_layers = len(self._weights)
+        m = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        v = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_history_ = []
+
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n_samples, self.batch_size):
+                batch_index = order[start : start + self.batch_size]
+                batch = features[batch_index]
+                target = targets[batch_index]
+                activations, probabilities = self._forward(batch)
+
+                batch_loss = -np.mean(
+                    np.sum(target * np.log(probabilities + 1e-12), axis=1)
+                )
+                epoch_loss += batch_loss
+                batches += 1
+
+                grads_w: list[np.ndarray] = [None] * n_layers  # type: ignore[list-item]
+                grads_b: list[np.ndarray] = [None] * n_layers  # type: ignore[list-item]
+                delta = (probabilities - target) / batch.shape[0]
+                for layer in range(n_layers - 1, -1, -1):
+                    grads_w[layer] = activations[layer].T @ delta + self.l2 * self._weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (activations[layer] > 0.0)
+
+                step += 1
+                parameters = self._weights + self._biases
+                gradients = grads_w + grads_b
+                for i, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+                    m[i] = beta1 * m[i] + (1 - beta1) * gradient
+                    v[i] = beta2 * v[i] + (1 - beta2) * gradient**2
+                    m_hat = m[i] / (1 - beta1**step)
+                    v_hat = v[i] / (1 - beta2**step)
+                    parameter -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self.loss_history_.append(epoch_loss / max(batches, 1))
+        return self
+
+    # -- prediction --------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if self.classes_ is None or not self._weights:
+            raise ModelNotFittedError("MLPClassifier is not fitted")
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities."""
+        self._check_fitted()
+        features = self._standardize(np.asarray(features, dtype=float))
+        _, probabilities = self._forward(features)
+        return probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class labels."""
+        probabilities = self.predict_proba(features)
+        return self.classes_[np.argmax(probabilities, axis=1)]

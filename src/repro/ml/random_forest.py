@@ -1,0 +1,87 @@
+"""Random forest classifier built on the CART trees in :mod:`repro.ml.tree`.
+
+Stands in for scikit-learn's ``RandomForestClassifier`` with default-like
+settings (bootstrap sampling, sqrt feature subsampling, majority voting),
+which is what the paper's data-shift domain classifier uses (§4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rand import derive_rng
+from ..errors import ModelNotFittedError
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of decision trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on bootstrap samples."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        self.estimators_ = []
+        n_samples = features.shape[0]
+        rng = derive_rng(self.seed, "random-forest")
+        for index in range(self.n_estimators):
+            if self.bootstrap:
+                sample_indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                sample_indices = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=self.seed + index + 1,
+            )
+            tree.fit(features[sample_indices], labels[sample_indices])
+            self.estimators_.append(tree)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.estimators_ or self.classes_ is None:
+            raise ModelNotFittedError("RandomForestClassifier is not fitted")
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Averaged class probabilities over all trees."""
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        class_index = {label: i for i, label in enumerate(self.classes_)}
+        votes = np.zeros((features.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            predictions = tree.predict(features)
+            for row, label in enumerate(predictions):
+                votes[row, class_index[label]] += 1.0
+        return votes / len(self.estimators_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Majority-vote predictions."""
+        probabilities = self.predict_proba(features)
+        return self.classes_[np.argmax(probabilities, axis=1)]

@@ -1,0 +1,28 @@
+"""Ontology substrate: DBpedia and Schema.org semantic types.
+
+The paper annotates columns with 2831 DBpedia properties and 2637
+Schema.org types/properties (§3.4), each carrying a label, atomic type,
+domain, superclass/superproperty and description. This subpackage embeds
+curated catalogues of semantic types for both ontologies plus a
+compound-type expansion that brings the type counts to paper scale, and a
+PII type registry used by content curation (Table 3).
+"""
+
+from .pii import PII_FAKER_CLASSES, PII_TYPES, is_pii_type
+from .types import AtomicKind, Ontology, SemanticType
+from .dbpedia import load_dbpedia
+from .schema_org import load_schema_org
+from .registry import load_ontologies, load_ontology
+
+__all__ = [
+    "AtomicKind",
+    "Ontology",
+    "PII_FAKER_CLASSES",
+    "PII_TYPES",
+    "SemanticType",
+    "is_pii_type",
+    "load_dbpedia",
+    "load_ontologies",
+    "load_ontology",
+    "load_schema_org",
+]

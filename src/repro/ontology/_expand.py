@@ -1,0 +1,207 @@
+"""Compound-type expansion shared by both ontology catalogues.
+
+The paper extracts 2831 DBpedia properties and 2637 Schema.org
+types/properties. A curated catalogue of that size cannot be embedded by
+hand; instead we embed a few hundred curated base types per ontology and
+expand them into domain-prefixed compounds (e.g. ``product`` × ``id`` →
+``product id`` with superproperty ``id``), which mirrors how the real
+ontologies are populated (``orderNumber``, ``birthDate``,
+``vehicleIdentificationNumber`` are all <domain-noun> + <base property>
+compounds). The expansion is deterministic, so the ontology contents are
+stable across runs.
+"""
+
+from __future__ import annotations
+
+from .types import AtomicKind, SemanticType
+
+__all__ = ["expand_compounds", "COMPOUND_PREFIXES"]
+
+#: Prefix nouns used to build compound properties. These are common
+#: entity nouns appearing as property prefixes in DBpedia/Schema.org.
+COMPOUND_PREFIXES: tuple[str, ...] = (
+    "product",
+    "order",
+    "customer",
+    "employee",
+    "person",
+    "company",
+    "organization",
+    "vehicle",
+    "event",
+    "place",
+    "country",
+    "city",
+    "region",
+    "team",
+    "player",
+    "game",
+    "match",
+    "book",
+    "film",
+    "album",
+    "song",
+    "artist",
+    "author",
+    "student",
+    "school",
+    "university",
+    "course",
+    "hospital",
+    "patient",
+    "doctor",
+    "drug",
+    "disease",
+    "species",
+    "gene",
+    "protein",
+    "sample",
+    "station",
+    "sensor",
+    "device",
+    "machine",
+    "building",
+    "bridge",
+    "airport",
+    "flight",
+    "route",
+    "river",
+    "lake",
+    "mountain",
+    "island",
+    "account",
+    "transaction",
+    "payment",
+    "invoice",
+    "contract",
+    "project",
+    "task",
+    "ticket",
+    "issue",
+    "release",
+    "version",
+    "package",
+    "module",
+    "file",
+    "image",
+    "video",
+    "document",
+    "article",
+    "page",
+    "user",
+    "member",
+    "owner",
+    "parent",
+    "child",
+    "club",
+    "league",
+    "season",
+    "tournament",
+    "election",
+    "party",
+    "candidate",
+    "award",
+    "prize",
+    "journal",
+    "conference",
+    "paper",
+    "dataset",
+    "model",
+    "experiment",
+    "trial",
+    "study",
+    "survey",
+    "census",
+    "population",
+    "household",
+    "budget",
+    "tax",
+    "loan",
+    "policy",
+    "claim",
+    "shipment",
+    "delivery",
+    "warehouse",
+    "store",
+    "branch",
+    "department",
+    "unit",
+    "facility",
+    "plant",
+    "farm",
+    "crop",
+    "animal",
+    "bird",
+    "fish",
+)
+
+#: Base properties that participate in compound expansion, with the
+#: atomic kind the compound inherits.
+_COMPOUNDABLE_BASES: tuple[tuple[str, AtomicKind], ...] = (
+    ("id", AtomicKind.TEXT),
+    ("name", AtomicKind.TEXT),
+    ("code", AtomicKind.TEXT),
+    ("type", AtomicKind.TEXT),
+    ("number", AtomicKind.NUMBER),
+    ("date", AtomicKind.DATE),
+    ("status", AtomicKind.TEXT),
+    ("count", AtomicKind.NUMBER),
+    ("description", AtomicKind.TEXT),
+    ("category", AtomicKind.TEXT),
+    ("value", AtomicKind.NUMBER),
+    ("price", AtomicKind.NUMBER),
+    ("cost", AtomicKind.NUMBER),
+    ("size", AtomicKind.NUMBER),
+    ("weight", AtomicKind.NUMBER),
+    ("length", AtomicKind.NUMBER),
+    ("location", AtomicKind.TEXT),
+    ("url", AtomicKind.URL),
+    ("title", AtomicKind.TEXT),
+    ("label", AtomicKind.TEXT),
+    ("group", AtomicKind.TEXT),
+    ("level", AtomicKind.TEXT),
+    ("rank", AtomicKind.NUMBER),
+    ("score", AtomicKind.NUMBER),
+    ("rating", AtomicKind.NUMBER),
+    ("year", AtomicKind.NUMBER),
+)
+
+
+def expand_compounds(
+    ontology_name: str,
+    existing_labels: set[str],
+    target_total: int,
+    prefixes: tuple[str, ...] = COMPOUND_PREFIXES,
+) -> list[SemanticType]:
+    """Generate compound semantic types until ``target_total`` is reached.
+
+    Compounds are generated in a fixed order (prefix-major, base-minor) so
+    the resulting ontology is identical on every run. Compounds whose
+    label already exists in the curated catalogue are skipped.
+    """
+    generated: list[SemanticType] = []
+    needed = target_total - len(existing_labels)
+    if needed <= 0:
+        return generated
+    for prefix in prefixes:
+        for base, atomic in _COMPOUNDABLE_BASES:
+            if len(generated) >= needed:
+                return generated
+            label = f"{prefix} {base}"
+            if label in existing_labels:
+                continue
+            existing_labels.add(label)
+            generated.append(
+                SemanticType(
+                    label=label,
+                    ontology=ontology_name,
+                    atomic=atomic,
+                    domains=(prefix.capitalize(),),
+                    parent=base,
+                    description=(
+                        f"The {base} of a {prefix}; a compound property generated "
+                        f"from the base property '{base}'."
+                    ),
+                )
+            )
+    return generated

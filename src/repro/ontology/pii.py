@@ -1,0 +1,58 @@
+"""PII semantic type registry (paper Table 3).
+
+The content-curation stage replaces column values annotated with any of
+these Schema.org types with fake values. The ``name`` type is special: a
+column annotated ``name`` is only anonymised when it co-occurs with
+another PII type in the same table, since 'name' frequently refers to
+non-person entities (paper §3.3).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PII_TYPES",
+    "PII_FAKER_CLASSES",
+    "CONDITIONAL_PII_TYPES",
+    "is_pii_type",
+    "faker_class_for",
+]
+
+#: Semantic types considered PII, in the order reported by Table 3.
+PII_TYPES: tuple[str, ...] = (
+    "name",
+    "address",
+    "person",
+    "email",
+    "birth date",
+    "home location",
+    "birth place",
+    "postal code",
+)
+
+#: PII types that only trigger anonymisation when another PII type is
+#: present in the same table.
+CONDITIONAL_PII_TYPES: frozenset[str] = frozenset({"name"})
+
+#: Faker class used to generate replacement values for each PII type.
+#: Mirrors paper Table 3 (including its quirks: birth place → postcode,
+#: postal code → city are reported as-is in the paper's table).
+PII_FAKER_CLASSES: dict[str, str] = {
+    "name": "faker.name",
+    "address": "faker.address",
+    "person": "faker.name",
+    "email": "faker.email",
+    "birth date": "faker.date",
+    "home location": "faker.city",
+    "birth place": "faker.postcode",
+    "postal code": "faker.city",
+}
+
+
+def is_pii_type(label: str) -> bool:
+    """True when ``label`` is one of the PII semantic types."""
+    return label in PII_FAKER_CLASSES
+
+
+def faker_class_for(label: str) -> str | None:
+    """The Faker class name used to fake values of this PII type."""
+    return PII_FAKER_CLASSES.get(label)

@@ -1,0 +1,27 @@
+"""Ontology registry: name-based loading of the supported ontologies."""
+
+from __future__ import annotations
+
+from ..errors import OntologyError
+from .dbpedia import load_dbpedia
+from .schema_org import load_schema_org
+from .types import Ontology
+
+__all__ = ["load_ontology", "load_ontologies", "SUPPORTED_ONTOLOGIES"]
+
+SUPPORTED_ONTOLOGIES: tuple[str, ...] = ("dbpedia", "schema_org")
+
+
+def load_ontology(name: str) -> Ontology:
+    """Load a single ontology by name (``dbpedia`` or ``schema_org``)."""
+    if name == "dbpedia":
+        return load_dbpedia()
+    if name == "schema_org":
+        return load_schema_org()
+    raise OntologyError(f"unknown ontology {name!r}; supported: {SUPPORTED_ONTOLOGIES}")
+
+
+def load_ontologies(names: tuple[str, ...] | list[str] | None = None) -> dict[str, Ontology]:
+    """Load several ontologies keyed by name (all supported ones by default)."""
+    selected = tuple(names) if names else SUPPORTED_ONTOLOGIES
+    return {name: load_ontology(name) for name in selected}

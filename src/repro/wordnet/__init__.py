@@ -1,0 +1,18 @@
+"""WordNet-noun substrate.
+
+The paper selects 67K unique English nouns from WordNet as query "topics"
+(§3.1). Offline we embed a curated noun lexicon with hypernym links and
+topical domains, plus the offensive-topic blocklist used to avoid the
+"WordNet effect".
+"""
+
+from .lexicon import NounEntry, NounLexicon, load_default_lexicon
+from .topics import TopicSelection, select_topics
+
+__all__ = [
+    "NounEntry",
+    "NounLexicon",
+    "TopicSelection",
+    "load_default_lexicon",
+    "select_topics",
+]

@@ -1,0 +1,98 @@
+"""Noun lexicon with hypernym structure.
+
+A drastically scaled-down WordNet: every noun has one hypernym (parent)
+and one lexicographer-style domain. The lexicon supports the operations
+the pipeline needs — listing nouns, walking hypernym chains, filtering by
+domain — and nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ._nouns import BLOCKED_TOPICS, NOUN_TRIPLES
+
+__all__ = ["NounEntry", "NounLexicon", "load_default_lexicon"]
+
+
+@dataclass(frozen=True)
+class NounEntry:
+    """A single noun: its lemma, hypernym (parent noun), and domain."""
+
+    lemma: str
+    hypernym: str
+    domain: str
+
+    @property
+    def is_root(self) -> bool:
+        """True for the unique beginner ('entity')."""
+        return self.lemma == self.hypernym
+
+
+class NounLexicon:
+    """A queryable collection of :class:`NounEntry` objects."""
+
+    def __init__(self, entries: list[NounEntry]) -> None:
+        self._entries: dict[str, NounEntry] = {}
+        for entry in entries:
+            if entry.lemma in self._entries:
+                raise ValueError(f"duplicate noun {entry.lemma!r}")
+            self._entries[entry.lemma] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lemma: str) -> bool:
+        return lemma in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    def get(self, lemma: str) -> NounEntry | None:
+        return self._entries.get(lemma)
+
+    def lemmas(self) -> list[str]:
+        """All lemmas in insertion order."""
+        return list(self._entries)
+
+    def hypernym_chain(self, lemma: str, max_depth: int = 32) -> list[str]:
+        """Walk the hypernym chain from ``lemma`` up to the root."""
+        chain: list[str] = []
+        current = self._entries.get(lemma)
+        depth = 0
+        while current is not None and depth < max_depth:
+            chain.append(current.lemma)
+            if current.is_root:
+                break
+            current = self._entries.get(current.hypernym)
+            depth += 1
+        return chain
+
+    def domain_of(self, lemma: str) -> str | None:
+        entry = self._entries.get(lemma)
+        return entry.domain if entry else None
+
+    def by_domain(self, domain: str) -> list[NounEntry]:
+        """All entries in the given lexicographer domain."""
+        return [entry for entry in self._entries.values() if entry.domain == domain]
+
+    def domains(self) -> list[str]:
+        """The sorted set of domains present in the lexicon."""
+        return sorted({entry.domain for entry in self._entries.values()})
+
+
+_DEFAULT_LEXICON: NounLexicon | None = None
+
+
+def load_default_lexicon() -> NounLexicon:
+    """Return the embedded lexicon (cached singleton)."""
+    global _DEFAULT_LEXICON
+    if _DEFAULT_LEXICON is None:
+        entries = [NounEntry(lemma, hypernym, domain) for lemma, hypernym, domain in NOUN_TRIPLES]
+        _DEFAULT_LEXICON = NounLexicon(entries)
+    return _DEFAULT_LEXICON
+
+
+def blocked_topics() -> frozenset[str]:
+    """Topics excluded to avoid the 'WordNet effect'."""
+    return BLOCKED_TOPICS

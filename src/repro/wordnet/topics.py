@@ -1,0 +1,69 @@
+"""Topic selection for GitHub topic queries (paper §3.1-3.2).
+
+The paper selects 67K WordNet nouns as topics; this module selects a
+configurable number of topics from the embedded lexicon, always excluding
+the blocklisted nouns, and always preferring the paper's headline topics
+("thing", "object", "id") first so small configurations still exercise the
+largest subsets mentioned in §4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._rand import derive_rng
+from .lexicon import NounLexicon, blocked_topics, load_default_lexicon
+
+__all__ = ["TopicSelection", "select_topics", "PRIORITY_TOPICS"]
+
+#: Topics the paper singles out as the largest subsets of GitTables 1M.
+PRIORITY_TOPICS: tuple[str, ...] = ("thing", "object", "id")
+
+
+@dataclass(frozen=True)
+class TopicSelection:
+    """The outcome of topic selection."""
+
+    topics: tuple[str, ...]
+    excluded: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def __iter__(self):
+        return iter(self.topics)
+
+
+def select_topics(
+    count: int,
+    lexicon: NounLexicon | None = None,
+    seed: int = 0,
+    extra_blocked: frozenset[str] | set[str] | None = None,
+) -> TopicSelection:
+    """Select ``count`` topics from the lexicon.
+
+    Priority topics come first; the remainder is a seeded random sample of
+    the rest of the lexicon. Blocked topics are never selected and are
+    reported in :attr:`TopicSelection.excluded`.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    lexicon = lexicon or load_default_lexicon()
+    blocked = set(blocked_topics())
+    if extra_blocked:
+        blocked |= set(extra_blocked)
+
+    available = [lemma for lemma in lexicon.lemmas() if lemma not in blocked]
+    excluded = tuple(sorted(set(lexicon.lemmas()) & blocked))
+
+    selected: list[str] = [topic for topic in PRIORITY_TOPICS if topic in available][:count]
+    remaining = [lemma for lemma in available if lemma not in selected]
+
+    needed = count - len(selected)
+    if needed > 0 and remaining:
+        rng = derive_rng(seed, "topic-selection")
+        take = min(needed, len(remaining))
+        picks = rng.choice(len(remaining), size=take, replace=False)
+        selected.extend(remaining[i] for i in sorted(picks))
+
+    return TopicSelection(topics=tuple(selected), excluded=excluded)

@@ -1,0 +1,89 @@
+"""Shared pytest fixtures.
+
+Expensive artefacts (the small GitTables corpus, the VizNet contrast
+corpus, the T2Dv2 benchmark) are session-scoped and shared through the
+experiment context so the whole suite builds them exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.dataframe.table import Table
+from repro.experiments.context import get_context
+from repro.github.content import GeneratorConfig
+from repro.github.instance import build_instance
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The shared small-scale experiment context."""
+    return get_context(scale="small")
+
+
+@pytest.fixture(scope="session")
+def gittables_corpus(context):
+    """A small GitTables corpus built through the full pipeline."""
+    return context.gittables
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(context):
+    """The pipeline result (corpus + stage reports) for the small corpus."""
+    return context.pipeline_result
+
+
+@pytest.fixture(scope="session")
+def viznet_corpus(context):
+    """The synthetic VizNet/Web-table contrast corpus."""
+    return context.viznet
+
+
+@pytest.fixture(scope="session")
+def t2dv2_benchmark(context):
+    """The synthetic T2Dv2 gold standard."""
+    return context.t2dv2
+
+
+@pytest.fixture(scope="session")
+def github_instance():
+    """A small synthetic GitHub instance (independent of the corpus)."""
+    return build_instance(GeneratorConfig.small(seed=99))
+
+
+@pytest.fixture()
+def small_config():
+    """A fresh small pipeline configuration."""
+    return PipelineConfig.small()
+
+
+@pytest.fixture()
+def orders_table():
+    """A hand-written order table used across unit tests."""
+    return Table(
+        header=["order_id", "order_date", "status", "quantity", "total_price", "customer_email"],
+        rows=[
+            ["1001", "2021-03-01", "SHIPPED", "4", "25.99", "alice@example.com"],
+            ["1002", "2021-03-02", "PENDING", "1", "7.50", "bob@example.com"],
+            ["1003", "2021-03-05", "SHIPPED", "2", "12.00", "carol@example.com"],
+            ["1004", "2021-03-07", "CANCELLED", "8", "80.10", "dave@example.com"],
+        ],
+        table_id="unit-test-orders",
+        metadata={"license": "mit", "topic": "order"},
+    )
+
+
+@pytest.fixture()
+def people_table():
+    """A hand-written person table with PII columns."""
+    return Table(
+        header=["id", "name", "email", "birth date", "city"],
+        rows=[
+            ["1", "Ada Lovelace", "ada@example.com", "1815-12-10", "London"],
+            ["2", "Alan Turing", "alan@example.com", "1912-06-23", "London"],
+            ["3", "Grace Hopper", "grace@example.com", "1906-12-09", "New York"],
+        ],
+        table_id="unit-test-people",
+        metadata={"license": "mit"},
+    )

@@ -1,0 +1,150 @@
+"""Unit tests for column annotation (repro.core.annotation)."""
+
+import pytest
+
+from repro.config import AnnotationConfig
+from repro.core.annotation import (
+    AnnotationMethod,
+    AnnotationPipeline,
+    ColumnAnnotation,
+    SemanticAnnotator,
+    SyntacticAnnotator,
+    TableAnnotations,
+    annotate_table,
+    preprocess_column_name,
+)
+from repro.errors import AnnotationError
+from repro.ontology.dbpedia import load_dbpedia
+from repro.ontology.schema_org import load_schema_org
+
+
+@pytest.fixture(scope="module")
+def dbpedia():
+    return load_dbpedia()
+
+
+@pytest.fixture(scope="module")
+def syntactic(dbpedia):
+    return SyntacticAnnotator(dbpedia)
+
+
+@pytest.fixture(scope="module")
+def semantic(dbpedia):
+    return SemanticAnnotator(dbpedia, similarity_threshold=0.5)
+
+
+class TestPreprocessing:
+    def test_underscores_and_camelcase(self):
+        assert preprocess_column_name("birth_Date") == "birth date"
+        assert preprocess_column_name("birthDate") == "birth date"
+
+
+class TestSyntacticAnnotator:
+    def test_exact_match_has_confidence_one(self, syntactic):
+        annotation = syntactic.annotate_column("Birth_Date")
+        assert annotation.type_label == "birth date"
+        assert annotation.confidence == 1.0
+        assert annotation.method is AnnotationMethod.SYNTACTIC
+
+    def test_unknown_name_returns_none(self, syntactic):
+        assert syntactic.annotate_column("zzzz_unmatchable_name") is None
+
+    def test_names_with_digits_are_skipped(self, syntactic):
+        assert syntactic.annotate_column("field_1") is None
+
+    def test_empty_name_returns_none(self, syntactic):
+        assert syntactic.annotate_column("") is None
+        assert syntactic.annotate_column("   ") is None
+
+    def test_annotate_table(self, syntactic, orders_table):
+        annotations = syntactic.annotate(orders_table)
+        annotated_columns = {annotation.column for annotation in annotations}
+        assert "status" in annotated_columns
+
+
+class TestSemanticAnnotator:
+    def test_exact_name_gets_similarity_one(self, semantic):
+        annotation = semantic.annotate_column("status")
+        assert annotation.type_label == "status"
+        assert annotation.confidence == pytest.approx(1.0, abs=1e-6)
+
+    def test_compound_name_maps_to_related_type(self, semantic):
+        annotation = semantic.annotate_column("customer_email")
+        assert annotation is not None
+        assert "email" in annotation.type_label or "customer" in annotation.type_label
+
+    def test_threshold_filters_weak_matches(self, dbpedia):
+        strict = SemanticAnnotator(dbpedia, similarity_threshold=0.999)
+        assert strict.annotate_column("xqzw_gibberish_column") is None
+
+    def test_invalid_threshold_rejected(self, dbpedia):
+        with pytest.raises(AnnotationError):
+            SemanticAnnotator(dbpedia, similarity_threshold=1.5)
+
+    def test_names_with_digits_are_skipped(self, semantic):
+        assert semantic.annotate_column("col_2020") is None
+
+    def test_annotates_more_columns_than_syntactic(self, syntactic, semantic):
+        names = ["order_id", "ordr_dt", "sts", "total_price_val", "qty", "cstmr_email"]
+        syntactic_hits = sum(syntactic.annotate_column(name) is not None for name in names)
+        semantic_hits = sum(semantic.annotate_column(name) is not None for name in names)
+        assert semantic_hits >= syntactic_hits
+
+
+class TestTableAnnotations:
+    def _make(self):
+        annotations = TableAnnotations(table_id="t")
+        annotations.add(
+            ColumnAnnotation("status", "status", "dbpedia", AnnotationMethod.SYNTACTIC, 1.0)
+        )
+        annotations.add(
+            ColumnAnnotation("status", "status", "schema_org", AnnotationMethod.SEMANTIC, 0.8)
+        )
+        annotations.add(
+            ColumnAnnotation("email", "email", "schema_org", AnnotationMethod.SEMANTIC, 0.9)
+        )
+        return annotations
+
+    def test_for_method_filters(self):
+        annotations = self._make()
+        assert len(annotations.for_method(AnnotationMethod.SEMANTIC)) == 2
+        assert len(annotations.for_method(AnnotationMethod.SEMANTIC, "schema_org")) == 2
+        assert len(annotations.for_method(AnnotationMethod.SYNTACTIC, "schema_org")) == 0
+
+    def test_column_types_view(self):
+        annotations = self._make()
+        types = annotations.column_types(AnnotationMethod.SEMANTIC, "schema_org")
+        assert types["email"] == ("email", 0.9)
+
+    def test_annotated_column_fraction(self):
+        annotations = self._make()
+        assert annotations.annotated_column_fraction(AnnotationMethod.SEMANTIC, 4) == pytest.approx(0.5)
+        assert annotations.annotated_column_fraction(AnnotationMethod.SEMANTIC, 0) == 0.0
+
+    def test_pii_view_groups_by_column(self):
+        view = self._make().pii_view()
+        assert set(view) == {"status", "email"}
+        assert ("email", 0.9) in view["email"]
+
+
+class TestAnnotationPipeline:
+    def test_annotates_against_both_ontologies(self, orders_table):
+        pipeline = AnnotationPipeline(AnnotationConfig())
+        annotations = pipeline.annotate(orders_table)
+        ontologies = {annotation.ontology for annotation in annotations.all()}
+        assert ontologies == {"dbpedia", "schema_org"}
+
+    def test_single_ontology_config(self, orders_table):
+        pipeline = AnnotationPipeline(AnnotationConfig(ontologies=("dbpedia",)))
+        annotations = pipeline.annotate(orders_table)
+        assert {a.ontology for a in annotations.all()} == {"dbpedia"}
+
+    def test_annotate_table_helper_uses_cache(self, orders_table):
+        first = annotate_table(orders_table)
+        second = annotate_table(orders_table)
+        assert len(first.all()) == len(second.all())
+
+    def test_semantic_confidences_within_bounds(self, orders_table):
+        annotations = annotate_table(orders_table)
+        for annotation in annotations.for_method(AnnotationMethod.SEMANTIC):
+            assert 0.0 <= annotation.confidence <= 1.0

@@ -1,0 +1,99 @@
+"""Unit tests for the Faker substrate and PII scrubbing (repro.anonymize)."""
+
+import re
+
+import pytest
+
+from repro.anonymize.pii_scrubber import PIIScrubber
+from repro.anonymize.provider import FakeDataProvider
+
+
+class TestFakeDataProvider:
+    def test_name_format(self):
+        provider = FakeDataProvider(seed=1)
+        assert len(provider.name().split()) == 2
+
+    def test_email_format(self):
+        provider = FakeDataProvider(seed=1)
+        assert re.match(r"^[a-z]+\.[a-z]+@[\w.]+$", provider.email())
+
+    def test_date_format(self):
+        provider = FakeDataProvider(seed=1)
+        assert re.match(r"^\d{4}-\d{2}-\d{2}$", provider.date())
+
+    def test_postcode_format(self):
+        provider = FakeDataProvider(seed=1)
+        assert re.match(r"^\d{5}$", provider.postcode())
+
+    def test_generate_by_class_name(self):
+        provider = FakeDataProvider(seed=1)
+        assert "@" in provider.generate("faker.email")
+        assert provider.generate("faker.city")
+
+    def test_generate_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            FakeDataProvider().generate("faker.unknown")
+
+    def test_generate_column_length(self):
+        values = FakeDataProvider(seed=2).generate_column("faker.name", 7)
+        assert len(values) == 7
+
+    def test_generate_column_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FakeDataProvider().generate_column("faker.name", -1)
+
+    def test_deterministic_given_seed(self):
+        assert FakeDataProvider(seed=3).name() == FakeDataProvider(seed=3).name()
+
+
+class TestPIIScrubber:
+    def _annotations(self, people_table):
+        return {
+            "name": [("name", 1.0)],
+            "email": [("email", 1.0)],
+            "birth date": [("birth date", 0.9)],
+            "city": [("city", 1.0)],
+        }
+
+    def test_scrubs_pii_columns(self, people_table):
+        scrubber = PIIScrubber()
+        scrubbed, report = scrubber.scrub(people_table, self._annotations(people_table))
+        assert "email" in report.scrubbed_columns
+        assert "birth date" in report.scrubbed_columns
+        assert scrubbed.column("email").values != people_table.column("email").values
+
+    def test_non_pii_columns_untouched(self, people_table):
+        scrubber = PIIScrubber()
+        scrubbed, _ = scrubber.scrub(people_table, self._annotations(people_table))
+        assert scrubbed.column("city").values == people_table.column("city").values
+        assert scrubbed.column("id").values == people_table.column("id").values
+
+    def test_name_scrubbed_when_cooccurring_with_other_pii(self, people_table):
+        scrubber = PIIScrubber()
+        _, report = scrubber.scrub(people_table, self._annotations(people_table))
+        assert "name" in report.scrubbed_columns
+
+    def test_name_alone_is_not_scrubbed(self, people_table):
+        scrubber = PIIScrubber()
+        annotations = {"name": [("name", 1.0)]}
+        scrubbed, report = scrubber.scrub(people_table, annotations)
+        assert report.scrubbed_columns == []
+        assert "name" in report.skipped_conditional
+        assert scrubbed.column("name").values == people_table.column("name").values
+
+    def test_low_confidence_annotations_ignored(self, people_table):
+        scrubber = PIIScrubber(confidence_threshold=0.95)
+        annotations = {"birth date": [("birth date", 0.6)]}
+        _, report = scrubber.scrub(people_table, annotations)
+        assert report.scrubbed_count == 0
+
+    def test_metadata_records_scrubbed_columns(self, people_table):
+        scrubber = PIIScrubber()
+        scrubbed, _ = scrubber.scrub(people_table, self._annotations(people_table))
+        assert "email" in scrubbed.metadata["pii_scrubbed_columns"]
+
+    def test_no_annotations_is_a_noop(self, people_table):
+        scrubber = PIIScrubber()
+        scrubbed, report = scrubber.scrub(people_table, {})
+        assert scrubbed is people_table
+        assert report.scrubbed_count == 0

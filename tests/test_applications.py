@@ -1,0 +1,192 @@
+"""Integration tests for the paper's applications (repro.applications)."""
+
+import pytest
+
+from repro.applications.data_search import TableSearchEngine
+from repro.applications.domain_classifier import detect_data_shift, sample_corpus_columns
+from repro.applications.kg_matching import (
+    KGMatchingBenchmark,
+    PatternMatcher,
+    ValueLinkingMatcher,
+    evaluate_matcher,
+)
+from repro.applications.schema_completion import NearestCompletion
+from repro.applications.type_detection import TypeDetectionExperiment
+from repro.benchdata.ctu import CTU_SCHEMAS, schema_by_name
+
+
+class TestDomainClassifier:
+    def test_sample_corpus_columns_deduplicates(self, gittables_corpus):
+        columns = sample_corpus_columns(gittables_corpus, n_columns=50, seed=1)
+        assert len(columns) <= 50
+        assert len({(name, values[:5]) for name, values in columns}) == len(columns)
+
+    def test_detects_shift_between_corpora(self, gittables_corpus, viznet_corpus):
+        result = detect_data_shift(
+            gittables_corpus,
+            viznet_corpus,
+            n_columns_per_corpus=60,
+            n_splits=3,
+            n_estimators=5,
+        )
+        assert result.mean_accuracy > 0.6
+        assert len(result.fold_accuracies) == 3
+
+    def test_identical_corpora_are_not_separable(self, gittables_corpus):
+        result = detect_data_shift(
+            gittables_corpus,
+            gittables_corpus,
+            n_columns_per_corpus=40,
+            n_splits=3,
+            n_estimators=5,
+        )
+        assert result.mean_accuracy < 0.75
+
+    def test_empty_corpus_rejected(self, gittables_corpus):
+        from repro.core.corpus import GitTablesCorpus
+
+        with pytest.raises(ValueError):
+            detect_data_shift(gittables_corpus, GitTablesCorpus(), n_columns_per_corpus=10)
+
+
+class TestTypeDetection:
+    def test_sampling_yields_target_types_only(self, gittables_corpus):
+        experiment = TypeDetectionExperiment(columns_per_type=20, epochs=5)
+        data = experiment.sample_labelled_columns(gittables_corpus)
+        assert set(data.labels) <= set(experiment.target_types)
+        assert data.features.shape[0] == data.n_samples
+
+    def test_within_corpus_f1_reasonable(self, viznet_corpus):
+        experiment = TypeDetectionExperiment(columns_per_type=25, epochs=10, n_splits=3)
+        result = experiment.within_corpus(viznet_corpus, name="VizNet")
+        assert 0.3 < result.mean_f1 <= 1.0
+        assert result.train_corpus == "VizNet"
+
+    def test_cross_corpus_transfer_drops(self, gittables_corpus, viznet_corpus):
+        experiment = TypeDetectionExperiment(columns_per_type=25, epochs=10, n_splits=3)
+        within = experiment.within_corpus(viznet_corpus)
+        cross = experiment.cross_corpus(viznet_corpus, gittables_corpus)
+        assert cross.mean_f1 < within.mean_f1
+
+    def test_table7_rows(self, gittables_corpus, viznet_corpus):
+        experiment = TypeDetectionExperiment(columns_per_type=20, epochs=8, n_splits=3)
+        rows = [result.as_table7_row() for result in experiment.run_table7(gittables_corpus, viznet_corpus)]
+        assert len(rows) == 3
+        assert rows[2]["train_corpus"] == "VizNet" and rows[2]["eval_corpus"] == "GitTables"
+
+
+class TestSchemaCompletion:
+    def test_ctu_schemas_are_well_formed(self):
+        assert len(CTU_SCHEMAS) == 3
+        assert schema_by_name("orders").prefix(3) == ("orderNumber", "orderDate", "requiredDate")
+        with pytest.raises(KeyError):
+            schema_by_name("nonexistent")
+
+    def test_completions_are_ranked_by_distance(self, gittables_corpus):
+        completer = NearestCompletion(gittables_corpus)
+        completions = completer.complete(["order_id", "order_date", "status"], k=5)
+        distances = [completion.prefix_distance for completion in completions]
+        assert distances == sorted(distances)
+        assert len(completions) <= 5
+
+    def test_employee_prefix_finds_employee_like_schema(self, gittables_corpus):
+        completer = NearestCompletion(gittables_corpus)
+        evaluation = completer.evaluate(
+            schema_by_name("employees").attributes, prefix_length=3, k=10
+        )
+        assert evaluation.best_schema_similarity > 0.2
+
+    def test_invalid_arguments_rejected(self, gittables_corpus):
+        completer = NearestCompletion(gittables_corpus)
+        with pytest.raises(ValueError):
+            completer.complete([], k=5)
+        with pytest.raises(ValueError):
+            completer.complete(["a"], k=0)
+        with pytest.raises(ValueError):
+            completer.evaluate(["a", "b"], prefix_length=5)
+
+
+class TestDataSearch:
+    def test_search_returns_ranked_results(self, gittables_corpus):
+        engine = TableSearchEngine(gittables_corpus)
+        results = engine.search("status and sales amount per product", k=5)
+        assert len(results) <= 5
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+        assert results[0].rank == 1
+
+    def test_query_specificity_matters(self):
+        from repro.core.annotation import TableAnnotations
+        from repro.core.corpus import AnnotatedTable, GitTablesCorpus
+        from repro.dataframe.table import Table
+
+        corpus = GitTablesCorpus()
+        schemas = {
+            "bio": ["isolate id", "species", "organism group", "country"],
+            "orders": ["order id", "product id", "status", "total price"],
+        }
+        for key, header in schemas.items():
+            table = Table(header, [["x"] * len(header)], table_id=key)
+            corpus.add(
+                AnnotatedTable(
+                    table=table,
+                    annotations=TableAnnotations(table_id=key),
+                    topic=key,
+                    repository=f"octo/{key}",
+                    source_url=f"https://github.com/octo/{key}.csv",
+                )
+            )
+        engine = TableSearchEngine(corpus)
+        assert engine.best("species isolated per country").table_id == "bio"
+        assert engine.best("status and sales amount per product").table_id == "orders"
+
+    def test_empty_query_rejected(self, gittables_corpus):
+        engine = TableSearchEngine(gittables_corpus)
+        with pytest.raises(ValueError):
+            engine.search("   ")
+
+    def test_empty_corpus_returns_nothing(self):
+        from repro.core.corpus import GitTablesCorpus
+
+        engine = TableSearchEngine(GitTablesCorpus())
+        assert engine.search("anything") == []
+        assert engine.best("anything") is None
+
+
+class TestKGMatching:
+    def test_benchmark_curation_respects_minimums(self, gittables_corpus):
+        benchmark = KGMatchingBenchmark.from_corpus(gittables_corpus, min_columns=3, min_rows=5)
+        table_ids = {column.table_id for column in benchmark.columns}
+        for annotated in gittables_corpus:
+            if annotated.table_id in table_ids:
+                assert annotated.table.num_columns >= 3
+                assert annotated.table.num_rows >= 5
+
+    def test_benchmark_has_both_ontologies(self, gittables_corpus):
+        benchmark = KGMatchingBenchmark.from_corpus(gittables_corpus)
+        assert benchmark.columns_for("dbpedia")
+        assert benchmark.columns_for("schema_org")
+
+    def test_value_linking_matcher_links_entity_columns(self):
+        matcher = ValueLinkingMatcher()
+        assert matcher.annotate_column(["United States", "Canada", "Germany"]) == "country"
+        assert matcher.annotate_column(["Enterococcus faecium", "Escherichia coli"]) == "species"
+        assert matcher.annotate_column(["1001", "1002", "1003"]) is None
+
+    def test_pattern_matcher_detects_structural_types(self):
+        matcher = PatternMatcher()
+        assert matcher.annotate_column(["a@b.com", "c@d.org"]) == "email"
+        assert matcher.annotate_column(["2021-01-02", "2022-03-04"]) == "date"
+        assert matcher.annotate_column(["apple", "pear"]) is None
+
+    def test_matchers_score_low_recall_on_gittables(self, gittables_corpus):
+        benchmark = KGMatchingBenchmark.from_corpus(gittables_corpus)
+        score = evaluate_matcher(ValueLinkingMatcher(), benchmark, "dbpedia")
+        assert score.recall < 0.5
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.f1 <= 1.0
+
+    def test_unknown_ontology_rejected(self, gittables_corpus):
+        benchmark = KGMatchingBenchmark.from_corpus(gittables_corpus)
+        with pytest.raises(ValueError):
+            evaluate_matcher(ValueLinkingMatcher(), benchmark, "freebase")

@@ -1,0 +1,133 @@
+"""Tests for snapshot-table unions and hierarchy-aware evaluation."""
+
+import pytest
+
+from repro.core.annotation import TableAnnotations
+from repro.core.augmentation import reconstruct_snapshots, union_tables, unionable_groups
+from repro.core.corpus import AnnotatedTable, GitTablesCorpus
+from repro.dataframe.table import Table
+from repro.errors import TableValidationError
+from repro.ml.hierarchy_metrics import (
+    hierarchical_accuracy,
+    hierarchical_credit,
+    hierarchical_report,
+)
+from repro.ontology.dbpedia import load_dbpedia
+
+
+def _snapshot(table_id: str, rows, header=("id", "status")) -> Table:
+    return Table(list(header), rows, table_id=table_id, metadata={"license": "mit"})
+
+
+def _annotated(table: Table, repo: str = "octo/snapshots") -> AnnotatedTable:
+    return AnnotatedTable(
+        table=table,
+        annotations=TableAnnotations(table_id=table.table_id),
+        topic="id",
+        repository=repo,
+        source_url=f"https://github.com/{repo}/blob/main/{table.table_id}.csv",
+    )
+
+
+class TestUnionTables:
+    def test_union_concatenates_and_deduplicates(self):
+        day1 = _snapshot("day1", [["1", "OPEN"], ["2", "OPEN"]])
+        day2 = _snapshot("day2", [["2", "OPEN"], ["3", "CLOSED"]])
+        union = union_tables([day1, day2])
+        assert union.num_rows == 3
+        assert union.metadata["union_of"] == ("day1", "day2")
+
+    def test_union_accepts_differently_styled_headers(self):
+        day1 = _snapshot("day1", [["1", "OPEN"]], header=("Id", "Status"))
+        day2 = _snapshot("day2", [["2", "CLOSED"]], header=("id", "status"))
+        union = union_tables([day1, day2])
+        assert union.num_rows == 2
+        assert union.header == ("Id", "Status")
+
+    def test_mismatched_schemas_rejected(self):
+        day1 = _snapshot("day1", [["1", "OPEN"]])
+        other = _snapshot("other", [["1", "x", "y"]], header=("id", "a", "b"))
+        with pytest.raises(TableValidationError):
+            union_tables([day1, other])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(TableValidationError):
+            union_tables([])
+
+
+class TestSnapshotReconstruction:
+    def _corpus(self) -> GitTablesCorpus:
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated(_snapshot("day1", [["1", "OPEN"], ["2", "OPEN"]])))
+        corpus.add(_annotated(_snapshot("day2", [["2", "OPEN"], ["3", "CLOSED"]])))
+        corpus.add(
+            _annotated(
+                _snapshot("unrelated", [["x", "1", "2"]], header=("name", "a", "b")),
+                repo="other/repo",
+            )
+        )
+        return corpus
+
+    def test_groups_require_shared_repository_and_schema(self):
+        groups = unionable_groups(self._corpus())
+        assert len(groups) == 1
+        assert len(groups[0]) == 2
+
+    def test_reconstruct_snapshots_report(self):
+        report = reconstruct_snapshots(self._corpus())
+        assert report.groups_found == 1
+        assert report.tables_unioned == 2
+        assert report.rows_before == 4
+        assert report.rows_after == 3
+        assert report.duplicate_row_fraction == pytest.approx(0.25)
+        assert report.unions[0].num_rows == 3
+
+    def test_pipeline_corpus_contains_snapshot_families(self, gittables_corpus):
+        report = reconstruct_snapshots(gittables_corpus)
+        # The generator plants snapshot repositories, so at least some
+        # unionable families should exist and unions never lose rows
+        # beyond deduplication.
+        assert report.rows_after <= report.rows_before
+        for union in report.unions:
+            assert union.num_rows >= 1
+
+
+class TestHierarchyMetrics:
+    @pytest.fixture(scope="class")
+    def dbpedia(self):
+        return load_dbpedia()
+
+    def test_exact_match_full_credit(self, dbpedia):
+        assert hierarchical_credit("city", "city", dbpedia) == 1.0
+
+    def test_ancestor_gets_partial_credit(self, dbpedia):
+        # 'birth date' has parent 'date': predicting the coarser type earns
+        # partial credit, as does predicting the finer type.
+        assert hierarchical_credit("date", "birth date", dbpedia) == 0.5
+        assert hierarchical_credit("birth date", "date", dbpedia) == 0.5
+
+    def test_unrelated_gets_no_credit(self, dbpedia):
+        assert hierarchical_credit("size", "city", dbpedia) == 0.0
+
+    def test_invalid_credit_rejected(self, dbpedia):
+        with pytest.raises(ValueError):
+            hierarchical_credit("a", "b", dbpedia, ancestor_credit=2.0)
+
+    def test_hierarchical_accuracy_averages(self, dbpedia):
+        accuracy = hierarchical_accuracy(
+            ["city", "date", "size"], ["city", "birth date", "city"], dbpedia
+        )
+        assert accuracy == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+
+    def test_report_rates_sum_to_one(self, dbpedia):
+        report = hierarchical_report(
+            ["city", "date", "size"], ["city", "birth date", "city"], dbpedia
+        )
+        assert report["exact_rate"] + report["related_rate"] + report["unrelated_rate"] == pytest.approx(1.0)
+        assert report["hierarchical_accuracy"] > report["exact_rate"]
+
+    def test_length_mismatch_rejected(self, dbpedia):
+        with pytest.raises(ValueError):
+            hierarchical_accuracy(["a"], ["a", "b"], dbpedia)
+        with pytest.raises(ValueError):
+            hierarchical_report([], [], dbpedia)

@@ -1,0 +1,86 @@
+"""Unit tests for the evaluation datasets (repro.benchdata)."""
+
+import pytest
+
+from repro.benchdata.ctu import CTU_SCHEMAS
+from repro.benchdata.t2dv2 import build_t2dv2
+from repro.benchdata.webtables import WebTableConfig, build_webtables_corpus
+from repro.core.stats import CorpusStatistics
+
+
+class TestWebTablesCorpus:
+    def test_corpus_size(self, viznet_corpus):
+        assert len(viznet_corpus) > 50
+
+    def test_dimensions_are_web_scale(self, viznet_corpus):
+        stats = CorpusStatistics.from_corpus(viznet_corpus)
+        assert stats.avg_rows < 60
+        assert stats.avg_cols < 10
+
+    def test_tables_are_annotated(self, viznet_corpus):
+        annotated_count = sum(1 for table in viznet_corpus if table.annotations.all())
+        assert annotated_count > 0.8 * len(viznet_corpus)
+
+    def test_unannotated_build_is_supported(self):
+        corpus = build_webtables_corpus(WebTableConfig(n_tables=10, seed=3), annotate=False)
+        assert len(corpus) == 10
+        assert all(not table.annotations.all() for table in corpus)
+
+    def test_deterministic_given_seed(self):
+        config = WebTableConfig(n_tables=15, seed=9)
+        first = build_webtables_corpus(config, annotate=False)
+        second = build_webtables_corpus(config, annotate=False)
+        assert [t.table.header for t in first] == [t.table.header for t in second]
+
+    def test_column_names_are_web_style(self, viznet_corpus):
+        names = {name for table in viznet_corpus for name in table.table.header}
+        assert "name" in names or "title" in names
+
+
+class TestT2Dv2:
+    def test_benchmark_size(self, t2dv2_benchmark):
+        assert len(t2dv2_benchmark) > 50
+        assert len(t2dv2_benchmark.tables) > 10
+
+    def test_gold_and_true_types_present(self, t2dv2_benchmark):
+        for column in t2dv2_benchmark.columns:
+            assert column.gold_type
+            assert column.true_type
+
+    def test_some_gold_labels_are_coarsened(self, t2dv2_benchmark):
+        fraction = t2dv2_benchmark.coarsened_fraction()
+        assert 0.0 < fraction < 0.8
+
+    def test_coarsening_can_be_disabled(self):
+        benchmark = build_t2dv2(n_tables=20, coarsen_probability=0.0, seed=3)
+        assert benchmark.coarsened_fraction() == 0.0
+
+    def test_deterministic_given_seed(self):
+        first = build_t2dv2(n_tables=10, seed=5)
+        second = build_t2dv2(n_tables=10, seed=5)
+        assert [column.gold_type for column in first.columns] == [
+            column.gold_type for column in second.columns
+        ]
+
+    def test_values_match_row_count(self):
+        benchmark = build_t2dv2(n_tables=5, rows_per_table=12, seed=2)
+        assert all(len(column.values) == 12 for column in benchmark.columns)
+
+
+class TestCTUSchemas:
+    def test_three_databases(self):
+        assert {schema.database for schema in CTU_SCHEMAS} == {
+            "Employee", "ClassicModels", "AdventureWorks",
+        }
+
+    def test_prefixes_match_paper(self):
+        prefixes = {schema.table: schema.prefix(3) for schema in CTU_SCHEMAS}
+        assert prefixes["employees"] == ("emp_no", "birth_date", "first_name")
+        assert prefixes["orders"] == ("orderNumber", "orderDate", "requiredDate")
+        assert prefixes["WorkOrder"] == ("WorkOrderID", "ProductID", "OrderQty")
+
+    def test_invalid_prefix_length(self):
+        with pytest.raises(ValueError):
+            CTU_SCHEMAS[0].prefix(0)
+        with pytest.raises(ValueError):
+            CTU_SCHEMAS[0].prefix(100)

@@ -1,0 +1,100 @@
+"""Unit tests for the corpus container (repro.core.corpus)."""
+
+import pytest
+
+from repro.core.annotation import AnnotationMethod, ColumnAnnotation, TableAnnotations, annotate_table
+from repro.core.corpus import AnnotatedTable, GitTablesCorpus
+from repro.dataframe.table import Table
+from repro.errors import CorpusError
+
+
+def _annotated(table_id: str, topic: str = "id", repo: str = "octo/data") -> AnnotatedTable:
+    table = Table(["id", "status"], [["1", "OPEN"], ["2", "CLOSED"]], table_id=table_id)
+    annotations = TableAnnotations(table_id=table_id)
+    annotations.add(ColumnAnnotation("status", "status", "dbpedia", AnnotationMethod.SYNTACTIC, 1.0))
+    return AnnotatedTable(
+        table=table,
+        annotations=annotations,
+        topic=topic,
+        repository=repo,
+        source_url=f"https://github.com/{repo}/blob/main/{table_id}.csv",
+        license_key="mit",
+    )
+
+
+class TestCorpusContainer:
+    def test_add_and_lookup(self):
+        corpus = GitTablesCorpus()
+        annotated = _annotated("t1")
+        corpus.add(annotated)
+        assert len(corpus) == 1
+        assert corpus.get("t1") is annotated
+        assert "t1" in corpus
+
+    def test_duplicate_ids_rejected(self):
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated("t1"))
+        with pytest.raises(CorpusError):
+            corpus.add(_annotated("t1"))
+
+    def test_topic_subset(self):
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated("t1", topic="id"))
+        corpus.add(_annotated("t2", topic="organism"))
+        subset = corpus.topic_subset("organism")
+        assert len(subset) == 1
+        assert subset.topics() == ["organism"]
+
+    def test_filter_predicate(self):
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated("t1", repo="a/x"))
+        corpus.add(_annotated("t2", repo="b/y"))
+        filtered = corpus.filter(lambda annotated: annotated.repository == "a/x")
+        assert len(filtered) == 1
+
+    def test_repository_counts(self):
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated("t1", repo="a/x"))
+        corpus.add(_annotated("t2", repo="a/x"))
+        corpus.add(_annotated("t3", repo="b/y"))
+        assert corpus.repositories() == {"a/x": 2, "b/y": 1}
+
+    def test_totals_and_schemas(self):
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated("t1"))
+        corpus.add(_annotated("t2"))
+        assert corpus.total_rows() == 4
+        assert corpus.total_columns() == 4
+        assert ("t1", ("id", "status")) in corpus.schemas()
+
+
+class TestSerialisation:
+    def test_round_trip_dict(self, people_table):
+        annotations = annotate_table(people_table)
+        annotated = AnnotatedTable(
+            table=people_table,
+            annotations=annotations,
+            topic="person",
+            repository="octo/people",
+            source_url="https://github.com/octo/people/blob/main/p.csv",
+            license_key="mit",
+        )
+        restored = AnnotatedTable.from_dict(annotated.to_dict())
+        assert restored.table.header == people_table.header
+        assert restored.table.rows == people_table.rows
+        assert len(restored.annotations.all()) == len(annotations.all())
+        assert restored.topic == "person"
+
+    def test_save_and_load_corpus(self, tmp_path):
+        corpus = GitTablesCorpus(name="mini")
+        corpus.add(_annotated("t1"))
+        corpus.add(_annotated("t2", topic="organism"))
+        corpus.save(tmp_path / "corpus")
+        restored = GitTablesCorpus.load(tmp_path / "corpus")
+        assert restored.name == "mini"
+        assert len(restored) == 2
+        assert restored.get("t2").topic == "organism"
+
+    def test_load_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CorpusError):
+            GitTablesCorpus.load(tmp_path / "does-not-exist")

@@ -1,0 +1,118 @@
+"""Unit tests for atomic type inference (repro.dataframe.dtypes)."""
+
+import pytest
+
+from repro.dataframe.dtypes import (
+    AtomicType,
+    coerce_value,
+    infer_column_type,
+    infer_value_type,
+    is_missing,
+)
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_nan_float_is_missing(self):
+        assert is_missing(float("nan"))
+
+    @pytest.mark.parametrize("token", ["", "na", "N/A", "NaN", "null", "None", "-", "?"])
+    def test_missing_tokens(self, token):
+        assert is_missing(token)
+
+    @pytest.mark.parametrize("value", ["0", "false", "abc", 0, 0.0, "  x  "])
+    def test_non_missing_values(self, value):
+        assert not is_missing(value)
+
+
+class TestInferValueType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("42", AtomicType.INTEGER),
+            ("-7", AtomicType.INTEGER),
+            ("3.14", AtomicType.FLOAT),
+            ("1e-3", AtomicType.FLOAT),
+            ("1,234.5", AtomicType.FLOAT),
+            ("true", AtomicType.BOOLEAN),
+            ("No", AtomicType.BOOLEAN),
+            ("2021-03-01", AtomicType.DATE),
+            ("03/04/2021", AtomicType.DATE),
+            ("2021-03-01 12:30:00", AtomicType.DATE),
+            ("hello", AtomicType.STRING),
+            ("", AtomicType.EMPTY),
+            (None, AtomicType.EMPTY),
+        ],
+    )
+    def test_value_types(self, value, expected):
+        assert infer_value_type(value) is expected
+
+    def test_python_native_types(self):
+        assert infer_value_type(7) is AtomicType.INTEGER
+        assert infer_value_type(7.5) is AtomicType.FLOAT
+        assert infer_value_type(True) is AtomicType.BOOLEAN
+
+
+class TestInferColumnType:
+    def test_all_integers(self):
+        assert infer_column_type(["1", "2", "3"]) is AtomicType.INTEGER
+
+    def test_mixed_int_float_promotes_to_float(self):
+        assert infer_column_type(["1", "2.5", "3"]) is AtomicType.FLOAT
+
+    def test_strings_dominate(self):
+        assert infer_column_type(["a", "b", "1"]) is AtomicType.STRING
+
+    def test_mostly_numeric_with_noise_is_numeric(self):
+        values = ["1"] * 99 + ["oops"]
+        assert infer_column_type(values).is_numeric
+
+    def test_empty_column(self):
+        assert infer_column_type(["", None, "na"]) is AtomicType.EMPTY
+
+    def test_boolean_column(self):
+        assert infer_column_type(["yes", "no", "yes", "no"]) is AtomicType.BOOLEAN
+
+    def test_date_column(self):
+        assert infer_column_type(["2020-01-01", "2020-02-01", "2020-03-01"]) is AtomicType.DATE
+
+    def test_missing_values_ignored(self):
+        assert infer_column_type(["1", "", "2", "nan"]) is AtomicType.INTEGER
+
+
+class TestCoarseBuckets:
+    def test_numeric_bucket(self):
+        assert AtomicType.INTEGER.coarse == "numeric"
+        assert AtomicType.FLOAT.coarse == "numeric"
+
+    def test_string_bucket_includes_dates(self):
+        assert AtomicType.STRING.coarse == "string"
+        assert AtomicType.DATE.coarse == "string"
+
+    def test_other_bucket(self):
+        assert AtomicType.BOOLEAN.coarse == "other"
+        assert AtomicType.EMPTY.coarse == "other"
+
+    def test_is_numeric_flag(self):
+        assert AtomicType.INTEGER.is_numeric
+        assert not AtomicType.STRING.is_numeric
+
+
+class TestCoerceValue:
+    def test_coerce_integer(self):
+        assert coerce_value("42", AtomicType.INTEGER) == 42
+
+    def test_coerce_float_with_thousands(self):
+        assert coerce_value("1,234.5", AtomicType.FLOAT) == pytest.approx(1234.5)
+
+    def test_coerce_boolean(self):
+        assert coerce_value("yes", AtomicType.BOOLEAN) is True
+        assert coerce_value("no", AtomicType.BOOLEAN) is False
+
+    def test_coerce_missing_returns_none(self):
+        assert coerce_value("", AtomicType.INTEGER) is None
+
+    def test_coerce_unparseable_returns_text(self):
+        assert coerce_value("abc", AtomicType.INTEGER) == "abc"

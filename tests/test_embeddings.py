@@ -1,0 +1,128 @@
+"""Unit tests for the embedding substrates (repro.embeddings)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.fasttext import FastTextModel
+from repro.embeddings.hashing import hashed_unit_vector, ngrams, tokenize
+from repro.embeddings.sentence import SentenceEncoder
+from repro.embeddings.similarity import (
+    NearestNeighbourIndex,
+    cosine_similarity,
+    cosine_similarity_matrix,
+)
+
+
+class TestHashing:
+    def test_tokenize(self):
+        assert tokenize("Product_ID 42") == ["product", "id", "42"]
+
+    def test_tokenize_empty(self):
+        assert tokenize("!!!") == []
+
+    def test_ngrams_include_boundaries(self):
+        grams = ngrams("id", sizes=(3,))
+        assert "<id>" in grams
+
+    def test_ngrams_of_long_token(self):
+        grams = ngrams("status", sizes=(3,))
+        assert "<st" in grams and "us>" in grams
+
+    def test_hashed_vector_is_unit_and_deterministic(self):
+        a = hashed_unit_vector("id", 32)
+        b = hashed_unit_vector("id", 32)
+        assert np.allclose(a, b)
+        assert np.linalg.norm(a) == pytest.approx(1.0)
+
+    def test_different_tokens_nearly_orthogonal(self):
+        a = hashed_unit_vector("country", 64)
+        b = hashed_unit_vector("latitude", 64)
+        assert abs(float(a @ b)) < 0.5
+
+
+class TestFastTextModel:
+    def test_identical_strings_have_similarity_one(self):
+        model = FastTextModel()
+        assert model.similarity("status", "Status") == pytest.approx(1.0)
+
+    def test_compound_shares_similarity_with_parts(self):
+        model = FastTextModel()
+        assert model.similarity("product id", "id") > 0.3
+        assert model.similarity("product id", "id") > model.similarity("species", "id")
+
+    def test_unrelated_strings_have_low_similarity(self):
+        model = FastTextModel()
+        assert model.similarity("latitude", "email") < 0.4
+
+    def test_empty_string_embeds_to_zero(self):
+        model = FastTextModel()
+        assert np.allclose(model.embed(""), 0.0)
+
+    def test_embed_batch_shape(self):
+        model = FastTextModel(dim=32)
+        matrix = model.embed_batch(["a", "b", "c"])
+        assert matrix.shape == (3, 32)
+
+    def test_embeddings_are_unit_norm(self):
+        model = FastTextModel()
+        assert np.linalg.norm(model.embed("country code")) == pytest.approx(1.0)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            FastTextModel(dim=2)
+
+
+class TestSentenceEncoder:
+    def test_schema_embedding_is_unit_norm(self):
+        encoder = SentenceEncoder()
+        vector = encoder.embed_schema(["order id", "order date", "status"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_related_sentences_are_closer(self):
+        encoder = SentenceEncoder()
+        query = encoder.embed("sales amount per product")
+        orders = encoder.embed_schema(["product id", "quantity", "total price", "status"])
+        sensors = encoder.embed_schema(["timestamp", "sensor id", "temperature"])
+        assert cosine_similarity(query, orders) > cosine_similarity(query, sensors)
+
+    def test_empty_schema_embeds_to_zero(self):
+        encoder = SentenceEncoder()
+        assert np.allclose(encoder.embed_schema([]), 0.0)
+
+    def test_common_words_are_downweighted(self):
+        encoder = SentenceEncoder()
+        with_stopwords = encoder.embed("the price of the order")
+        without = encoder.embed("price order")
+        assert cosine_similarity(with_stopwords, without) > 0.8
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SentenceEncoder(dim=4)
+
+
+class TestSimilarityUtilities:
+    def test_cosine_similarity_bounds(self):
+        a = np.array([1.0, 0.0])
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+        assert cosine_similarity(a, np.zeros(2)) == 0.0
+
+    def test_similarity_matrix_shape(self):
+        queries = np.eye(3)
+        index = np.eye(3)[:2]
+        matrix = cosine_similarity_matrix(queries, index)
+        assert matrix.shape == (3, 2)
+        assert matrix[0, 0] == pytest.approx(1.0)
+
+    def test_nearest_neighbour_index(self):
+        labels = ["a", "b", "c"]
+        vectors = np.eye(3)
+        index = NearestNeighbourIndex(labels, vectors)
+        best = index.best(np.array([0.9, 0.1, 0.0]))
+        assert best[0] == "a"
+        top2 = index.query(np.array([0.9, 0.5, 0.0]), top_k=2)
+        assert [label for label, _ in top2] == ["a", "b"]
+
+    def test_nearest_neighbour_length_mismatch(self):
+        with pytest.raises(ValueError):
+            NearestNeighbourIndex(["a"], np.eye(2))

@@ -1,0 +1,110 @@
+"""Unit tests for table filtering and content curation (repro.core)."""
+
+import pytest
+
+from repro.config import CurationConfig
+from repro.core.annotation import annotate_table
+from repro.core.curation import ContentCurator, CurationReport
+from repro.core.filtering import (
+    REASON_LICENSE,
+    REASON_NON_STRING_HEADER,
+    REASON_SOCIAL_MEDIA,
+    REASON_TOO_SMALL,
+    REASON_UNNAMED,
+    FilterDecision,
+    TableFilter,
+)
+from repro.dataframe.table import Table
+
+
+def _table(header, rows, license_key="mit"):
+    return Table(header, rows, table_id="t", metadata={"license": license_key})
+
+
+class TestTableFilter:
+    @pytest.fixture()
+    def table_filter(self):
+        return TableFilter(CurationConfig())
+
+    def test_good_table_is_kept(self, table_filter, orders_table):
+        assert table_filter.evaluate(orders_table).keep
+
+    def test_license_required(self, table_filter, orders_table):
+        decision = table_filter.evaluate(orders_table, license_key=None)
+        assert decision == FilterDecision.dropped(REASON_LICENSE)
+
+    def test_non_permissive_license_dropped(self, table_filter, orders_table):
+        assert not table_filter.evaluate(orders_table, license_key="proprietary").keep
+
+    def test_license_filter_can_be_disabled(self, orders_table):
+        table_filter = TableFilter(CurationConfig(require_permissive_license=False))
+        assert table_filter.evaluate(orders_table, license_key=None).keep
+
+    def test_too_few_rows_dropped(self, table_filter):
+        table = _table(["a", "b"], [["1", "2"]])
+        assert table_filter.evaluate(table).reason == REASON_TOO_SMALL
+
+    def test_too_few_columns_dropped(self, table_filter):
+        table = _table(["a"], [["1"], ["2"], ["3"]])
+        assert table_filter.evaluate(table).reason == REASON_TOO_SMALL
+
+    def test_mostly_unnamed_columns_dropped(self, table_filter):
+        table = _table(["a", "", "", ""], [["1", "2", "3", "4"], ["5", "6", "7", "8"]])
+        assert table_filter.evaluate(table).reason == REASON_UNNAMED
+
+    def test_numeric_header_dropped(self, table_filter):
+        table = _table(["2020", "2021"], [["1", "2"], ["3", "4"]])
+        assert table_filter.evaluate(table).reason == REASON_NON_STRING_HEADER
+
+    def test_short_alpha_header_is_fine(self, table_filter):
+        table = _table(["x", "y"], [["1", "2"], ["3", "4"]])
+        assert table_filter.evaluate(table).keep
+
+    def test_social_media_columns_dropped(self, table_filter):
+        table = _table(["id", "twitter_handle"], [["1", "@a"], ["2", "@b"]])
+        assert table_filter.evaluate(table).reason == REASON_SOCIAL_MEDIA
+
+    def test_report_aggregates_reasons(self, table_filter):
+        report = table_filter.filter_parsed([])[1]
+        assert report.evaluated == 0
+        decision_keep = FilterDecision.kept()
+        decision_drop = FilterDecision.dropped(REASON_TOO_SMALL)
+        report.record(decision_keep)
+        report.record(decision_drop)
+        assert report.kept == 1
+        assert report.dropped_by_reason[REASON_TOO_SMALL] == 1
+        assert report.drop_rate == pytest.approx(0.5)
+
+
+class TestContentCurator:
+    def test_pii_columns_are_anonymised(self, people_table):
+        annotations = annotate_table(people_table)
+        curator = ContentCurator(CurationConfig())
+        report = CurationReport()
+        result = curator.curate(people_table, annotations, report=report)
+        assert report.tables_processed == 1
+        assert "email" in result.scrub_report.scrubbed_columns
+        assert result.table.column("email").values != people_table.column("email").values
+
+    def test_disabled_anonymisation_is_noop(self, people_table):
+        annotations = annotate_table(people_table)
+        curator = ContentCurator(CurationConfig(anonymize_pii=False))
+        result = curator.curate(people_table, annotations)
+        assert result.table is people_table
+        assert result.scrub_report.scrubbed_count == 0
+
+    def test_report_percentages(self, people_table):
+        annotations = annotate_table(people_table)
+        curator = ContentCurator(CurationConfig())
+        report = CurationReport()
+        curator.curate(people_table, annotations, report=report)
+        percentages = report.type_percentages()
+        assert all(0.0 <= value <= 100.0 for value in percentages.values())
+        assert 0.0 <= report.scrubbed_column_fraction <= 1.0
+
+    def test_non_pii_table_unchanged(self, orders_table):
+        annotations = annotate_table(orders_table)
+        curator = ContentCurator(CurationConfig())
+        report = CurationReport()
+        result = curator.curate(orders_table, annotations, report=report)
+        assert result.table.column("status").values == orders_table.column("status").values

@@ -1,0 +1,51 @@
+"""Unit tests for CSV serialisation (repro.dataframe.io)."""
+
+import pytest
+
+from repro.dataframe.io import read_csv_file, table_to_csv, write_csv_file
+from repro.dataframe.parser import parse_csv
+from repro.dataframe.table import Table
+from repro.errors import CSVParseError
+
+
+class TestTableToCSV:
+    def test_round_trip(self, orders_table):
+        text = table_to_csv(orders_table)
+        parsed, _ = parse_csv(text)
+        assert parsed.header == orders_table.header
+        assert parsed.rows == orders_table.rows
+
+    def test_values_with_delimiter_are_quoted(self):
+        table = Table(header=["note"], rows=[["hello, world"]])
+        text = table_to_csv(table)
+        assert '"hello, world"' in text
+
+    def test_values_with_quotes_are_escaped(self):
+        table = Table(header=["note"], rows=[['say "hi"']])
+        text = table_to_csv(table)
+        assert '""hi""' in text
+
+    def test_none_serialises_to_empty(self):
+        table = Table(header=["a", "b"], rows=[[None, "x"]])
+        text = table_to_csv(table)
+        assert text.splitlines()[1] == ",x"
+
+    def test_custom_delimiter(self, orders_table):
+        text = table_to_csv(orders_table, delimiter=";")
+        assert ";" in text.splitlines()[0]
+
+
+class TestFileIO:
+    def test_write_and_read(self, tmp_path, orders_table):
+        path = tmp_path / "orders.csv"
+        write_csv_file(orders_table, path)
+        table, report = read_csv_file(path)
+        assert table.header == orders_table.header
+        assert table.num_rows == orders_table.num_rows
+        assert report.dialect.delimiter == ","
+
+    def test_read_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(CSVParseError):
+            read_csv_file(path)

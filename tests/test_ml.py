@@ -1,0 +1,235 @@
+"""Unit tests for the ML substrate (repro.ml)."""
+
+import numpy as np
+import pytest
+
+from repro._rand import default_rng
+from repro.errors import FeatureExtractionError, ModelNotFittedError
+from repro.ml.crossval import KFold, StratifiedKFold, cross_validate
+from repro.ml.features import ColumnFeaturizer
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score_macro,
+    precision_recall_f1,
+    precision_score_macro,
+    recall_score_macro,
+)
+from repro.ml.neural import MLPClassifier
+from repro.ml.random_forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _blobs(n=300, seed=0):
+    """Two well-separated Gaussian blobs."""
+    rng = default_rng(seed)
+    a = rng.normal(loc=-2.0, size=(n // 2, 5))
+    b = rng.normal(loc=2.0, size=(n // 2, 5))
+    features = np.vstack([a, b])
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return features, labels
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_empty_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1 and matrix[1, 1] == 1
+
+    def test_perfect_f1(self):
+        assert f1_score_macro([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_precision_recall_per_class(self):
+        scores = precision_recall_f1([1, 1, 0, 0], [1, 0, 0, 0])
+        assert scores[1]["precision"] == pytest.approx(1.0)
+        assert scores[1]["recall"] == pytest.approx(0.5)
+
+    def test_macro_scores_average_classes(self):
+        y_true = [0, 0, 1]
+        y_pred = [0, 0, 0]
+        assert precision_score_macro(y_true, y_pred) == pytest.approx(1 / 3)
+        assert recall_score_macro(y_true, y_pred) == pytest.approx(0.5)
+
+
+class TestCrossValidation:
+    def test_kfold_partitions_everything(self):
+        folds = list(KFold(n_splits=4, seed=1).split(20))
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_kfold_too_many_splits(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+    def test_stratified_preserves_class_balance(self):
+        labels = np.array([0] * 20 + [1] * 20)
+        for train, test in StratifiedKFold(n_splits=4, seed=2).split(labels):
+            test_labels = labels[test]
+            assert 0 in test_labels and 1 in test_labels
+
+    def test_cross_validate_scores(self):
+        features, labels = _blobs()
+        scores = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=4),
+            features,
+            labels,
+            accuracy_score,
+            n_splits=3,
+        )
+        assert len(scores) == 3
+        assert min(scores) > 0.8
+
+
+class TestDecisionTree:
+    def test_learns_separable_data(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=5).fit(features, labels)
+        assert accuracy_score(labels, tree.predict(features)) > 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 3)))
+
+    def test_max_depth_limits_tree(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        assert tree.depth() <= 1
+
+    def test_string_labels_supported(self):
+        features, labels = _blobs()
+        names = np.where(labels == 0, "red", "blue")
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, names)
+        assert set(tree.predict(features)) <= {"red", "blue"}
+
+    def test_predict_proba_rows_sum_to_one(self):
+        features, labels = _blobs()
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        probabilities = tree.predict_proba(features[:10])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestRandomForest:
+    def test_learns_separable_data(self):
+        features, labels = _blobs()
+        forest = RandomForestClassifier(n_estimators=8, seed=3).fit(features, labels)
+        assert accuracy_score(labels, forest.predict(features)) > 0.95
+
+    def test_probabilities_average_trees(self):
+        features, labels = _blobs()
+        forest = RandomForestClassifier(n_estimators=5, seed=3).fit(features, labels)
+        probabilities = forest.predict_proba(features[:5])
+        assert probabilities.shape == (5, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_deterministic_given_seed(self):
+        features, labels = _blobs()
+        first = RandomForestClassifier(n_estimators=5, seed=9).fit(features, labels)
+        second = RandomForestClassifier(n_estimators=5, seed=9).fit(features, labels)
+        assert np.array_equal(first.predict(features), second.predict(features))
+
+
+class TestMLP:
+    def test_learns_separable_data(self):
+        features, labels = _blobs()
+        model = MLPClassifier(hidden_sizes=(16,), epochs=30, seed=1).fit(features, labels)
+        assert accuracy_score(labels, model.predict(features)) > 0.95
+
+    def test_loss_decreases(self):
+        features, labels = _blobs()
+        model = MLPClassifier(hidden_sizes=(16,), epochs=20, seed=1).fit(features, labels)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_multiclass(self):
+        rng = default_rng(4)
+        features = np.vstack([rng.normal(loc=c * 3, size=(40, 4)) for c in range(3)])
+        labels = np.repeat(["a", "b", "c"], 40)
+        model = MLPClassifier(hidden_sizes=(32,), epochs=80, seed=2).fit(features, labels)
+        assert f1_score_macro(labels, model.predict(features)) > 0.85
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            MLPClassifier().predict(np.zeros((1, 3)))
+
+    def test_empty_hidden_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_sizes=())
+
+    def test_probabilities_sum_to_one(self):
+        features, labels = _blobs()
+        model = MLPClassifier(hidden_sizes=(8,), epochs=10, seed=1).fit(features, labels)
+        probabilities = model.predict_proba(features[:7])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestColumnFeaturizer:
+    def test_feature_vector_length_matches_names(self):
+        featurizer = ColumnFeaturizer()
+        vector = featurizer.featurize_values(["a", "b", "c"])
+        assert len(vector) == featurizer.n_features
+        assert len(vector.names) == len(vector.values)
+
+    def test_email_columns_activate_at_sign_features(self):
+        featurizer = ColumnFeaturizer()
+        vector = featurizer.featurize_values(["a@x.com", "b@y.org"]).as_dict()
+        assert vector["char[@]_any"] == 1.0
+        assert vector["char[@]_mean"] > 0.0
+
+    def test_numeric_columns_have_numeric_statistics(self):
+        featurizer = ColumnFeaturizer()
+        vector = featurizer.featurize_values(["1", "2", "3", "4"]).as_dict()
+        assert vector["numeric_fraction"] == pytest.approx(1.0)
+        assert vector["numeric_mean"] == pytest.approx(2.5)
+
+    def test_empty_column_is_all_finite(self):
+        featurizer = ColumnFeaturizer()
+        vector = featurizer.featurize_values(["", None, "nan"])
+        assert np.all(np.isfinite(vector.values))
+
+    def test_feature_families_can_be_disabled(self):
+        only_stats = ColumnFeaturizer(include_char_features=False, include_embeddings=False)
+        assert only_stats.n_features == 27
+
+    def test_all_families_disabled_rejected(self):
+        with pytest.raises(FeatureExtractionError):
+            ColumnFeaturizer(
+                include_char_features=False, include_embeddings=False, include_statistics=False
+            )
+
+    def test_featurize_many_shape(self):
+        featurizer = ColumnFeaturizer()
+        matrix = featurizer.featurize_many([["1", "2"], ["a", "b"], ["x@y.z"]])
+        assert matrix.shape == (3, featurizer.n_features)
+
+    def test_featurize_column_object(self, orders_table):
+        featurizer = ColumnFeaturizer()
+        vector = featurizer.featurize_column(orders_table.column("total_price"))
+        assert np.all(np.isfinite(vector.values))
+
+    def test_max_values_caps_work(self):
+        featurizer = ColumnFeaturizer(max_values=10)
+        vector = featurizer.featurize_values([str(i) for i in range(1000)])
+        assert vector.as_dict()["n_distinct"] <= 10

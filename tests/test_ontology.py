@@ -1,0 +1,130 @@
+"""Unit tests for the ontology substrate (repro.ontology)."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology.dbpedia import DBPEDIA_TARGET_TYPE_COUNT, load_dbpedia
+from repro.ontology.pii import PII_FAKER_CLASSES, PII_TYPES, faker_class_for, is_pii_type
+from repro.ontology.registry import load_ontologies, load_ontology
+from repro.ontology.schema_org import SCHEMA_ORG_TARGET_TYPE_COUNT, load_schema_org
+from repro.ontology.types import AtomicKind, Ontology, SemanticType, normalize_label
+
+
+class TestNormalizeLabel:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("product_id", "product id"),
+            ("productID", "product id"),
+            ("Product-Id", "product id"),
+            ("birthDate", "birth date"),
+            ("  Name  ", "name"),
+            ("order.date", "order date"),
+            ("ALLCAPS", "allcaps"),
+        ],
+    )
+    def test_normalisation(self, raw, expected):
+        assert normalize_label(raw) == expected
+
+
+class TestSemanticType:
+    def test_normalized_property(self):
+        semantic_type = SemanticType(label="birth date", ontology="dbpedia")
+        assert semantic_type.normalized == "birth date"
+
+    def test_ancestry_walks_parents(self):
+        dbpedia = load_dbpedia()
+        ancestry = dbpedia.get("birth date").ancestry(dbpedia)
+        assert ancestry[0] == "birth date"
+        assert "date" in ancestry
+
+    def test_ancestry_handles_missing_parent(self):
+        ontology = Ontology("test", [SemanticType("a", "test", parent="ghost")])
+        assert ontology.get("a").ancestry(ontology) == ["a", "ghost"]
+
+
+class TestOntologyContainer:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(OntologyError):
+            Ontology("test", [SemanticType("x", "test"), SemanticType("x", "test")])
+
+    def test_match_normalized(self):
+        dbpedia = load_dbpedia()
+        assert dbpedia.match_normalized("Birth_Date").label == "birth date"
+        assert dbpedia.match_normalized("not a real type at all") is None
+
+    def test_types_in_domain(self):
+        dbpedia = load_dbpedia()
+        person_types = dbpedia.types_in_domain("Person")
+        assert any(t.label == "birth date" for t in person_types)
+
+    def test_is_descendant(self):
+        dbpedia = load_dbpedia()
+        assert dbpedia.is_descendant("birth date", "date")
+        assert not dbpedia.is_descendant("date", "birth date")
+
+
+class TestCatalogues:
+    def test_dbpedia_reaches_paper_scale(self):
+        assert len(load_dbpedia()) == DBPEDIA_TARGET_TYPE_COUNT
+
+    def test_schema_org_reaches_paper_scale(self):
+        assert len(load_schema_org()) == SCHEMA_ORG_TARGET_TYPE_COUNT
+
+    def test_dbpedia_has_id_with_description(self):
+        id_type = load_dbpedia().get("id")
+        assert id_type is not None
+        assert "identifier" in id_type.description.lower()
+
+    def test_schema_org_has_identifier(self):
+        assert load_schema_org().get("identifier") is not None
+
+    def test_atomic_kinds_assigned(self):
+        dbpedia = load_dbpedia()
+        assert dbpedia.get("population").atomic is AtomicKind.NUMBER
+        assert dbpedia.get("name").atomic is AtomicKind.TEXT
+
+    def test_compound_types_have_parents(self):
+        dbpedia = load_dbpedia()
+        compound = dbpedia.get("vehicle id")
+        assert compound is not None
+        assert compound.parent == "id"
+
+    def test_loading_is_deterministic(self):
+        first = [t.label for t in load_dbpedia()]
+        second = [t.label for t in load_dbpedia()]
+        assert first == second
+
+
+class TestRegistry:
+    def test_load_by_name(self):
+        assert load_ontology("dbpedia").name == "dbpedia"
+        assert load_ontology("schema_org").name == "schema_org"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(OntologyError):
+            load_ontology("wikidata")
+
+    def test_load_all(self):
+        ontologies = load_ontologies()
+        assert set(ontologies) == {"dbpedia", "schema_org"}
+
+    def test_load_subset(self):
+        ontologies = load_ontologies(["dbpedia"])
+        assert set(ontologies) == {"dbpedia"}
+
+
+class TestPIIRegistry:
+    def test_paper_table3_types_present(self):
+        assert set(PII_TYPES) == set(PII_FAKER_CLASSES)
+        assert "name" in PII_TYPES
+        assert "email" in PII_TYPES
+
+    def test_is_pii_type(self):
+        assert is_pii_type("email")
+        assert not is_pii_type("country")
+
+    def test_faker_class_mapping(self):
+        assert faker_class_for("email") == "faker.email"
+        assert faker_class_for("birth date") == "faker.date"
+        assert faker_class_for("unknown") is None

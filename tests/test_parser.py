@@ -1,0 +1,116 @@
+"""Unit tests for the tolerant CSV parser (repro.dataframe.parser)."""
+
+import pytest
+
+from repro.dataframe.parser import parse_csv
+from repro.errors import CSVParseError
+
+
+class TestBasicParsing:
+    def test_simple_table(self):
+        table, report = parse_csv("a,b\n1,2\n3,4\n")
+        assert table.header == ("a", "b")
+        assert table.num_rows == 2
+        assert report.parsed_rows == 2
+        assert report.dialect.delimiter == ","
+
+    def test_semicolon_table(self):
+        table, _ = parse_csv("x;y;z\n1;2;3\n")
+        assert table.num_columns == 3
+
+    def test_table_id_and_metadata_attached(self):
+        table, _ = parse_csv("a,b\n1,2\n", table_id="t1", metadata={"topic": "id"})
+        assert table.table_id == "t1"
+        assert table.metadata["topic"] == "id"
+
+    def test_header_only_file_parses_to_empty_table(self):
+        table, _ = parse_csv("a,b,c\n")
+        assert table.num_rows == 0
+        assert table.header == ("a", "b", "c")
+
+
+class TestLeadingLines:
+    def test_skips_comment_preamble(self):
+        text = "# exported at 2021\n\na,b\n1,2\n"
+        table, report = parse_csv(text)
+        assert table.header == ("a", "b")
+        assert report.skipped_leading_lines == 2
+
+    def test_only_comments_raises(self):
+        with pytest.raises(CSVParseError):
+            parse_csv("# nothing\n# here\n")
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(CSVParseError):
+            parse_csv("   \n  ")
+
+
+class TestBadLines:
+    def test_drops_rows_with_extra_delimiters(self):
+        text = "a,b\n1,2\n1,2,3,4\n5,6\n"
+        table, report = parse_csv(text)
+        assert table.num_rows == 2
+        assert report.dropped_bad_lines == 1
+
+    def test_drops_commented_rows_in_body(self):
+        text = "a,b\n1,2\n# comment\n3,4\n"
+        table, report = parse_csv(text)
+        assert table.num_rows == 2
+        assert report.dropped_bad_lines == 1
+
+    def test_all_rows_bad_raises(self):
+        text = "a,b\n1,2,3\n4,5,6\n"
+        with pytest.raises(CSVParseError):
+            parse_csv(text)
+
+
+class TestTrailingSeparatorRealignment:
+    def test_rows_with_trailing_separator(self):
+        text = "a,b\n1,2,\n3,4,\n"
+        table, report = parse_csv(text)
+        assert table.num_rows == 2
+        assert table.num_columns == 2
+        assert report.realigned_trailing_separator
+
+    def test_header_with_trailing_separator(self):
+        text = "a,b,\n1,2\n3,4\n"
+        table, report = parse_csv(text)
+        assert table.header == ("a", "b")
+        assert report.realigned_trailing_separator
+
+    def test_unnamed_trailing_columns_are_preserved(self):
+        # Header ends with empty names but rows carry real data there: the
+        # realignment must NOT cut the last column.
+        text = "a,b,,\n1,2,3,4\n5,6,7,8\n"
+        table, _ = parse_csv(text)
+        assert table.num_columns == 4
+        assert table.num_rows == 2
+
+
+class TestHeaderHandling:
+    def test_duplicate_column_names_are_deduplicated(self):
+        table, _ = parse_csv("x,x,x\n1,2,3\n")
+        assert table.header == ("x", "x.1", "x.2")
+
+    def test_blank_column_names_become_unnamed(self):
+        table, _ = parse_csv("a,,c\n1,2,3\n")
+        assert table.header[1].startswith("unnamed")
+
+    def test_quoted_header_fields(self):
+        table, _ = parse_csv('"first name","last name"\nAda,Lovelace\n')
+        assert table.header == ("first name", "last name")
+
+    def test_quoted_values_with_delimiter(self):
+        table, _ = parse_csv('name,note\nAda,"likes math, a lot"\n')
+        assert table.rows[0][1] == "likes math, a lot"
+
+
+class TestParseReport:
+    def test_bad_line_fraction(self):
+        text = "a,b\n1,2\nbad,line,here\n3,4\n"
+        _, report = parse_csv(text)
+        assert 0 < report.bad_line_fraction < 1
+
+    def test_total_lines_counted(self):
+        _, report = parse_csv("a,b\n1,2\n3,4\n")
+        assert report.total_lines == 3

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._rand import derive_seed, stable_hash
+from repro.dataframe.dtypes import AtomicType, infer_column_type, infer_value_type
+from repro.dataframe.io import table_to_csv
+from repro.dataframe.parser import parse_csv
+from repro.dataframe.table import Table
+from repro.embeddings.fasttext import FastTextModel
+from repro.embeddings.sentence import SentenceEncoder
+from repro.embeddings.similarity import cosine_similarity
+from repro.ontology.types import normalize_label
+
+# Cell text without characters that require CSV quoting and without
+# missing-value tokens; used for round-trip properties.
+_plain_cell = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() and s.strip().lower() not in {"na", "nan", "null", "none"})
+
+_header_name = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    min_size=1,
+    max_size=10,
+)
+
+_word = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x7F),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestCSVRoundTripProperties:
+    # Single-column CSV files contain no delimiter at all, so the sniffer
+    # cannot (and should not) guess one; round-trip properties therefore
+    # start at two columns.
+    @given(
+        header=st.lists(_header_name, min_size=2, max_size=6, unique=True),
+        n_rows=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_serialise_then_parse_preserves_shape_and_values(self, header, n_rows, data):
+        rows = [
+            [data.draw(_plain_cell) for _ in header]
+            for _ in range(n_rows)
+        ]
+        table = Table(header, rows)
+        parsed, _ = parse_csv(table_to_csv(table))
+        assert parsed.num_rows == table.num_rows
+        assert parsed.num_columns == table.num_columns
+        assert [list(row) for row in parsed.rows] == [list(row) for row in table.rows]
+
+    @given(
+        header=st.lists(_header_name, min_size=2, max_size=5, unique=True),
+        n_rows=st.integers(min_value=1, max_value=5),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cells_containing_delimiters_survive_round_trip(self, header, n_rows, data):
+        rows = [
+            [data.draw(_plain_cell) + ", extra" for _ in header]
+            for _ in range(n_rows)
+        ]
+        table = Table(header, rows)
+        parsed, _ = parse_csv(table_to_csv(table))
+        assert parsed.rows == table.rows
+
+
+class TestDtypeProperties:
+    @given(st.lists(st.integers(min_value=-10**9, max_value=10**9), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_integer_columns_infer_numeric(self, values):
+        inferred = infer_column_type([str(value) for value in values])
+        assert inferred.is_numeric
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_float_columns_infer_numeric(self, values):
+        inferred = infer_column_type([repr(float(value)) for value in values])
+        assert inferred.is_numeric
+
+    @given(_word)
+    @settings(max_examples=60, deadline=None)
+    def test_every_value_gets_exactly_one_atomic_type(self, value):
+        assert infer_value_type(value) in AtomicType
+
+    @given(st.lists(_word, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_column_type_is_stable_under_repetition(self, values):
+        assert infer_column_type(values) == infer_column_type(values * 2)
+
+
+class TestNormalizationProperties:
+    @given(_word)
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_is_idempotent(self, text):
+        once = normalize_label(text)
+        assert normalize_label(once) == once
+
+    @given(_word)
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_is_case_insensitive(self, text):
+        assert normalize_label(text.upper()) == normalize_label(text.lower())
+
+    @given(st.lists(_word, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_separator_choice_does_not_matter(self, tokens):
+        with_underscores = "_".join(tokens)
+        with_hyphens = "-".join(tokens)
+        assert normalize_label(with_underscores) == normalize_label(with_hyphens)
+
+
+class TestEmbeddingProperties:
+    @given(_word)
+    @settings(max_examples=40, deadline=None)
+    def test_embedding_is_deterministic(self, text):
+        model = FastTextModel(dim=32)
+        assert np.allclose(model.embed(text), model.embed(text))
+
+    @given(_word)
+    @settings(max_examples=40, deadline=None)
+    def test_self_similarity_is_one_for_nonempty_tokens(self, text):
+        model = FastTextModel(dim=32)
+        if model.embed(text).any():
+            assert model.similarity(text, text) > 0.999
+
+    @given(_word, _word)
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_is_symmetric_and_bounded(self, left, right):
+        model = FastTextModel(dim=32)
+        forward = model.similarity(left, right)
+        backward = model.similarity(right, left)
+        assert abs(forward - backward) < 1e-9
+        assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+
+    @given(st.lists(_word, min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_schema_embeddings_are_unit_or_zero(self, attributes):
+        encoder = SentenceEncoder(dim=32)
+        vector = encoder.embed_schema(attributes)
+        norm = np.linalg.norm(vector)
+        assert norm == 0.0 or abs(norm - 1.0) < 1e-9
+
+    @given(_word, _word)
+    @settings(max_examples=30, deadline=None)
+    def test_cosine_similarity_bounds(self, left, right):
+        model = FastTextModel(dim=16)
+        similarity = cosine_similarity(model.embed(left), model.embed(right))
+        assert -1.0 - 1e-9 <= similarity <= 1.0 + 1e-9
+
+
+class TestSeedingProperties:
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_stable_hash_is_deterministic(self, a, b):
+        assert stable_hash(a, b) == stable_hash(a, b)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_derived_seeds_are_32_bit(self, seed, namespace):
+        derived = derive_seed(seed, namespace)
+        assert 0 <= derived < 2**32
+
+
+class TestTableInvariants:
+    @given(
+        header=st.lists(_header_name, min_size=1, max_size=6, unique=True),
+        n_rows=st.integers(min_value=0, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_columns_are_consistent_with_rows(self, header, n_rows, data):
+        rows = [[data.draw(_plain_cell) for _ in header] for _ in range(n_rows)]
+        table = Table(header, rows)
+        assert len(table.columns) == len(header)
+        for position, column in enumerate(table.columns):
+            assert list(column.values) == [row[position] for row in rows]
+        assert table.num_cells == table.num_rows * table.num_columns

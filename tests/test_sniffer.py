@@ -1,0 +1,62 @@
+"""Unit tests for CSV dialect sniffing (repro.dataframe.sniffer)."""
+
+import pytest
+
+from repro.dataframe.sniffer import Dialect, sniff_dialect, split_line
+from repro.errors import SnifferError
+
+
+class TestSniffDialect:
+    def test_comma(self):
+        text = "a,b,c\n1,2,3\n4,5,6\n"
+        assert sniff_dialect(text).delimiter == ","
+
+    def test_semicolon(self):
+        text = "a;b;c\n1;2;3\n"
+        assert sniff_dialect(text).delimiter == ";"
+
+    def test_tab(self):
+        text = "a\tb\tc\n1\t2\t3\n"
+        assert sniff_dialect(text).delimiter == "\t"
+
+    def test_pipe(self):
+        text = "a|b|c\n1|2|3\n"
+        assert sniff_dialect(text).delimiter == "|"
+
+    def test_prefers_consistent_delimiter(self):
+        # Commas appear inside one field, but semicolons split every line evenly.
+        text = "name;note\nalice;hello, world\nbob;x, y and z\n"
+        assert sniff_dialect(text).delimiter == ";"
+
+    def test_quoted_commas_do_not_confuse(self):
+        text = 'a,b\n"x, y",2\n"z, w",3\n'
+        dialect = sniff_dialect(text)
+        assert dialect.delimiter == ","
+        assert split_line('"x, y",2', dialect) == ["x, y", "2"]
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(SnifferError):
+            sniff_dialect("")
+
+    def test_no_delimiter_raises(self):
+        with pytest.raises(SnifferError):
+            sniff_dialect("justoneword\nanother\n")
+
+    def test_consistency_reported(self):
+        text = "a,b\n1,2\n3,4\n5\n"
+        dialect = sniff_dialect(text)
+        assert 0.5 < dialect.consistency <= 1.0
+
+
+class TestDialect:
+    def test_multichar_delimiter_rejected(self):
+        with pytest.raises(SnifferError):
+            Dialect(delimiter=",,")
+
+    def test_split_line_handles_escaped_quotes(self):
+        dialect = Dialect(delimiter=",")
+        assert split_line('"say ""hi""",2', dialect) == ['say "hi"', "2"]
+
+    def test_split_line_trailing_delimiter(self):
+        dialect = Dialect(delimiter=",")
+        assert split_line("a,b,", dialect) == ["a", "b", ""]

@@ -1,0 +1,124 @@
+"""Unit tests for the Table/Column model (repro.dataframe.table)."""
+
+import pytest
+
+from repro.dataframe.dtypes import AtomicType
+from repro.dataframe.table import Column, Table
+from repro.errors import TableValidationError
+
+
+class TestTableConstruction:
+    def test_shape(self, orders_table):
+        assert orders_table.shape == (4, 6)
+        assert orders_table.num_cells == 24
+        assert len(orders_table) == 4
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(TableValidationError):
+            Table(header=[], rows=[])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(TableValidationError):
+            Table(header=["a", "b"], rows=[["1", "2"], ["3"]])
+
+    def test_header_coerced_to_strings(self):
+        table = Table(header=[1, 2], rows=[["x", "y"]])
+        assert table.header == ("1", "2")
+
+    def test_from_columns(self):
+        table = Table.from_columns({"a": [1, 2], "b": [3, 4]})
+        assert table.shape == (2, 2)
+        assert table.column("a").values == (1, 2)
+
+    def test_from_columns_unequal_lengths_rejected(self):
+        with pytest.raises(TableValidationError):
+            Table.from_columns({"a": [1], "b": [1, 2]})
+
+    def test_from_columns_empty_rejected(self):
+        with pytest.raises(TableValidationError):
+            Table.from_columns({})
+
+
+class TestColumnAccess:
+    def test_column_lookup_by_name(self, orders_table):
+        column = orders_table.column("status")
+        assert column.values[0] == "SHIPPED"
+
+    def test_column_lookup_missing_raises(self, orders_table):
+        with pytest.raises(KeyError):
+            orders_table.column("does-not-exist")
+
+    def test_column_index(self, orders_table):
+        assert orders_table.column_index("order_id") == 0
+
+    def test_columns_have_inferred_types(self, orders_table):
+        assert orders_table.column("quantity").atomic_type is AtomicType.INTEGER
+        assert orders_table.column("total_price").atomic_type is AtomicType.FLOAT
+        assert orders_table.column("status").atomic_type is AtomicType.STRING
+        assert orders_table.column("order_date").atomic_type is AtomicType.DATE
+
+    def test_iter_rows(self, orders_table):
+        rows = list(orders_table.iter_rows())
+        assert len(rows) == 4
+        assert rows[0][0] == "1001"
+
+    def test_to_dicts(self, orders_table):
+        dicts = orders_table.to_dicts()
+        assert dicts[1]["status"] == "PENDING"
+
+
+class TestColumnStatistics:
+    def test_missing_fraction(self):
+        column = Column.from_values("x", ["1", "", "nan", "2"])
+        assert column.missing_fraction == pytest.approx(0.5)
+
+    def test_distinct_count(self):
+        column = Column.from_values("x", ["a", "b", "a", ""])
+        assert column.distinct_count == 2
+
+    def test_numeric_summary(self):
+        column = Column.from_values("x", ["1", "2", "3", "4"])
+        summary = column.summary()
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_summary_of_text_column_is_zeroed(self):
+        column = Column.from_values("x", ["a", "b"])
+        assert column.summary()["count"] == 0.0
+
+
+class TestSchemaHelpers:
+    def test_schema(self, orders_table):
+        assert orders_table.schema[0] == "order_id"
+
+    def test_schema_prefix(self, orders_table):
+        assert orders_table.schema_prefix(3) == ("order_id", "order_date", "status")
+
+    def test_schema_prefix_invalid_length(self, orders_table):
+        with pytest.raises(TableValidationError):
+            orders_table.schema_prefix(0)
+
+    def test_unnamed_column_fraction(self):
+        table = Table(header=["a", "", "unnamed"], rows=[["1", "2", "3"]])
+        assert table.unnamed_column_fraction() == pytest.approx(2 / 3)
+
+
+class TestTransformations:
+    def test_with_metadata_returns_copy(self, orders_table):
+        updated = orders_table.with_metadata(extra="x")
+        assert updated.metadata["extra"] == "x"
+        assert "extra" not in orders_table.metadata
+
+    def test_with_column_values(self, orders_table):
+        updated = orders_table.with_column_values("status", ["A", "B", "C", "D"])
+        assert updated.column("status").values == ("A", "B", "C", "D")
+        assert orders_table.column("status").values[0] == "SHIPPED"
+
+    def test_with_column_values_length_mismatch(self, orders_table):
+        with pytest.raises(TableValidationError):
+            orders_table.with_column_values("status", ["only-one"])
+
+    def test_head(self, orders_table):
+        assert orders_table.head(2).num_rows == 2
+        assert orders_table.head(100).num_rows == 4

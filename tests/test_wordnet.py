@@ -1,0 +1,78 @@
+"""Unit tests for the WordNet-noun substrate (repro.wordnet)."""
+
+import pytest
+
+from repro.wordnet.lexicon import NounEntry, NounLexicon, blocked_topics, load_default_lexicon
+from repro.wordnet.topics import PRIORITY_TOPICS, select_topics
+
+
+class TestLexicon:
+    def test_default_lexicon_is_nonempty(self):
+        lexicon = load_default_lexicon()
+        assert len(lexicon) > 300
+
+    def test_default_lexicon_is_cached(self):
+        assert load_default_lexicon() is load_default_lexicon()
+
+    def test_contains_priority_topics(self):
+        lexicon = load_default_lexicon()
+        for topic in PRIORITY_TOPICS:
+            assert topic in lexicon
+
+    def test_hypernym_chain_reaches_entity(self):
+        lexicon = load_default_lexicon()
+        chain = lexicon.hypernym_chain("city")
+        assert chain[0] == "city"
+        assert chain[-1] == "entity"
+
+    def test_hypernym_chain_of_root(self):
+        lexicon = load_default_lexicon()
+        assert lexicon.hypernym_chain("entity") == ["entity"]
+
+    def test_domains(self):
+        lexicon = load_default_lexicon()
+        assert "noun.person" in lexicon.domains()
+        assert lexicon.domain_of("city") == "noun.location"
+
+    def test_by_domain(self):
+        lexicon = load_default_lexicon()
+        people = lexicon.by_domain("noun.person")
+        assert all(entry.domain == "noun.person" for entry in people)
+        assert len(people) > 10
+
+    def test_duplicate_noun_rejected(self):
+        entries = [NounEntry("a", "a", "noun.tops"), NounEntry("a", "a", "noun.tops")]
+        with pytest.raises(ValueError):
+            NounLexicon(entries)
+
+    def test_get_unknown_returns_none(self):
+        assert load_default_lexicon().get("zzz-not-a-noun") is None
+
+
+class TestTopicSelection:
+    def test_priority_topics_come_first(self):
+        selection = select_topics(5)
+        assert selection.topics[:3] == PRIORITY_TOPICS
+
+    def test_requested_count_respected(self):
+        assert len(select_topics(12)) == 12
+
+    def test_blocked_topics_never_selected(self):
+        selection = select_topics(len(load_default_lexicon()))
+        assert not set(selection.topics) & blocked_topics()
+
+    def test_extra_blocked_topics(self):
+        selection = select_topics(30, extra_blocked={"id"})
+        assert "id" not in selection.topics
+
+    def test_deterministic_given_seed(self):
+        assert select_topics(20, seed=5).topics == select_topics(20, seed=5).topics
+
+    def test_different_seeds_differ(self):
+        a = select_topics(30, seed=1).topics
+        b = select_topics(30, seed=2).topics
+        assert a != b
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            select_topics(0)
