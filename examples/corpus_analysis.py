@@ -1,9 +1,10 @@
 """Example: corpus analysis — regenerate the paper's §4 statistics.
 
-Builds the corpus once and prints the analysis-section artefacts: the
-Table 1/4 comparisons, the Table 5 annotation statistics, the Figure 4
-distributions, the Figure 5 top types, the Table 6 bias profile and the
-§4.2 domain-shift classifier accuracy.
+Builds the corpus once (shared through the experiment context's
+:class:`repro.GitTables` session) and prints the analysis-section
+artefacts: the Table 1/4 comparisons, the Table 5 annotation statistics,
+the Figure 4 distributions, the Figure 5 top types, the Table 6 bias
+profile and the §4.2 domain-shift classifier accuracy.
 
 Run with::
 
@@ -22,7 +23,11 @@ SCALE = "small"
 
 
 def main() -> None:
+    from repro.experiments.context import get_context
+
     print("Running corpus analysis experiments (small scale)...\n")
+    session = get_context(scale=SCALE).session
+    print(f"{session!r}\n{session.pipeline_report.summary()}\n")
     for driver in (run_table1, run_table4, run_table5, run_fig4a, run_fig4b, run_fig5,
                    run_table6, run_domain_shift):
         result = driver(SCALE)

@@ -1,9 +1,10 @@
 """Quickstart: build a small GitTables corpus and inspect it.
 
-Runs the full construction pipeline (GitHub extraction → parsing →
-filtering → annotation → curation) against the built-in GitHub simulator,
-then prints corpus statistics and a sample annotated table, mirroring the
-paper's Figure 2 snippet.
+Runs the streaming construction pipeline (GitHub extraction → parsing →
+filtering → annotation → curation) against the built-in GitHub simulator
+through the :class:`repro.GitTables` facade, then prints the per-stage
+pipeline report, corpus statistics and a sample annotated table,
+mirroring the paper's Figure 2 snippet.
 
 Run with::
 
@@ -12,9 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PipelineConfig, build_corpus
+from repro import GitTables, PipelineConfig
 from repro.core.annotation import AnnotationMethod
-from repro.core.stats import AnnotationStatistics, CorpusStatistics
 from repro.github.content import GeneratorConfig
 
 
@@ -23,25 +23,27 @@ def main() -> None:
     generator = GeneratorConfig(n_repositories=250, mean_rows=60, mean_cols=10, seed=7)
 
     print("Building GitTables corpus (small configuration)...")
-    result = build_corpus(config, generator_config=generator)
-    corpus = result.corpus
+    gt = GitTables.build(config, generator_config=generator)
+    result = gt.result
 
-    print(f"\nCorpus: {len(corpus)} tables from {len(corpus.repositories())} repositories")
+    print(f"\n{gt!r} from {len(gt.corpus.repositories())} repositories")
     print(f"Parse success rate: {result.parsing_report.success_rate:.1%} (paper: 99.3%)")
     print(f"Curation filter rate: {result.filter_report.drop_rate_excluding_license():.1%} (paper: ~9%)")
     print(f"PII columns anonymised: {result.curation_report.scrubbed_column_fraction:.2%} (paper: 0.3%)")
 
-    stats = CorpusStatistics.from_corpus(corpus)
+    print("\nStreaming stage report:")
+    print(gt.pipeline_report.summary())
+
+    stats = gt.stats()
     print(f"\nAverage table size: {stats.avg_rows:.0f} rows x {stats.avg_cols:.0f} columns")
     print(f"Atomic types: {stats.as_table4_rows()}")
 
-    annotation_stats = AnnotationStatistics.from_corpus(corpus)
     print("\nMean annotated-column coverage per method:")
-    for method, coverage in annotation_stats.mean_coverage.items():
+    for method, coverage in gt.annotation_stats().mean_coverage.items():
         print(f"  {method:>9}: {coverage:.0%}")
 
     # Show one annotated table, Figure-2 style.
-    sample = next(iter(corpus))
+    sample = next(iter(gt.corpus))
     print(f"\nSample table {sample.table_id} (topic: {sample.topic})")
     print("  columns:", ", ".join(sample.table.header[:8]))
     print("  annotations (syntactic, DBpedia):")

@@ -1,11 +1,13 @@
 """Example: schema completion and data search over GitTables (paper §5.2-5.3).
 
-Demonstrates the two retrieval-style applications:
+Demonstrates the two retrieval-style applications through the
+:class:`repro.GitTables` facade — both share one embedding cache, so the
+second application starts warm:
 
-* NearestCompletion (Algorithm 1) suggests completions for the CTU schema
-  prefixes of Table 8;
-* the data-search engine retrieves tables for natural-language queries
-  such as the paper's "status and sales amount per product" (Figure 6b).
+* ``complete_schema``/``evaluate_completion`` (Algorithm 1) suggests
+  completions for the CTU schema prefixes of Table 8;
+* ``search`` retrieves tables for natural-language queries such as the
+  paper's "status and sales amount per product" (Figure 6b).
 
 Run with::
 
@@ -14,8 +16,6 @@ Run with::
 
 from __future__ import annotations
 
-from repro.applications.data_search import TableSearchEngine
-from repro.applications.schema_completion import NearestCompletion
 from repro.benchdata.ctu import CTU_SCHEMAS
 from repro.experiments.context import get_context
 
@@ -23,14 +23,13 @@ from repro.experiments.context import get_context
 def main() -> None:
     context = get_context(scale="small")
     print("Building GitTables corpus...")
-    corpus = context.gittables
-    print(f"  {len(corpus)} tables available as completion/search candidates")
+    gt = context.session
+    print(f"  {len(gt)} tables available as completion/search candidates")
 
     print("\n== Schema completion (Algorithm 1, Table 8) ==")
-    completer = NearestCompletion(corpus)
     for schema in CTU_SCHEMAS:
         prefix = schema.prefix(3)
-        evaluation = completer.evaluate(schema.attributes, prefix_length=3, k=10)
+        evaluation = gt.evaluate_completion(schema.attributes, prefix_length=3, k=10)
         print(f"\n  target: {schema.database}.{schema.table}")
         print(f"  prefix: {', '.join(prefix)}")
         print(f"  best completion schema: {', '.join(evaluation.best_completion.schema[:6])}")
@@ -38,7 +37,6 @@ def main() -> None:
               "(paper reports ~0.44-0.53)")
 
     print("\n== Data search (Figure 6b) ==")
-    engine = TableSearchEngine(corpus)
     queries = (
         "status and sales amount per product",
         "employee salary and hire date",
@@ -46,7 +44,7 @@ def main() -> None:
     )
     for query in queries:
         print(f"\n  query: {query!r}")
-        for result in engine.search(query, k=3):
+        for result in gt.search(query, k=3):
             print(f"    #{result.rank} (score {result.score:.2f}): {', '.join(result.schema[:7])}")
 
 

@@ -1,9 +1,10 @@
 """Example: train a Sherlock-style semantic type detection model (paper §5.1).
 
-Builds a GitTables corpus and a synthetic VizNet corpus, trains the MLP
+Builds a GitTables session and a synthetic VizNet corpus, trains the MLP
 type detector on columns annotated with the paper's five target types
 (address, class, status, name, description), and reproduces the Table 7
-comparison: within-corpus F1 versus cross-corpus transfer.
+comparison: within-corpus F1 (via :meth:`repro.GitTables.detect_types`)
+versus cross-corpus transfer.
 
 Run with::
 
@@ -19,20 +20,24 @@ from repro.experiments.context import get_context
 def main() -> None:
     context = get_context(scale="small")
     print("Building corpora (GitTables + simulated VizNet)...")
-    gittables = context.gittables
+    gt = context.session
     viznet = context.viznet
-    print(f"  GitTables: {len(gittables)} tables, VizNet: {len(viznet)} tables")
+    print(f"  GitTables: {len(gt)} tables, VizNet: {len(viznet)} tables")
 
     experiment = TypeDetectionExperiment(columns_per_type=40, epochs=20, n_splits=3)
 
     print("\nSampling labelled columns per corpus...")
-    for corpus in (gittables, viznet):
+    for corpus in (gt.corpus, viznet):
         data = experiment.sample_labelled_columns(corpus)
         per_type = {label: int((data.labels == label).sum()) for label in set(data.labels)}
         print(f"  {corpus.name}: {data.n_samples} columns {per_type}")
 
-    print("\nRunning the Table 7 experiment (this trains three models)...")
-    for result in experiment.run_table7(gittables, viznet):
+    print("\nOne-call within-corpus detection through the facade:")
+    within = gt.detect_types(columns_per_type=40, epochs=20, n_splits=3)
+    print(f"  GitTables macro F1 = {within.mean_f1:.2f} (+/- {within.std_f1:.2f})")
+
+    print("\nRunning the full Table 7 experiment (this trains three models)...")
+    for result in experiment.run_table7(gt.corpus, viznet):
         row = result.as_table7_row()
         print(
             f"  train on {row['train_corpus']:>9} / evaluate on {row['eval_corpus']:>9}: "

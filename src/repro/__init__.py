@@ -1,25 +1,47 @@
 """Reproduction of *GitTables: A Large-Scale Corpus of Relational Tables*.
 
-The package is organised as a set of substrates (``dataframe``,
-``wordnet``, ``ontology``, ``embeddings``, ``anonymize``, ``github``), the
-core corpus-construction pipeline (``core``), machine-learning components
-(``ml``), the paper's applications (``applications``), evaluation datasets
-(``benchdata``) and experiment drivers regenerating every table and figure
-(``experiments``).
+Two public layers front everything:
+
+* :mod:`repro.pipeline` — the streaming stage-graph API. The paper's
+  Figure-1 pipeline (extraction → parsing → filtering → annotation →
+  curation) is a composable graph of pull-driven generator stages; the
+  runner streams tables in configurable batches, stops the whole graph
+  the moment the corpus target is met, and collects per-stage counters
+  and timings into a :class:`~repro.pipeline.PipelineReport`.
+* :class:`GitTables` — the session facade. It owns a built corpus and
+  lazily constructs the paper's applications behind uniform methods,
+  sharing the embedding and index caches between them.
 
 Quickstart::
 
-    from repro import PipelineConfig, build_corpus
+    from repro import GitTables, PipelineConfig
 
-    result = build_corpus(PipelineConfig.small())
-    print(len(result.corpus), "tables")
+    gt = GitTables.build(PipelineConfig.small())
+    print(len(gt), "tables;", gt.pipeline_report.summary())
+
+    gt.search("status and sales amount per product", k=3)   # data search §5.3
+    gt.complete_schema(["order_id", "order_date"], k=5)     # completion §5.2
+    gt.detect_types(columns_per_type=30, epochs=10)         # type detection §5.1
+    gt.match_kg(ontology="dbpedia")                         # KG matching §5.3
+
+The legacy entry points (:func:`build_corpus`, :class:`CorpusBuilder`)
+remain as thin wrappers over the streaming pipeline and return the same
+:class:`PipelineResult` as before.
+
+Substrates: ``dataframe``, ``wordnet``, ``ontology``, ``embeddings``,
+``anonymize``, ``github``; corpus construction in ``core``; ML components
+in ``ml``; the applications in ``applications``; evaluation datasets in
+``benchdata``; experiment drivers regenerating every paper table and
+figure in ``experiments``.
 """
 
+from .api import GitTables
 from .config import AnnotationConfig, CurationConfig, ExtractionConfig, PipelineConfig
 from .core.corpus import AnnotatedTable, GitTablesCorpus
 from .core.pipeline import CorpusBuilder, PipelineResult, build_corpus
 from .core.stats import AnnotationStatistics, CorpusStatistics
 from .dataframe import Table, parse_csv
+from .pipeline import Pipeline, PipelineReport, Stage, StageContext
 
 __all__ = [
     "AnnotatedTable",
@@ -29,12 +51,17 @@ __all__ = [
     "CorpusStatistics",
     "CurationConfig",
     "ExtractionConfig",
+    "GitTables",
     "GitTablesCorpus",
+    "Pipeline",
     "PipelineConfig",
+    "PipelineReport",
     "PipelineResult",
+    "Stage",
+    "StageContext",
     "Table",
     "build_corpus",
     "parse_csv",
 ]
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"

@@ -1,0 +1,261 @@
+"""The :class:`GitTables` session facade.
+
+One object fronting everything downstream of a built corpus: the five
+paper applications (semantic type detection §5.1, schema completion
+§5.2, data search §5.3, table-to-KG matching §5.3, and the §4.2 data
+shift classifier) plus corpus statistics and persistence, behind uniform
+methods with shared lazily-built state.
+
+The expensive artefacts — the sentence-embedding cache, the search
+engine's schema-embedding matrix, the completion index, the curated KG
+benchmark — are constructed on first use and reused across calls, so
+repeated queries never rebuild state::
+
+    from repro import GitTables, PipelineConfig
+
+    gt = GitTables.build(PipelineConfig.small())
+    gt.search("status and sales amount per product", k=3)
+    gt.complete_schema(["order_id", "order_date"], k=5)
+    gt.detect_types()
+"""
+
+from __future__ import annotations
+
+import os
+
+from .applications.data_search import SearchResult, TableSearchEngine
+from .applications.domain_classifier import DomainShiftResult, detect_data_shift
+from .applications.kg_matching import (
+    KGMatchingBenchmark,
+    MatcherScore,
+    PatternMatcher,
+    ValueLinkingMatcher,
+    evaluate_matcher,
+)
+from .applications.schema_completion import (
+    CompletionEvaluation,
+    NearestCompletion,
+    SchemaCompletion,
+)
+from .applications.type_detection import TypeDetectionExperiment, TypeDetectionResult
+from .config import PipelineConfig
+from .core.corpus import GitTablesCorpus
+from .core.pipeline import DEFAULT_BATCH_SIZE, CorpusBuilder, PipelineResult
+from .core.stats import AnnotationStatistics, CorpusStatistics
+from .embeddings.sentence import SentenceEncoder
+from .pipeline.report import PipelineReport
+
+__all__ = ["GitTables"]
+
+
+class GitTables:
+    """A session over a built GitTables corpus.
+
+    Construct with :meth:`build` (runs the streaming construction
+    pipeline), :meth:`from_corpus` (wrap an existing corpus), or
+    :meth:`load` (read a corpus saved with :meth:`save`).
+    """
+
+    def __init__(
+        self,
+        corpus: GitTablesCorpus,
+        result: PipelineResult | None = None,
+        config: PipelineConfig | None = None,
+        encoder: SentenceEncoder | None = None,
+    ) -> None:
+        self._corpus = corpus
+        self._result = result
+        self.config = config
+        #: One embedding model (with its internal text cache) shared by
+        #: search and schema completion.
+        self._encoder = encoder or SentenceEncoder()
+        self._search_engine: TableSearchEngine | None = None
+        self._completer: NearestCompletion | None = None
+        self._kg_benchmarks: dict[tuple[int, int], KGMatchingBenchmark] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: PipelineConfig | None = None,
+        instance=None,
+        generator_config=None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> "GitTables":
+        """Run the streaming construction pipeline and wrap the result."""
+        builder = CorpusBuilder(
+            config=config,
+            instance=instance,
+            generator_config=generator_config,
+            batch_size=batch_size,
+        )
+        result = builder.build()
+        return cls(corpus=result.corpus, result=result, config=builder.config)
+
+    @classmethod
+    def from_corpus(cls, corpus: GitTablesCorpus, config: PipelineConfig | None = None) -> "GitTables":
+        """Wrap an already-built corpus."""
+        return cls(corpus=corpus, config=config)
+
+    @classmethod
+    def from_result(cls, result: PipelineResult, config: PipelineConfig | None = None) -> "GitTables":
+        """Wrap a :class:`PipelineResult` from a previous construction run."""
+        return cls(corpus=result.corpus, result=result, config=config)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike[str]) -> "GitTables":
+        """Load a corpus previously persisted with :meth:`save`."""
+        return cls(corpus=GitTablesCorpus.load(directory))
+
+    # -- corpus access -----------------------------------------------------
+
+    @property
+    def corpus(self) -> GitTablesCorpus:
+        return self._corpus
+
+    @property
+    def result(self) -> PipelineResult | None:
+        """The construction run's result (None for wrapped/loaded corpora)."""
+        return self._result
+
+    @property
+    def pipeline_report(self) -> PipelineReport | None:
+        """Per-stage streaming instrumentation of the construction run."""
+        return self._result.pipeline_report if self._result else None
+
+    def __len__(self) -> int:
+        return len(self._corpus)
+
+    def __repr__(self) -> str:
+        return f"GitTables({len(self._corpus)} tables, name={self._corpus.name!r})"
+
+    def topics(self) -> list[str]:
+        return self._corpus.topics()
+
+    def stats(self) -> CorpusStatistics:
+        return CorpusStatistics.from_corpus(self._corpus)
+
+    def annotation_stats(self) -> AnnotationStatistics:
+        return AnnotationStatistics.from_corpus(self._corpus)
+
+    def save(self, directory: str | os.PathLike[str]) -> None:
+        self._corpus.save(directory)
+
+    # -- shared lazy state -------------------------------------------------
+
+    @property
+    def encoder(self) -> SentenceEncoder:
+        """The shared sentence encoder (embedding cache included)."""
+        return self._encoder
+
+    @property
+    def search_engine(self) -> TableSearchEngine:
+        """The data-search engine, built once over the corpus schemas."""
+        if self._search_engine is None:
+            self._search_engine = TableSearchEngine(self._corpus, encoder=self._encoder)
+        return self._search_engine
+
+    @property
+    def completer(self) -> NearestCompletion:
+        """The schema-completion index, built once."""
+        if self._completer is None:
+            self._completer = NearestCompletion(self._corpus, encoder=self._encoder)
+        return self._completer
+
+    def kg_benchmark(self, min_columns: int = 3, min_rows: int = 5) -> KGMatchingBenchmark:
+        """The curated CTA benchmark, cached per curation thresholds."""
+        key = (min_columns, min_rows)
+        if key not in self._kg_benchmarks:
+            self._kg_benchmarks[key] = KGMatchingBenchmark.from_corpus(
+                self._corpus, min_columns=min_columns, min_rows=min_rows
+            )
+        return self._kg_benchmarks[key]
+
+    def reset_caches(self) -> None:
+        """Drop every lazily-built artefact (after corpus mutation)."""
+        self._search_engine = None
+        self._completer = None
+        self._kg_benchmarks.clear()
+
+    # -- applications ------------------------------------------------------
+
+    def search(self, query: str, k: int = 10) -> list[SearchResult]:
+        """Natural-language data search over embedded schemas (§5.3)."""
+        return self.search_engine.search(query, k=k)
+
+    def complete_schema(
+        self, prefix: list[str] | tuple[str, ...], k: int = 10
+    ) -> list[SchemaCompletion]:
+        """NearestCompletion (Algorithm 1) suggestions for a prefix (§5.2)."""
+        return self.completer.complete(prefix, k=k)
+
+    def evaluate_completion(
+        self,
+        full_schema: list[str] | tuple[str, ...],
+        prefix_length: int = 3,
+        k: int = 10,
+    ) -> CompletionEvaluation:
+        """Completion relevance for a known full schema (paper Table 8)."""
+        return self.completer.evaluate(full_schema, prefix_length=prefix_length, k=k)
+
+    def detect_types(
+        self,
+        eval_corpus: GitTablesCorpus | "GitTables" | None = None,
+        **experiment_options,
+    ) -> TypeDetectionResult:
+        """Sherlock-style semantic type detection trained on this corpus (§5.1).
+
+        With no argument: k-fold cross-validation within this corpus.
+        With ``eval_corpus``: train here, evaluate there (the transfer
+        setting of Table 7). ``experiment_options`` are forwarded to
+        :class:`TypeDetectionExperiment` (``columns_per_type``,
+        ``epochs``, ``n_splits``, ``seed``, …).
+        """
+        experiment = TypeDetectionExperiment(**experiment_options)
+        if eval_corpus is None:
+            return experiment.within_corpus(self._corpus)
+        other = eval_corpus.corpus if isinstance(eval_corpus, GitTables) else eval_corpus
+        return experiment.cross_corpus(self._corpus, other)
+
+    def match_kg(
+        self,
+        ontology: str = "dbpedia",
+        matcher: object | None = None,
+        min_columns: int = 3,
+        min_rows: int = 5,
+    ) -> MatcherScore:
+        """Score a table-to-KG matcher on the curated benchmark (§5.3).
+
+        ``matcher`` defaults to the canonical value-linking baseline;
+        pass ``PatternMatcher()`` (or any object with an
+        ``annotate_column(values)`` method) for alternatives.
+        """
+        if matcher is None:
+            matcher = ValueLinkingMatcher()
+        benchmark = self.kg_benchmark(min_columns=min_columns, min_rows=min_rows)
+        return evaluate_matcher(matcher, benchmark, ontology)
+
+    def match_kg_all(
+        self, min_columns: int = 3, min_rows: int = 5
+    ) -> list[MatcherScore]:
+        """Both baseline matchers on both ontologies (paper Figure 6a)."""
+        benchmark = self.kg_benchmark(min_columns=min_columns, min_rows=min_rows)
+        return [
+            evaluate_matcher(matcher, benchmark, ontology)
+            for matcher in (ValueLinkingMatcher(), PatternMatcher())
+            for ontology in ("dbpedia", "schema_org")
+        ]
+
+    def shift_report(
+        self, other: GitTablesCorpus | "GitTables", **options
+    ) -> DomainShiftResult:
+        """Data-shift detection against another corpus (§4.2).
+
+        ``options`` are forwarded to
+        :func:`~repro.applications.domain_classifier.detect_data_shift`
+        (``n_columns_per_corpus``, ``n_splits``, ``n_estimators``,
+        ``seed``, …).
+        """
+        other_corpus = other.corpus if isinstance(other, GitTables) else other
+        return detect_data_shift(self._corpus, other_corpus, **options)

@@ -8,6 +8,7 @@ bundles the three plus global determinism settings.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from .errors import PipelineConfigError
@@ -40,6 +41,9 @@ class ExtractionConfig:
     #: Whether to exclude files from forked repositories.
     exclude_forks: bool = True
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
         if self.topic_count < 1:
             raise PipelineConfigError("topic_count must be >= 1")
@@ -69,6 +73,9 @@ class CurationConfig:
     #: Minimum confidence for a PII annotation to trigger anonymisation.
     pii_confidence_threshold: float = 0.7
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
         if self.min_rows < 0 or self.min_columns < 0:
             raise PipelineConfigError("minimum dimensions must be non-negative")
@@ -92,6 +99,9 @@ class AnnotationConfig:
     embedding_dim: int = 64
     #: Character n-gram sizes for the FastText-style model.
     ngram_sizes: tuple[int, ...] = (3, 4, 5)
+
+    def __post_init__(self) -> None:
+        self.validate()
 
     def validate(self) -> None:
         if not self.ontologies:
@@ -119,6 +129,9 @@ class PipelineConfig:
     #: Target number of tables for corpus construction runs.
     target_tables: int = 400
 
+    def __post_init__(self) -> None:
+        self.validate()
+
     def validate(self) -> None:
         """Validate every stage configuration; raise on the first error."""
         self.extraction.validate()
@@ -126,6 +139,16 @@ class PipelineConfig:
         self.annotation.validate()
         if self.target_tables < 1:
             raise PipelineConfigError("target_tables must be >= 1")
+
+    def replace(self, **overrides: object) -> "PipelineConfig":
+        """A copy with the given fields replaced (and re-validated).
+
+        Accepts both top-level fields (``seed=1``, ``target_tables=50``)
+        and whole stage configs (``annotation=AnnotationConfig(...)``)::
+
+            config = PipelineConfig.small().replace(target_tables=50)
+        """
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
 
     @classmethod
     def small(cls, seed: int = 20230530) -> "PipelineConfig":

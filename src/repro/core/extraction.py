@@ -156,20 +156,12 @@ class CSVExtractor:
 
         A file matched by several topic queries is kept once, attributed
         to the first topic that retrieved it (the paper's topic subsets
-        are likewise disjoint by construction order).
+        are likewise disjoint by construction order). Materializing
+        wrapper over the streaming :class:`repro.pipeline.ExtractStage`.
         """
-        report = ExtractionReport(topics=list(topics))
-        seen_urls: set[str] = set()
-        files: list[ExtractedFile] = []
-        for topic in topics:
-            for extracted in self.extract_topic(topic, report=report):
-                report.total_urls += 1
-                if extracted.url in seen_urls:
-                    report.duplicate_urls += 1
-                    continue
-                seen_urls.add(extracted.url)
-                files.append(extracted)
-        report.files_downloaded = len(files)
-        report.api_requests = self.client.request_count
-        report.simulated_wait_seconds = self.client.total_wait_seconds
-        return files, report
+        from ..pipeline.stage import StageContext
+        from ..pipeline.stages import ExtractStage
+
+        stage = ExtractStage(self)
+        files = list(stage.process(iter(topics), StageContext()))
+        return files, stage.report

@@ -137,14 +137,14 @@ class TableFilter:
         return FilterDecision.kept()
 
     def filter_parsed(self, parsed_files: list[ParsedFile]) -> tuple[list[ParsedFile], FilterReport]:
-        """Filter a list of parsed files, returning survivors and a report."""
-        report = FilterReport()
-        kept: list[ParsedFile] = []
-        for parsed in parsed_files:
-            license_obj = parsed.source.license
-            license_key = license_obj.key if license_obj is not None else None
-            decision = self.evaluate(parsed.table, license_key=license_key)
-            report.record(decision)
-            if decision.keep:
-                kept.append(parsed)
-        return kept, report
+        """Filter a list of parsed files, returning survivors and a report.
+
+        Materializing wrapper over the streaming
+        :class:`repro.pipeline.FilterStage`.
+        """
+        from ..pipeline.stage import StageContext
+        from ..pipeline.stages import FilterStage
+
+        stage = FilterStage(self)
+        kept = list(stage.process(iter(parsed_files), StageContext()))
+        return kept, stage.report

@@ -11,7 +11,6 @@ from dataclasses import dataclass, field
 
 from ..dataframe.parser import ParseReport, parse_csv
 from ..dataframe.table import Table
-from ..errors import CSVParseError
 from ..github.licenses import License
 from .extraction import ExtractedFile
 
@@ -64,16 +63,14 @@ class ParsingStage:
         return ParsedFile(table=table, parse_report=report, source=extracted)
 
     def parse_all(self, files: list[ExtractedFile]) -> tuple[list[ParsedFile], ParsingReport]:
-        """Parse every file, dropping unparseable ones."""
-        report = ParsingReport()
-        parsed: list[ParsedFile] = []
-        for extracted in files:
-            report.attempted += 1
-            try:
-                parsed.append(self.parse_file(extracted))
-                report.parsed += 1
-            except CSVParseError as error:
-                report.failed += 1
-                reason = str(error).split(":")[0]
-                report.failures_by_reason[reason] = report.failures_by_reason.get(reason, 0) + 1
-        return parsed, report
+        """Parse every file, dropping unparseable ones.
+
+        Materializing wrapper over the streaming
+        :class:`repro.pipeline.ParseStage`.
+        """
+        from ..pipeline.stage import StageContext
+        from ..pipeline.stages import ParseStage
+
+        stage = ParseStage(self)
+        parsed = list(stage.process(iter(files), StageContext()))
+        return parsed, stage.report

@@ -1,15 +1,22 @@
 """End-to-end GitTables corpus construction (paper Figure 1).
 
-:class:`CorpusBuilder` wires the stages together:
+:class:`CorpusBuilder` is a thin, backward-compatible wrapper over the
+streaming stage graph in :mod:`repro.pipeline`:
 
     GitHub instance → extraction → parsing → filtering → annotation →
     content curation → :class:`~repro.core.corpus.GitTablesCorpus`
 
-The builder runs against any :class:`~repro.github.GitHubInstance`; when
-none is supplied it synthesises one sized to the configured corpus
-target. Every stage produces a report, all of which are bundled in the
-returned :class:`PipelineResult` so experiments can reproduce the paper's
-per-stage statistics (parse success rate, filter rate, PII fraction, …).
+Tables stream through generator-based stages in batches; the run stops
+pulling from every upstream stage as soon as ``config.target_tables``
+tables have been curated, so no table is annotated only to be discarded.
+Every stage still produces its legacy report — all are bundled in the
+returned :class:`PipelineResult` together with the unified
+:class:`~repro.pipeline.report.PipelineReport` — so experiments can
+reproduce the paper's per-stage statistics (parse success rate, filter
+rate, PII fraction, …).
+
+New code should prefer the :class:`repro.api.GitTables` facade, which
+wraps a built corpus with the paper's applications.
 """
 
 from __future__ import annotations
@@ -20,15 +27,21 @@ from ..config import PipelineConfig
 from ..github.client import GitHubClient
 from ..github.content import GeneratorConfig
 from ..github.instance import GitHubInstance, build_instance
+from ..pipeline.report import PipelineReport
+from ..pipeline.runner import Pipeline
+from ..pipeline.stages import default_stages
 from ..wordnet.topics import select_topics
 from .annotation import AnnotationPipeline
-from .corpus import AnnotatedTable, GitTablesCorpus
+from .corpus import GitTablesCorpus
 from .curation import ContentCurator, CurationReport
 from .extraction import CSVExtractor, ExtractionReport
 from .filtering import FilterReport, TableFilter
 from .parsing import ParsingReport, ParsingStage
 
 __all__ = ["PipelineResult", "CorpusBuilder", "build_corpus"]
+
+#: Default number of tables streamed per runner batch.
+DEFAULT_BATCH_SIZE = 32
 
 
 @dataclass
@@ -41,6 +54,8 @@ class PipelineResult:
     filter_report: FilterReport
     curation_report: CurationReport
     topics: tuple[str, ...]
+    #: Unified per-stage counters/timings of the streaming run.
+    pipeline_report: PipelineReport | None = None
 
     @property
     def table_count(self) -> int:
@@ -55,9 +70,11 @@ class CorpusBuilder:
         config: PipelineConfig | None = None,
         instance: GitHubInstance | None = None,
         generator_config: GeneratorConfig | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
+        # PipelineConfig validates itself in __post_init__.
         self.config = config or PipelineConfig.default()
-        self.config.validate()
+        self.batch_size = batch_size
         if instance is None:
             instance = build_instance(self._derive_generator_config(generator_config))
         self.instance = instance
@@ -81,42 +98,43 @@ class CorpusBuilder:
         base = GeneratorConfig(seed=self.config.seed)
         return base.scaled_to_files(target_files)
 
+    def pipeline(self) -> Pipeline:
+        """The Figure-1 stage graph over this builder's components.
+
+        A fresh graph (with fresh stage reports) per call; callers may
+        insert, replace or reorder stages before running it.
+        """
+        return Pipeline(
+            default_stages(
+                self.extractor, self.parser, self.table_filter, self.annotator, self.curator
+            ),
+            batch_size=self.batch_size,
+            name="gittables-build",
+        )
+
     def build(self) -> PipelineResult:
-        """Run the full pipeline and return the corpus plus stage reports."""
+        """Run the full streaming pipeline and return corpus plus reports."""
         config = self.config
         topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
 
-        extracted, extraction_report = self.extractor.extract(list(topic_selection.topics))
-        parsed, parsing_report = self.parser.parse_all(extracted)
-        kept, filter_report = self.table_filter.filter_parsed(parsed)
+        pipeline = self.pipeline()
+        outcome = pipeline.run(
+            topic_selection.topics, config=config, limit=config.target_tables
+        )
 
         corpus = GitTablesCorpus()
-        curation_report = CurationReport()
-        for parsed_file in kept:
-            if len(corpus) >= config.target_tables:
-                break
-            table = parsed_file.table
-            annotations = self.annotator.annotate(table)
-            curated = self.curator.curate(table, annotations, report=curation_report)
-            annotated = AnnotatedTable(
-                table=curated.table,
-                annotations=annotations,
-                topic=parsed_file.source.topic,
-                repository=parsed_file.source.repository,
-                source_url=parsed_file.source.url,
-                license_key=(
-                    parsed_file.source.license.key if parsed_file.source.license else None
-                ),
-            )
+        for annotated in outcome.items:
             corpus.add(annotated)
 
+        reports = outcome.report.stage_reports
         return PipelineResult(
             corpus=corpus,
-            extraction_report=extraction_report,
-            parsing_report=parsing_report,
-            filter_report=filter_report,
-            curation_report=curation_report,
+            extraction_report=reports.get("extraction", ExtractionReport()),
+            parsing_report=reports.get("parsing", ParsingReport()),
+            filter_report=reports.get("filtering", FilterReport()),
+            curation_report=reports.get("curation", CurationReport()),
             topics=topic_selection.topics,
+            pipeline_report=outcome.report,
         )
 
 
@@ -124,6 +142,12 @@ def build_corpus(
     config: PipelineConfig | None = None,
     instance: GitHubInstance | None = None,
     generator_config: GeneratorConfig | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> PipelineResult:
     """Convenience wrapper: construct a corpus with one call."""
-    return CorpusBuilder(config=config, instance=instance, generator_config=generator_config).build()
+    return CorpusBuilder(
+        config=config,
+        instance=instance,
+        generator_config=generator_config,
+        batch_size=batch_size,
+    ).build()

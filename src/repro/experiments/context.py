@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..api import GitTables
 from ..benchdata.t2dv2 import T2Dv2Benchmark, build_t2dv2
 from ..benchdata.webtables import WebTableConfig, build_webtables_corpus
 from ..config import PipelineConfig
@@ -33,6 +34,7 @@ class ExperimentContext:
     scale: str = "default"
     seed: int = 20230530
     _pipeline_result: PipelineResult | None = field(default=None, repr=False)
+    _session: GitTables | None = field(default=None, repr=False)
     _viznet: GitTablesCorpus | None = field(default=None, repr=False)
     _t2dv2: T2Dv2Benchmark | None = field(default=None, repr=False)
 
@@ -76,6 +78,20 @@ class ExperimentContext:
     def gittables(self) -> GitTablesCorpus:
         """The constructed GitTables corpus."""
         return self.pipeline_result.corpus
+
+    @property
+    def session(self) -> GitTables:
+        """The :class:`~repro.api.GitTables` facade over the corpus.
+
+        Shared across all experiment drivers of this context, so the
+        embedding cache, the search/completion indexes and the KG
+        benchmark are built at most once per scale.
+        """
+        if self._session is None:
+            self._session = GitTables.from_result(
+                self.pipeline_result, config=self.pipeline_config()
+            )
+        return self._session
 
     @property
     def viznet(self) -> GitTablesCorpus:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ..applications.data_search import TableSearchEngine
 from .context import get_context
 from .registry import ExperimentResult, register_experiment
 
@@ -26,10 +25,10 @@ _PAPER_FIG6B = [
 def run_fig6b(scale: str = "default") -> ExperimentResult:
     """Figure 6b: tables retrieved for natural-language queries."""
     context = get_context(scale)
-    engine = TableSearchEngine(context.gittables)
+    session = context.session
     rows = []
     for query in DEFAULT_QUERIES:
-        results = engine.search(query, k=3)
+        results = session.search(query, k=3)
         for result in results:
             rows.append(
                 {

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ..applications.domain_classifier import detect_data_shift
 from .context import get_context
 from .registry import ExperimentResult, register_experiment
 
@@ -20,12 +19,7 @@ def run_domain_shift(scale: str = "default") -> ExperimentResult:
     """Train the GitTables-vs-VizNet domain classifier and report accuracy."""
     context = get_context(scale)
     settings = _SCALE_SETTINGS.get(scale, _SCALE_SETTINGS["default"])
-    result = detect_data_shift(
-        context.gittables,
-        context.viznet,
-        seed=context.seed,
-        **settings,
-    )
+    result = context.session.shift_report(context.viznet, seed=context.seed, **settings)
     rows = [
         {
             "classifier": "RandomForest (Sherlock features)",

@@ -2,12 +2,6 @@
 
 from __future__ import annotations
 
-from ..applications.kg_matching import (
-    KGMatchingBenchmark,
-    PatternMatcher,
-    ValueLinkingMatcher,
-    evaluate_matcher,
-)
 from .context import get_context
 from .registry import ExperimentResult, register_experiment
 
@@ -24,22 +18,20 @@ _PAPER_FIG6A = [
 def run_fig6a(scale: str = "default") -> ExperimentResult:
     """Figure 6a: precision/recall of KG matchers on the curated benchmark."""
     context = get_context(scale)
-    benchmark = KGMatchingBenchmark.from_corpus(context.gittables, min_columns=3, min_rows=5)
-    matchers = (ValueLinkingMatcher(), PatternMatcher())
+    session = context.session
+    benchmark = session.kg_benchmark(min_columns=3, min_rows=5)
     rows = []
-    for matcher in matchers:
-        for ontology in ("dbpedia", "schema_org"):
-            score = evaluate_matcher(matcher, benchmark, ontology)
-            rows.append(
-                {
-                    "system": score.matcher,
-                    "ontology": ontology,
-                    "precision": round(score.precision, 3),
-                    "recall": round(score.recall, 3),
-                    "f1": round(score.f1, 3),
-                    "columns": score.n_columns,
-                }
-            )
+    for score in session.match_kg_all(min_columns=3, min_rows=5):
+        rows.append(
+            {
+                "system": score.matcher,
+                "ontology": score.ontology,
+                "precision": round(score.precision, 3),
+                "recall": round(score.recall, 3),
+                "f1": round(score.f1, 3),
+                "columns": score.n_columns,
+            }
+        )
     rows.append(
         {
             "system": "(benchmark size)",

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..applications.schema_completion import NearestCompletion
 from ..benchdata.ctu import CTU_SCHEMAS
 from .context import get_context
 from .registry import ExperimentResult, register_experiment
@@ -25,11 +24,11 @@ _PAPER_TABLE8 = [
 def run_table8(scale: str = "default") -> ExperimentResult:
     """Table 8: nearest completions for CTU schema prefixes (k=10, N=3)."""
     context = get_context(scale)
-    completer = NearestCompletion(context.gittables)
+    session = context.session
     rows = []
     similarities = []
     for schema in CTU_SCHEMAS:
-        evaluation = completer.evaluate(schema.attributes, prefix_length=3, k=10)
+        evaluation = session.evaluate_completion(schema.attributes, prefix_length=3, k=10)
         completion_preview = ", ".join(evaluation.best_completion.schema[:5])
         similarity = round(evaluation.best_schema_similarity, 2)
         similarities.append(similarity)

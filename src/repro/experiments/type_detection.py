@@ -27,7 +27,7 @@ def run_table7(scale: str = "default") -> ExperimentResult:
     context = get_context(scale)
     settings = _SCALE_SETTINGS.get(scale, _SCALE_SETTINGS["default"])
     experiment = TypeDetectionExperiment(seed=context.seed, **settings)
-    results = experiment.run_table7(context.gittables, context.viznet)
+    results = experiment.run_table7(context.session.corpus, context.viznet)
     rows = [result.as_table7_row() for result in results]
     return ExperimentResult(
         experiment_id="table7",

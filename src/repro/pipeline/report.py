@@ -1,0 +1,110 @@
+"""Unified instrumentation for streaming pipeline runs.
+
+Every :class:`~repro.pipeline.runner.Pipeline` run produces one
+:class:`PipelineReport`: per-stage item counters and wall-clock timings
+(:class:`StageMetrics`), runner-level batch statistics, and the legacy
+stage report objects (``ExtractionReport``, ``ParsingReport``, …)
+registered by the stage adapters. The counters are designed to reconcile
+with the legacy reports — e.g. the parsing stage's ``items_in`` equals
+``ParsingReport.attempted`` — so experiments can cross-check either view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StageMetrics", "PipelineReport"]
+
+
+@dataclass
+class StageMetrics:
+    """Item counters and timing for one stage of a pipeline run."""
+
+    name: str
+    #: Items the stage pulled from its upstream iterator.
+    items_in: int = 0
+    #: Items the stage yielded downstream.
+    items_out: int = 0
+    #: Wall-clock seconds spent inside this stage only (upstream time
+    #: subtracted).
+    seconds: float = 0.0
+    #: Wall-clock seconds spent producing this stage's output including
+    #: all upstream stages (monotone along the graph).
+    cumulative_seconds: float = 0.0
+
+    @property
+    def items_dropped(self) -> int:
+        """Items consumed but not re-emitted (filtered or failed)."""
+        return max(0, self.items_in - self.items_out)
+
+    @property
+    def throughput(self) -> float:
+        """Items emitted per second of exclusive stage time."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.items_out / self.seconds
+
+
+@dataclass
+class PipelineReport:
+    """Aggregate instrumentation of one pipeline run."""
+
+    pipeline_name: str = "pipeline"
+    batch_size: int = 1
+    #: Stage name -> metrics, in graph order.
+    stages: dict[str, StageMetrics] = field(default_factory=dict)
+    #: Stage name -> the stage's domain-specific report object (the
+    #: legacy ``ExtractionReport``/``ParsingReport``/… instances).
+    stage_reports: dict[str, object] = field(default_factory=dict)
+    #: Number of result batches the runner pulled.
+    batches: int = 0
+    #: Largest number of result items materialized at once by the runner;
+    #: bounded by ``batch_size`` for a streaming run.
+    peak_batch_items: int = 0
+    #: Total results collected by the runner.
+    items_collected: int = 0
+    #: True when the runner stopped pulling because it hit its limit.
+    stopped_early: bool = False
+    total_seconds: float = 0.0
+
+    def stage(self, name: str) -> StageMetrics:
+        """Metrics for one stage (raises ``KeyError`` for unknown names)."""
+        return self.stages[name]
+
+    def register_stage(self, name: str) -> StageMetrics:
+        """Create (or return) the metrics slot for a stage, in call order."""
+        if name not in self.stages:
+            self.stages[name] = StageMetrics(name=name)
+        return self.stages[name]
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(self.stages)
+
+    def as_rows(self) -> list[dict]:
+        """One dict per stage, convenient for tabular printing."""
+        return [
+            {
+                "stage": metrics.name,
+                "items_in": metrics.items_in,
+                "items_out": metrics.items_out,
+                "dropped": metrics.items_dropped,
+                "seconds": round(metrics.seconds, 4),
+            }
+            for metrics in self.stages.values()
+        ]
+
+    def summary(self) -> str:
+        """A multi-line human-readable run summary."""
+        lines = [
+            f"{self.pipeline_name}: {self.items_collected} items in "
+            f"{self.batches} batches (batch_size={self.batch_size}, "
+            f"peak={self.peak_batch_items}, {self.total_seconds:.2f}s)"
+        ]
+        for row in self.as_rows():
+            lines.append(
+                f"  {row['stage']:>12}: {row['items_in']:>6} in, "
+                f"{row['items_out']:>6} out, {row['dropped']:>5} dropped, "
+                f"{row['seconds']:.3f}s"
+            )
+        return "\n".join(lines)

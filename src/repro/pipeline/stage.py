@@ -1,0 +1,78 @@
+"""The stage protocol of the streaming pipeline API.
+
+A stage is anything with a ``name`` and a ``process(items, ctx)`` method
+that maps an iterator of upstream items to an iterator of downstream
+items. Stages are *pull-driven*: nothing upstream runs until a consumer
+asks for the next item, which is what lets the runner stop the whole
+graph the moment a corpus target is met.
+
+:class:`StageContext` carries the run-wide configuration, the
+:class:`~repro.pipeline.report.PipelineReport` being assembled, and a
+free-form ``state`` dict stages can use to publish artefacts to each
+other (and to the caller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+from ..config import PipelineConfig
+from .report import PipelineReport
+
+__all__ = ["StageContext", "Stage", "FunctionStage", "stage_from"]
+
+
+@dataclass
+class StageContext:
+    """Run-wide state shared by every stage of one pipeline run."""
+
+    config: PipelineConfig | None = None
+    report: PipelineReport = field(default_factory=PipelineReport)
+    #: Free-form cross-stage scratch space (artefact registry).
+    state: dict[str, object] = field(default_factory=dict)
+
+    def publish(self, key: str, value: object) -> None:
+        """Publish an artefact for downstream stages / the caller."""
+        self.state[key] = value
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """Protocol every pipeline stage implements."""
+
+    name: str
+
+    def process(self, items: Iterator, ctx: StageContext) -> Iterator:
+        """Map an iterator of upstream items to downstream items."""
+        ...
+
+
+class FunctionStage:
+    """Adapt a plain callable into a :class:`Stage`.
+
+    ``fn`` is applied per item; returning ``None`` drops the item (so a
+    predicate-style callable doubles as a filter when combined with
+    ``drop_none=True``, the default).
+    """
+
+    def __init__(self, fn: Callable, name: str | None = None, drop_none: bool = True) -> None:
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "function")
+        self.drop_none = drop_none
+
+    def process(self, items: Iterator, ctx: StageContext) -> Iterator:
+        for item in items:
+            result = self.fn(item)
+            if result is None and self.drop_none:
+                continue
+            yield result
+
+
+def stage_from(obj: Stage | Callable, name: str | None = None) -> Stage:
+    """Coerce a stage or bare callable into a :class:`Stage`."""
+    if callable(obj) and not hasattr(obj, "process"):
+        return FunctionStage(obj, name=name)
+    if name is not None and getattr(obj, "name", None) != name:
+        obj.name = name  # type: ignore[union-attr]
+    return obj  # type: ignore[return-value]

@@ -1,0 +1,31 @@
+"""Lint gate: run ruff (configured in pyproject.toml) over the repo.
+
+Skips when ruff is not installed in the environment — the offline test
+image ships without it — but keeps CI environments that do have ruff
+honest about the correctness-focused rule set.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_HAS_RUFF = importlib.util.find_spec("ruff") is not None
+
+
+@pytest.mark.skipif(not _HAS_RUFF, reason="ruff is not installed")
+def test_ruff_check_is_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"ruff found issues:\n{proc.stdout}\n{proc.stderr}"

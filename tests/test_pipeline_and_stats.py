@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import PipelineConfig
+from repro.config import AnnotationConfig, ExtractionConfig, PipelineConfig
 from repro.core.annotation import AnnotationMethod
 from repro.core.pipeline import CorpusBuilder, build_corpus
 from repro.core.stats import AnnotationStatistics, CorpusStatistics, dimension_cdf, top_types
@@ -17,27 +17,26 @@ class TestPipelineConfig:
     def test_small_and_large_presets(self):
         assert PipelineConfig.small().target_tables < PipelineConfig.large().target_tables
 
-    def test_invalid_topic_count_rejected(self):
-        config = PipelineConfig.default()
-        bad = PipelineConfig(
-            extraction=config.extraction.__class__(topic_count=0),
-        )
+    def test_invalid_topic_count_rejected_at_construction(self):
         with pytest.raises(PipelineConfigError):
-            bad.validate()
+            ExtractionConfig(topic_count=0)
 
-    def test_invalid_threshold_rejected(self):
-        config = PipelineConfig.default()
-        bad = PipelineConfig(
-            annotation=config.annotation.__class__(semantic_similarity_threshold=2.0),
-        )
+    def test_invalid_threshold_rejected_at_construction(self):
         with pytest.raises(PipelineConfigError):
-            bad.validate()
+            AnnotationConfig(semantic_similarity_threshold=2.0)
 
-    def test_unknown_ontology_rejected(self):
-        config = PipelineConfig.default()
-        bad = PipelineConfig(annotation=config.annotation.__class__(ontologies=("freebase",)))
+    def test_unknown_ontology_rejected_at_construction(self):
         with pytest.raises(PipelineConfigError):
-            bad.validate()
+            AnnotationConfig(ontologies=("freebase",))
+
+    def test_replace_overrides_and_revalidates(self):
+        config = PipelineConfig.small()
+        tweaked = config.replace(target_tables=37, seed=9)
+        assert (tweaked.target_tables, tweaked.seed) == (37, 9)
+        # Untouched stage configs are carried over, not rebuilt.
+        assert tweaked.extraction is config.extraction
+        with pytest.raises(PipelineConfigError):
+            config.replace(target_tables=0)
 
 
 class TestPipelineEndToEnd:
