@@ -1,0 +1,160 @@
+"""Benchmark: batched annotation throughput vs the per-column path.
+
+The tentpole measurement of the vectorized batch annotation engine: a
+500-table synthetic corpus is annotated twice — once column by column
+through ``annotate_column`` (the paper's original hot path: one embed
+and one index query per column name per ontology) and once through
+``AnnotationPipeline.annotate_batch`` (all column names collected,
+deduplicated, and resolved with one batched index query per ontology).
+
+The batched path must be at least 3x faster and produce *exactly* equal
+results (bit-identical confidences), which the engine guarantees by
+funnelling both paths through the same batch-size-invariant kernels.
+
+``scripts/bench.py`` reuses these helpers to write the
+``BENCH_annotation.json`` perf baseline.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.config import AnnotationConfig
+from repro.core.annotation import AnnotationPipeline, TableAnnotations
+from repro.dataframe.table import Table
+
+N_TABLES = 500
+MIN_SPEEDUP = 3.0
+
+_BASE_NAMES = [
+    "order id", "order date", "status", "quantity", "total price",
+    "customer email", "first name", "last name", "birth date", "city",
+    "country", "latitude", "longitude", "product id", "category",
+    "description", "url", "phone", "company", "currency", "weight",
+    "height", "team", "genre", "language", "species", "population",
+    "address", "postal code", "username",
+]
+_PREFIXES = ["", "customer", "shipping", "billing", "primary", "source", "target"]
+_SUFFIXES = ["", "code", "value", "name", "type"]
+
+
+def synthetic_name_pool() -> list[str]:
+    """A realistic pool of compound column names (~1000 distinct)."""
+    pool = []
+    for base in _BASE_NAMES:
+        for prefix in _PREFIXES:
+            for suffix in _SUFFIXES:
+                name = "_".join(part for part in (prefix, base.replace(" ", "_"), suffix) if part)
+                pool.append(name)
+    return pool
+
+
+def synthetic_tables(n_tables: int = N_TABLES, seed: int = 20230530) -> list[Table]:
+    """A synthetic corpus of ``n_tables`` tables with 5-10 columns each."""
+    rng = np.random.default_rng(seed)
+    pool = synthetic_name_pool()
+    tables = []
+    for index in range(n_tables):
+        n_columns = int(rng.integers(5, 11))
+        header = [pool[i] for i in rng.choice(len(pool), size=n_columns, replace=False)]
+        tables.append(
+            Table(
+                header=header,
+                rows=[["x"] * n_columns],
+                table_id=f"bench-{index}",
+            )
+        )
+    return tables
+
+
+def annotate_per_column(pipeline: AnnotationPipeline, tables: list[Table]) -> list[TableAnnotations]:
+    """The pre-batching hot path: one resolution per column occurrence."""
+    results = []
+    for table in tables:
+        annotations = TableAnnotations(table_id=table.table_id)
+        for group in (pipeline.syntactic, pipeline.semantic):
+            for annotator in group.values():
+                for name in table.header:
+                    annotation = annotator.annotate_column(name)
+                    if annotation is not None:
+                        annotations.add(annotation)
+        results.append(annotations)
+    return results
+
+
+def _best_of(fn, repeats: int = 2):
+    """(best wall-clock seconds, last result) over ``repeats`` runs.
+
+    The best-of timing absorbs one-off process noise (GC pressure from a
+    long test session, first-touch page faults); both paths get the same
+    treatment, so the second run of each sees its own warm caches.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = perf_counter()
+        result = fn()
+        best = min(best, perf_counter() - started)
+    return best, result
+
+
+def run_throughput_comparison(n_tables: int = N_TABLES, seed: int = 20230530) -> dict:
+    """Time per-column vs batched annotation on a fresh synthetic corpus.
+
+    Each path gets its own freshly built pipeline so neither benefits
+    from the other's embedding caches; pipeline construction (ontology
+    label embedding) stays outside the timed sections.
+    """
+    tables = synthetic_tables(n_tables, seed=seed)
+    config = AnnotationConfig()
+    per_column_pipeline = AnnotationPipeline(config)
+    batched_pipeline = AnnotationPipeline(config)
+
+    per_column_seconds, per_column_results = _best_of(
+        lambda: annotate_per_column(per_column_pipeline, tables)
+    )
+    batched_seconds, batched_results = _best_of(
+        lambda: batched_pipeline.annotate_batch(tables)
+    )
+
+    n_columns = sum(table.num_columns for table in tables)
+    return {
+        "n_tables": n_tables,
+        "n_columns": n_columns,
+        "unique_names": len({name for table in tables for name in table.header}),
+        "per_column_seconds": per_column_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": per_column_seconds / batched_seconds if batched_seconds else float("inf"),
+        "batched_columns_per_second": n_columns / batched_seconds if batched_seconds else 0.0,
+        "results_equal": batched_results == per_column_results,
+    }
+
+
+def test_bench_annotation_throughput(benchmark):
+    tables = synthetic_tables(N_TABLES)
+    config = AnnotationConfig()
+    per_column_pipeline = AnnotationPipeline(config)
+    batched_pipeline = AnnotationPipeline(config)
+
+    per_column_seconds, per_column_results = _best_of(
+        lambda: annotate_per_column(per_column_pipeline, tables)
+    )
+
+    batched_results = benchmark.pedantic(
+        batched_pipeline.annotate_batch, args=(tables,), rounds=2, iterations=1
+    )
+    batched_seconds = benchmark.stats.stats.min
+
+    n_columns = sum(table.num_columns for table in tables)
+    speedup = per_column_seconds / batched_seconds if batched_seconds else float("inf")
+    print(
+        f"\nannotated {N_TABLES} tables / {n_columns} columns: "
+        f"per-column {per_column_seconds:.3f}s, batched {batched_seconds:.3f}s "
+        f"({speedup:.1f}x, {n_columns / batched_seconds:.0f} cols/sec batched)"
+    )
+
+    # Exactly equal — same labels, same bit-identical confidences.
+    assert batched_results == per_column_results
+    assert speedup >= MIN_SPEEDUP

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run the annotation-throughput benchmark and write a perf baseline.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/bench.py [--tables N] [--output PATH]
+
+Times the per-column annotation path against the batched engine on the
+same synthetic corpus the pytest benchmark uses, checks the ≥3x speedup
+and exact-equality acceptance criteria, and writes the numbers to
+``BENCH_annotation.json`` so future PRs have a perf trajectory to
+compare against. The pytest harness equivalent is::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for path in (REPO_ROOT / "src", REPO_ROOT):
+    if str(path) not in sys.path:
+        sys.path.insert(0, str(path))
+
+from benchmarks.test_bench_annotation_throughput import (  # noqa: E402
+    MIN_SPEEDUP,
+    N_TABLES,
+    run_throughput_comparison,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tables", type=int, default=N_TABLES, help="synthetic corpus size")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_annotation.json",
+        help="where to write the JSON baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_throughput_comparison(n_tables=args.tables)
+    baseline = {
+        "benchmark": "annotation_throughput",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **{key: round(value, 6) if isinstance(value, float) else value for key, value in result.items()},
+    }
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n")
+
+    print(
+        f"annotated {result['n_tables']} tables / {result['n_columns']} columns "
+        f"({result['unique_names']} distinct names)"
+    )
+    print(
+        f"per-column {result['per_column_seconds']:.3f}s | "
+        f"batched {result['batched_seconds']:.3f}s | "
+        f"speedup {result['speedup']:.2f}x | "
+        f"{result['batched_columns_per_second']:.0f} cols/sec batched"
+    )
+    print(f"baseline written to {args.output}")
+
+    if not result["results_equal"]:
+        print("FAIL: batched results differ from per-column results", file=sys.stderr)
+        return 1
+    if result["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {result['speedup']:.2f}x below {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,14 +7,19 @@ shift classifier) plus corpus statistics and persistence, behind uniform
 methods with shared lazily-built state.
 
 The expensive artefacts — the sentence-embedding cache, the search
-engine's schema-embedding matrix, the completion index, the curated KG
+engine's schema-embedding index, the completion index, the curated KG
 benchmark — are constructed on first use and reused across calls, so
-repeated queries never rebuild state::
+repeated queries never rebuild state. Search and completion resolve
+through batched nearest-neighbour queries
+(:meth:`~repro.embeddings.similarity.NearestNeighbourIndex.query_batch`);
+:meth:`GitTables.search_batch` exposes the many-queries-in-one-GEMM path
+directly::
 
     from repro import GitTables, PipelineConfig
 
     gt = GitTables.build(PipelineConfig.small())
     gt.search("status and sales amount per product", k=3)
+    gt.search_batch(["order status", "sensor readings"], k=3)
     gt.complete_schema(["order_id", "order_date"], k=5)
     gt.detect_types()
 """
@@ -183,6 +188,10 @@ class GitTables:
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
         """Natural-language data search over embedded schemas (§5.3)."""
         return self.search_engine.search(query, k=k)
+
+    def search_batch(self, queries: list[str], k: int = 10) -> list[list[SearchResult]]:
+        """Batched data search: many queries against one batched index query."""
+        return self.search_engine.search_batch(list(queries), k=k)
 
     def complete_schema(
         self, prefix: list[str] | tuple[str, ...], k: int = 10

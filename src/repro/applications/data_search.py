@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.corpus import GitTablesCorpus
 from ..embeddings.sentence import SentenceEncoder
+from ..embeddings.similarity import NearestNeighbourIndex
 
 __all__ = ["SearchResult", "TableSearchEngine"]
 
@@ -29,7 +30,13 @@ class SearchResult:
 
 
 class TableSearchEngine:
-    """Cosine-similarity search of embedded schemas against text queries."""
+    """Cosine-similarity search of embedded schemas against text queries.
+
+    The schema embeddings live in a
+    :class:`~repro.embeddings.similarity.NearestNeighbourIndex`;
+    :meth:`search_batch` answers many queries with a single batched index
+    query, and :meth:`search` is its single-query wrapper.
+    """
 
     def __init__(self, corpus: GitTablesCorpus, encoder: SentenceEncoder | None = None) -> None:
         self.encoder = encoder or SentenceEncoder()
@@ -42,31 +49,37 @@ class TableSearchEngine:
             self._table_ids.append(table_id)
             self._schemas.append(schema)
             embeddings.append(self.encoder.embed_schema(list(schema)))
-        self._embeddings = np.vstack(embeddings) if embeddings else np.zeros((0, self.encoder.dim))
+        matrix = np.vstack(embeddings) if embeddings else np.zeros((0, self.encoder.dim))
+        self._index = NearestNeighbourIndex(self._table_ids, matrix)
 
     def __len__(self) -> int:
         return len(self._table_ids)
 
+    def search_batch(self, queries: list[str], k: int = 10) -> list[list[SearchResult]]:
+        """Ranked results for many text queries with one batched query."""
+        for query in queries:
+            if not query or not query.strip():
+                raise ValueError("query must not be empty")
+        if not queries or len(self._table_ids) == 0:
+            return [[] for _ in queries]
+        matrix = self.encoder.embed_many(queries)
+        hits = self._index.top_k_batch(matrix, top_k=min(k, len(self._table_ids)))
+        return [
+            [
+                SearchResult(
+                    table_id=self._table_ids[i],
+                    schema=self._schemas[i],
+                    score=score,
+                    rank=rank + 1,
+                )
+                for rank, (i, score) in enumerate(row)
+            ]
+            for row in hits
+        ]
+
     def search(self, query: str, k: int = 10) -> list[SearchResult]:
         """Return the ``k`` highest-scoring tables for a text query."""
-        if not query or not query.strip():
-            raise ValueError("query must not be empty")
-        if len(self._table_ids) == 0:
-            return []
-        query_embedding = self.encoder.embed(query)
-        norms = np.linalg.norm(self._embeddings, axis=1)
-        norms[norms == 0.0] = 1.0
-        scores = (self._embeddings @ query_embedding) / norms
-        order = np.argsort(-scores)[: min(k, len(self._table_ids))]
-        return [
-            SearchResult(
-                table_id=self._table_ids[i],
-                schema=self._schemas[i],
-                score=float(scores[i]),
-                rank=rank + 1,
-            )
-            for rank, i in enumerate(order)
-        ]
+        return self.search_batch([query], k=k)[0]
 
     def best(self, query: str) -> SearchResult | None:
         """The single best table for a query (None for an empty corpus)."""

@@ -25,7 +25,7 @@ import re
 from dataclasses import dataclass, field
 
 from ..core.annotation import AnnotationMethod
-from ..core.corpus import AnnotatedTable, GitTablesCorpus
+from ..core.corpus import GitTablesCorpus
 from ..dataframe.table import Column
 from ..github.values import ValuePools
 
@@ -172,14 +172,16 @@ class ValueLinkingMatcher:
             return token_types[0]
         return None
 
-    def annotate_column(self, values) -> str | None:
-        """Predict a semantic type for a column of values, or abstain."""
+    def _annotate(self, values, memo: dict[str, str | None]) -> str | None:
         non_empty = [str(value).strip().lower() for value in values if str(value).strip()]
         if not non_empty:
             return None
         linked: dict[str, int] = {}
         for value in non_empty:
-            entity_type = self._link_value(value)
+            if value in memo:
+                entity_type = memo[value]
+            else:
+                entity_type = memo[value] = self._link_value(value)
             if entity_type is not None:
                 linked[entity_type] = linked.get(entity_type, 0) + 1
         if not linked:
@@ -188,6 +190,20 @@ class ValueLinkingMatcher:
         if count / len(non_empty) < self.min_support:
             return None
         return best_type
+
+    def annotate_column(self, values) -> str | None:
+        """Predict a semantic type for a column of values, or abstain."""
+        return self._annotate(values, {})
+
+    def annotate_columns(self, columns) -> list[str | None]:
+        """Batch prediction: one linking memo shared across all columns.
+
+        Cell values repeat heavily across a benchmark's columns, so
+        memoising value→entity links turns the batch into one lexicon
+        pass over the distinct values.
+        """
+        memo: dict[str, str | None] = {}
+        return [self._annotate(values, memo) for values in columns]
 
 
 class PatternMatcher:
@@ -217,6 +233,10 @@ class PatternMatcher:
                 return type_label
         return None
 
+    def annotate_columns(self, columns) -> list[str | None]:
+        """Batch prediction over many columns."""
+        return [self.annotate_column(values) for values in columns]
+
 
 def _type_matches(predicted: str, gold: str) -> bool:
     """Whether a predicted type counts as correct for a gold type.
@@ -240,14 +260,21 @@ def evaluate_matcher(
     Precision counts correct predictions among produced annotations;
     recall counts correct predictions among all gold-annotated columns
     (abstentions hurt recall), following the SemTab CTA protocol.
+
+    Matchers exposing ``annotate_columns`` are evaluated in one batch
+    call; plain ``annotate_column`` matchers are looped per column.
     """
     columns = benchmark.columns_for(ontology)
     if not columns:
         raise ValueError(f"benchmark has no columns for ontology {ontology!r}")
+    annotate_columns = getattr(matcher, "annotate_columns", None)
+    if annotate_columns is not None:
+        predictions = annotate_columns([column.values for column in columns])
+    else:
+        predictions = [matcher.annotate_column(column.values) for column in columns]
     predicted = 0
     correct = 0
-    for column in columns:
-        prediction = matcher.annotate_column(column.values)
+    for column, prediction in zip(columns, predictions):
         if prediction is None:
             continue
         predicted += 1

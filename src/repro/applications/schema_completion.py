@@ -65,16 +65,28 @@ class NearestCompletion:
             for table_id, schema in corpus.schemas()
             if len(schema) >= min_schema_length
         ]
-        # Pre-embed every attribute of every schema once.
-        self._attribute_embeddings: list[np.ndarray] = [
-            self.encoder.embed_many(list(schema)) for _, schema in self._schemas
-        ]
+        # Pre-embed every attribute of every schema in one batched pass
+        # (the encoder deduplicates repeated attribute names across the
+        # whole corpus), then split the matrix back per schema.
+        flat_attributes = [attr for _, schema in self._schemas for attr in schema]
+        flat_matrix = self.encoder.embed_many(flat_attributes)
+        self._attribute_embeddings: list[np.ndarray] = []
+        offset = 0
+        for _, schema in self._schemas:
+            self._attribute_embeddings.append(flat_matrix[offset : offset + len(schema)])
+            offset += len(schema)
 
     def __len__(self) -> int:
         return len(self._schemas)
 
     def complete(self, prefix: list[str] | tuple[str, ...], k: int = 10) -> list[SchemaCompletion]:
-        """Return the ``k`` nearest completions for ``prefix`` (Algorithm 1)."""
+        """Return the ``k`` nearest completions for ``prefix`` (Algorithm 1).
+
+        The average cosine distance between position-aligned attributes
+        (line 6 of Algorithm 1) is computed for every candidate schema at
+        once: one stacked (candidates, prefix_len, dim) tensor contracted
+        against the prefix embeddings.
+        """
         if not prefix:
             raise ValueError("prefix must contain at least one attribute")
         if k < 1:
@@ -83,19 +95,30 @@ class NearestCompletion:
         n = len(prefix)
         prefix_embeddings = self.encoder.embed_many(list(prefix))
 
-        scored: list[SchemaCompletion] = []
-        for (table_id, schema), embeddings in zip(self._schemas, self._attribute_embeddings):
-            if len(schema) < n:
-                continue
-            # Average cosine distance between position-aligned attributes
-            # (line 6 of Algorithm 1).
-            distance = 0.0
-            for i in range(n):
-                distance += 1.0 - cosine_similarity(prefix_embeddings[i], embeddings[i])
-            distance /= n
-            scored.append(
-                SchemaCompletion(table_id=table_id, schema=schema, prefix_distance=distance)
+        candidates = [
+            index for index, (_, schema) in enumerate(self._schemas) if len(schema) >= n
+        ]
+        if not candidates:
+            return []
+        stacked = np.stack([self._attribute_embeddings[i][:n] for i in candidates])
+        similarities = np.einsum("snd,nd->sn", stacked, prefix_embeddings)
+        # Attribute embeddings are unit-or-zero vectors; normalising by
+        # the norm products keeps the zero-vector convention (cosine 0).
+        attribute_norms = np.linalg.norm(stacked, axis=2)
+        prefix_norms = np.linalg.norm(prefix_embeddings, axis=1)
+        denominators = attribute_norms * prefix_norms[None, :]
+        safe = np.where(denominators > 0.0, denominators, 1.0)
+        similarities = np.where(denominators > 0.0, similarities / safe, 0.0)
+        distances = (1.0 - similarities).mean(axis=1)
+
+        scored = [
+            SchemaCompletion(
+                table_id=self._schemas[i][0],
+                schema=self._schemas[i][1],
+                prefix_distance=float(distance),
             )
+            for i, distance in zip(candidates, distances)
+        ]
         scored.sort(key=lambda completion: (completion.prefix_distance, completion.table_id))
         return scored[:k]
 
@@ -120,15 +143,15 @@ class NearestCompletion:
             raise ValueError("no completions available (corpus too small)")
 
         target_embedding = self.encoder.embed_schema(list(full_schema))
-        best_similarity = -1.0
-        best_completion = suggestions[0]
-        for suggestion in suggestions:
-            similarity = cosine_similarity(
+        similarities = [
+            cosine_similarity(
                 target_embedding, self.encoder.embed_schema(list(suggestion.schema))
             )
-            if similarity > best_similarity:
-                best_similarity = similarity
-                best_completion = suggestion
+            for suggestion in suggestions
+        ]
+        best_index = int(np.argmax(similarities))
+        best_similarity = similarities[best_index]
+        best_completion = suggestions[best_index]
         return CompletionEvaluation(
             prefix=prefix,
             best_completion=best_completion,

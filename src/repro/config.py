@@ -128,6 +128,12 @@ class PipelineConfig:
     seed: int = 20230530
     #: Target number of tables for corpus construction runs.
     target_tables: int = 400
+    #: Worker threads for batch-capable map stages (parsing, annotation).
+    #: 1 (the default) keeps the strictly serial pull-driven execution;
+    #: higher values let :class:`repro.pipeline.MapStage` process chunks
+    #: in parallel, which prefetches work and may pull up to
+    #: ``workers + 1`` chunks past an early-stop limit.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -139,6 +145,8 @@ class PipelineConfig:
         self.annotation.validate()
         if self.target_tables < 1:
             raise PipelineConfigError("target_tables must be >= 1")
+        if self.workers < 1:
+            raise PipelineConfigError("workers must be >= 1")
 
     def replace(self, **overrides: object) -> "PipelineConfig":
         """A copy with the given fields replaced (and re-validated).

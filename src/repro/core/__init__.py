@@ -17,11 +17,13 @@ Stages (paper §3):
 
 from .annotation import (
     AnnotationMethod,
+    AnnotationPipeline,
     ColumnAnnotation,
     SemanticAnnotator,
     SyntacticAnnotator,
     TableAnnotations,
     annotate_table,
+    annotate_tables,
 )
 from .corpus import AnnotatedTable, GitTablesCorpus
 from .extraction import CSVExtractor, ExtractedFile, build_topic_query, segment_query
@@ -34,6 +36,7 @@ from .stats import AnnotationStatistics, CorpusStatistics
 __all__ = [
     "AnnotatedTable",
     "AnnotationMethod",
+    "AnnotationPipeline",
     "AnnotationStatistics",
     "CSVExtractor",
     "ColumnAnnotation",
@@ -52,6 +55,7 @@ __all__ = [
     "TableAnnotations",
     "TableFilter",
     "annotate_table",
+    "annotate_tables",
     "build_corpus",
     "build_topic_query",
     "segment_query",

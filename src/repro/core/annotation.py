@@ -14,12 +14,21 @@ Two annotation methods are provided:
 Both methods skip column names containing digits, because experiments in
 the paper showed those produce spurious matches against types that
 coincidentally contain a number.
+
+Batches are the primary execution path: every annotator (and the
+:class:`AnnotationPipeline`) exposes ``annotate_batch(tables)``, which
+collects all column names across the batch, normalises and deduplicates
+them once, and resolves them against each ontology with one batched
+index query. ``annotate`` and ``annotate_column`` are thin wrappers over
+the same resolution machinery, so their results are bit-identical to the
+batched path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Sequence
 
 from ..config import AnnotationConfig
 from ..dataframe.table import Table
@@ -35,7 +44,9 @@ __all__ = [
     "TableAnnotations",
     "SyntacticAnnotator",
     "SemanticAnnotator",
+    "AnnotationPipeline",
     "annotate_table",
+    "annotate_tables",
 ]
 
 
@@ -127,7 +138,99 @@ def preprocess_column_name(name: str) -> str:
     return normalize_label(name)
 
 
-class SyntacticAnnotator:
+class _ColumnNameAnnotator:
+    """Shared batch machinery of both annotation methods.
+
+    Subclasses define :meth:`resolve_normalized` — mapping a list of
+    normalised column names to ``(type label, confidence)`` hits — and
+    inherit the per-column / per-table / per-batch entry points, which
+    all funnel through that single resolution primitive.
+    """
+
+    method: AnnotationMethod
+    ontology: Ontology
+    skip_numeric_column_names: bool
+
+    def resolve_normalized(
+        self, names: Sequence[str]
+    ) -> dict[str, tuple[str, float] | None]:
+        """normalised name -> (type label, confidence), or None for a miss."""
+        raise NotImplementedError
+
+    def _eligible_normalized(self, column_name: str) -> str | None:
+        """The normalised form of an annotatable name, else None."""
+        if not column_name or not column_name.strip():
+            return None
+        if self.skip_numeric_column_names and _contains_digit(column_name):
+            return None
+        return preprocess_column_name(column_name) or None
+
+    def _annotation(self, column_name: str, hit: tuple[str, float]) -> ColumnAnnotation:
+        label, confidence = hit
+        return ColumnAnnotation(
+            column=column_name,
+            type_label=label,
+            ontology=self.ontology.name,
+            method=self.method,
+            confidence=confidence,
+        )
+
+    def annotate_column(self, column_name: str) -> ColumnAnnotation | None:
+        """Annotate a single column name; None when nothing matches."""
+        normalized = self._eligible_normalized(column_name)
+        if normalized is None:
+            return None
+        hit = self.resolve_normalized([normalized])[normalized]
+        if hit is None:
+            return None
+        return self._annotation(column_name, hit)
+
+    def annotate(self, table: Table) -> list[ColumnAnnotation]:
+        """Annotate every column of ``table`` (missing matches are skipped)."""
+        return self.annotate_batch([table])[0]
+
+    def _collect_eligible(self, tables: Sequence[Table]) -> list[tuple[int, str, str]]:
+        """(table index, column name, normalised name) for annotatable columns.
+
+        Eligibility (and normalisation) is memoised per distinct column
+        name — names repeat heavily across a corpus batch.
+        """
+        memo: dict[str, str | None] = {}
+        eligible: list[tuple[int, str, str]] = []
+        for table_index, table in enumerate(tables):
+            for name in table.header:
+                if name in memo:
+                    normalized = memo[name]
+                else:
+                    normalized = memo[name] = self._eligible_normalized(name)
+                if normalized is not None:
+                    eligible.append((table_index, name, normalized))
+        return eligible
+
+    def _annotate_eligible(
+        self, eligible: list[tuple[int, str, str]], n_tables: int
+    ) -> list[list[ColumnAnnotation]]:
+        """Resolve pre-collected eligible names and fan results back out."""
+        resolved = self.resolve_normalized([normalized for _, _, normalized in eligible])
+        results: list[list[ColumnAnnotation]] = [[] for _ in range(n_tables)]
+        for table_index, name, normalized in eligible:
+            hit = resolved[normalized]
+            if hit is not None:
+                results[table_index].append(self._annotation(name, hit))
+        return results
+
+    def annotate_batch(self, tables: Sequence[Table]) -> list[list[ColumnAnnotation]]:
+        """Annotate every column of every table with one resolution pass.
+
+        All eligible column names across the batch are normalised and
+        deduplicated once, resolved together, and fanned back out to the
+        tables in header order — the same annotations ``annotate`` would
+        produce table by table.
+        """
+        return self._annotate_eligible(self._collect_eligible(tables), len(tables))
+
+
+class SyntacticAnnotator(_ColumnNameAnnotator):
     """Exact-match annotation of normalised column names against an ontology."""
 
     method = AnnotationMethod.SYNTACTIC
@@ -136,37 +239,20 @@ class SyntacticAnnotator:
         self.ontology = ontology
         self.skip_numeric_column_names = skip_numeric_column_names
 
-    def annotate_column(self, column_name: str) -> ColumnAnnotation | None:
-        """Annotate a single column name; None when no exact match exists."""
-        if not column_name or not column_name.strip():
-            return None
-        if self.skip_numeric_column_names and _contains_digit(column_name):
-            return None
-        normalized = preprocess_column_name(column_name)
-        if not normalized:
-            return None
-        match = self.ontology.match_normalized(normalized)
-        if match is None:
-            return None
-        return ColumnAnnotation(
-            column=column_name,
-            type_label=match.label,
-            ontology=self.ontology.name,
-            method=self.method,
-            confidence=1.0,
-        )
-
-    def annotate(self, table: Table) -> list[ColumnAnnotation]:
-        """Annotate every column of ``table`` (missing matches are skipped)."""
-        annotations = []
-        for name in table.header:
-            annotation = self.annotate_column(name)
-            if annotation is not None:
-                annotations.append(annotation)
-        return annotations
+    def resolve_normalized(
+        self, names: Sequence[str]
+    ) -> dict[str, tuple[str, float] | None]:
+        """Exact lookups against the ontology's normalised label table."""
+        resolved: dict[str, tuple[str, float] | None] = {}
+        for name in names:
+            if name in resolved:
+                continue
+            match = self.ontology.match_normalized(name)
+            resolved[name] = None if match is None else (match.label, 1.0)
+        return resolved
 
 
-class SemanticAnnotator:
+class SemanticAnnotator(_ColumnNameAnnotator):
     """Embedding-based annotation using a FastText-style model."""
 
     method = AnnotationMethod.SEMANTIC
@@ -191,38 +277,26 @@ class SemanticAnnotator:
         vectors = self.model.embed_batch([normalize_label(label) for label in labels])
         return NearestNeighbourIndex(labels, vectors)
 
-    def annotate_column(self, column_name: str) -> ColumnAnnotation | None:
-        """Annotate a single column name with its nearest semantic type."""
-        if not column_name or not column_name.strip():
-            return None
-        if self.skip_numeric_column_names and _contains_digit(column_name):
-            return None
-        normalized = preprocess_column_name(column_name)
-        if not normalized:
-            return None
-        vector = self.model.embed(normalized)
-        best = self._index.best(vector)
-        if best is None:
-            return None
-        label, similarity = best
-        if similarity < self.similarity_threshold:
-            return None
-        return ColumnAnnotation(
-            column=column_name,
-            type_label=label,
-            ontology=self.ontology.name,
-            method=self.method,
-            confidence=float(min(max(similarity, 0.0), 1.0)),
-        )
-
-    def annotate(self, table: Table) -> list[ColumnAnnotation]:
-        """Annotate every column of ``table`` (below-threshold matches dropped)."""
-        annotations = []
-        for name in table.header:
-            annotation = self.annotate_column(name)
-            if annotation is not None:
-                annotations.append(annotation)
-        return annotations
+    def resolve_normalized(
+        self, names: Sequence[str]
+    ) -> dict[str, tuple[str, float] | None]:
+        """One batched embed + one batched index query for distinct names."""
+        unique = list(dict.fromkeys(names))
+        if not unique:
+            return {}
+        matrix = self.model.embed_batch(unique)
+        hits = self._index.query_batch(matrix, top_k=1)
+        resolved: dict[str, tuple[str, float] | None] = {}
+        for name, row in zip(unique, hits):
+            if not row:
+                resolved[name] = None
+                continue
+            label, similarity = row[0]
+            if similarity < self.similarity_threshold:
+                resolved[name] = None
+            else:
+                resolved[name] = (label, float(min(max(similarity, 0.0), 1.0)))
+        return resolved
 
 
 class AnnotationPipeline:
@@ -253,26 +327,61 @@ class AnnotationPipeline:
 
     def annotate(self, table: Table) -> TableAnnotations:
         """Annotate ``table`` with both methods against every ontology."""
-        result = TableAnnotations(table_id=table.table_id)
+        return self.annotate_batch([table])[0]
+
+    def annotate_batch(self, tables: Sequence[Table]) -> list[TableAnnotations]:
+        """Annotate a batch of tables with one resolution pass per annotator.
+
+        Column names are collected across the whole batch, deduplicated,
+        and resolved with a single batched index query per ontology and
+        method; results are bit-identical to ``annotate`` per table. The
+        eligibility/normalisation pass is shared across annotators with
+        the same skip rule (all of them, under one config).
+        """
+        results = [TableAnnotations(table_id=table.table_id) for table in tables]
+        eligible_by_skip_rule: dict[bool, list[tuple[int, str, str]]] = {}
         for annotator_group in (self.syntactic, self.semantic):
             for annotator in annotator_group.values():
-                for annotation in annotator.annotate(table):
-                    result.add(annotation)
-        return result
+                skip_rule = annotator.skip_numeric_column_names
+                eligible = eligible_by_skip_rule.get(skip_rule)
+                if eligible is None:
+                    eligible = eligible_by_skip_rule[skip_rule] = annotator._collect_eligible(tables)
+                per_table = annotator._annotate_eligible(eligible, len(tables))
+                for result, annotations in zip(results, per_table):
+                    for annotation in annotations:
+                        result.add(annotation)
+        return results
 
 
-_DEFAULT_PIPELINE: AnnotationPipeline | None = None
+#: Built pipelines keyed by their configuration: constructing a pipeline
+#: embeds every ontology label, so repeated ``annotate_table`` calls with
+#: the same (or default) config must not rebuild the semantic indexes.
+_PIPELINE_CACHE: dict[AnnotationConfig, AnnotationPipeline] = {}
+_PIPELINE_CACHE_MAX = 8
+
+
+def _pipeline_for(config: AnnotationConfig | None) -> AnnotationPipeline:
+    key = config if config is not None else AnnotationConfig()
+    pipeline = _PIPELINE_CACHE.get(key)
+    if pipeline is None:
+        if len(_PIPELINE_CACHE) >= _PIPELINE_CACHE_MAX:
+            _PIPELINE_CACHE.pop(next(iter(_PIPELINE_CACHE)))
+        pipeline = AnnotationPipeline(key)
+        _PIPELINE_CACHE[key] = pipeline
+    return pipeline
 
 
 def annotate_table(table: Table, config: AnnotationConfig | None = None) -> TableAnnotations:
     """Annotate a single table with the default (or given) configuration.
 
-    The default pipeline is cached because building the semantic
+    Pipelines are cached per configuration because building the semantic
     annotators embeds every ontology label once.
     """
-    global _DEFAULT_PIPELINE
-    if config is not None:
-        return AnnotationPipeline(config).annotate(table)
-    if _DEFAULT_PIPELINE is None:
-        _DEFAULT_PIPELINE = AnnotationPipeline()
-    return _DEFAULT_PIPELINE.annotate(table)
+    return _pipeline_for(config).annotate(table)
+
+
+def annotate_tables(
+    tables: Sequence[Table], config: AnnotationConfig | None = None
+) -> list[TableAnnotations]:
+    """Annotate a batch of tables with the default (or given) configuration."""
+    return _pipeline_for(config).annotate_batch(tables)

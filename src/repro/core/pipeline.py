@@ -102,11 +102,20 @@ class CorpusBuilder:
         """The Figure-1 stage graph over this builder's components.
 
         A fresh graph (with fresh stage reports) per call; callers may
-        insert, replace or reorder stages before running it.
+        insert, replace or reorder stages before running it. With
+        ``config.workers > 1`` the parsing and annotation stages run as
+        chunked thread-pool map stages (order-preserving; may prefetch
+        up to ``workers + 1`` chunks past the early-stop limit).
         """
         return Pipeline(
             default_stages(
-                self.extractor, self.parser, self.table_filter, self.annotator, self.curator
+                self.extractor,
+                self.parser,
+                self.table_filter,
+                self.annotator,
+                self.curator,
+                workers=self.config.workers,
+                chunk_size=self.batch_size,
             ),
             batch_size=self.batch_size,
             name="gittables-build",

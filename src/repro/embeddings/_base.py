@@ -1,0 +1,86 @@
+"""Shared substrate of the hashed embedding models.
+
+Both embedding models (:class:`~repro.embeddings.fasttext.FastTextModel`
+and :class:`~repro.embeddings.sentence.SentenceEncoder`) are weighted
+bags of hashed token/n-gram vectors behind a normalised-key cache. This
+base class owns that machinery once: subclasses only define
+``_features(key)`` — the weighted feature bag of one normalised key —
+and everything else (cache, deduplication, one-pass batched composition)
+is shared.
+
+The batch path is the single source of truth: ``embed`` resolves through
+the same :func:`~repro.embeddings.hashing.compose_feature_batch` call as
+the batch methods, so a string embeds to bit-identical floats whether it
+is embedded alone or inside any batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hashing import compose_feature_batch
+
+__all__ = ["HashedEmbedder"]
+
+#: Maximum number of normalised keys kept in an embedder's cache.
+_CACHE_CAP = 500_000
+
+
+class HashedEmbedder:
+    """Cache + batched composition shared by the hashed embedding models."""
+
+    dim: int
+    seed: int
+
+    def __init__(self) -> None:
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _features(self, key: str) -> list[tuple[str, float]]:
+        """The weighted (feature, weight) bag of one normalised key."""
+        raise NotImplementedError
+
+    def _embed_unique(self, keys: list[str]) -> dict[str, np.ndarray]:
+        """Read-only unit rows for normalised keys, composed in one batch.
+
+        Repeated keys are resolved once; keys missed by the shared cache
+        are composed together via :func:`compose_feature_batch`, so every
+        distinct token/n-gram in the batch is hashed exactly once.
+        """
+        resolved: dict[str, np.ndarray] = {}
+        missing: list[str] = []
+        for key in keys:
+            if key in resolved:
+                continue
+            cached = self._cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                resolved[key] = None  # type: ignore[assignment]  # dedupe placeholder
+                missing.append(key)
+        if missing:
+            composed = compose_feature_batch(
+                [self._features(key) for key in missing], self.dim, self.seed
+            )
+            for key, row in zip(missing, composed):
+                vector = row.copy()
+                vector.setflags(write=False)
+                resolved[key] = vector
+                if len(self._cache) < _CACHE_CAP:
+                    self._cache[key] = vector
+        return resolved
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed ``text`` into a unit vector (zero vector for empty text)."""
+        key = text.strip().lower()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        return self._embed_unique([key])[key]
+
+    def _embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed a list of strings into a ``(len(texts), dim)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        keys = [text.strip().lower() for text in texts]
+        resolved = self._embed_unique(keys)
+        return np.vstack([resolved[key] for key in keys])

@@ -5,18 +5,25 @@ annotation method (§3.4). A string is embedded as the mean of hashed
 vectors of its word tokens and their character n-grams. Identical
 normalised strings embed identically (cosine similarity 1.0); strings
 sharing tokens or sub-words land close together.
+
+Batches are first-class: ``embed_batch`` deduplicates repeated keys,
+hashes every distinct token/n-gram once, and composes all rows in one
+vectorized pass. ``embed`` is a thin wrapper over the same path, so a
+string embeds to bit-identical floats alone or inside any batch.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .hashing import hashed_unit_vector, ngrams, tokenize
+from ._base import HashedEmbedder
+from .hashing import ngrams, tokenize
+from .similarity import cosine_similarity
 
 __all__ = ["FastTextModel"]
 
 
-class FastTextModel:
+class FastTextModel(HashedEmbedder):
     """Deterministic sub-word embedding model.
 
     Parameters
@@ -42,52 +49,25 @@ class FastTextModel:
     ) -> None:
         if dim < 4:
             raise ValueError("dim must be >= 4")
+        super().__init__()
         self.dim = dim
         self.ngram_sizes = tuple(ngram_sizes)
         self.word_weight = float(word_weight)
         self.seed = seed
-        self._cache: dict[str, np.ndarray] = {}
 
-    def embed(self, text: str) -> np.ndarray:
-        """Embed ``text`` into a unit vector (zero vector for empty text)."""
-        key = text.strip().lower()
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        tokens = tokenize(key)
-        if not tokens:
-            vector = np.zeros(self.dim)
-        else:
-            accumulator = np.zeros(self.dim)
-            total_weight = 0.0
-            for token in tokens:
-                accumulator += self.word_weight * hashed_unit_vector(token, self.dim, self.seed)
-                total_weight += self.word_weight
-                for gram in ngrams(token, self.ngram_sizes):
-                    accumulator += hashed_unit_vector(gram, self.dim, self.seed)
-                    total_weight += 1.0
-            vector = accumulator / total_weight
-            norm = np.linalg.norm(vector)
-            if norm > 0:
-                vector = vector / norm
-
-        vector.setflags(write=False)
-        if len(self._cache) < 500_000:
-            self._cache[key] = vector
-        return vector
+    def _features(self, key: str) -> list[tuple[str, float]]:
+        """Word tokens (weighted up) plus their character n-grams."""
+        features: list[tuple[str, float]] = []
+        for token in tokenize(key):
+            features.append((token, self.word_weight))
+            for gram in ngrams(token, self.ngram_sizes):
+                features.append((gram, 1.0))
+        return features
 
     def embed_batch(self, texts: list[str]) -> np.ndarray:
         """Embed a list of strings into a (len(texts), dim) matrix."""
-        if not texts:
-            return np.zeros((0, self.dim))
-        return np.vstack([self.embed(text) for text in texts])
+        return self._embed_batch(texts)
 
     def similarity(self, left: str, right: str) -> float:
         """Cosine similarity between the embeddings of two strings."""
-        a = self.embed(left)
-        b = self.embed(right)
-        denom = np.linalg.norm(a) * np.linalg.norm(b)
-        if denom == 0.0:
-            return 0.0
-        return float(np.dot(a, b) / denom)
+        return cosine_similarity(self.embed(left), self.embed(right))

@@ -16,7 +16,7 @@ import numpy as np
 
 from .._rand import stable_hash
 
-__all__ = ["hashed_unit_vector", "ngrams", "tokenize"]
+__all__ = ["compose_feature_batch", "hashed_unit_vector", "ngrams", "tokenize"]
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -40,6 +40,50 @@ def ngrams(token: str, sizes: tuple[int, ...] = (3, 4, 5)) -> list[str]:
             continue
         grams.extend(padded[i : i + size] for i in range(len(padded) - size + 1))
     return grams
+
+
+def compose_feature_batch(
+    features_per_row: list[list[tuple[str, float]]], dim: int, seed: int = 0
+) -> np.ndarray:
+    """Compose weighted bags of hashed features into unit rows, batched.
+
+    ``features_per_row[i]`` is the ``(feature, weight)`` bag of output row
+    ``i``. Every distinct feature across the whole batch is hashed exactly
+    once; the weighted sums are then scatter-accumulated in one vectorized
+    pass (``np.add.at`` applies contributions in listing order, so each
+    row's accumulation order — and therefore its floats — is independent
+    of what else is in the batch). Rows with an empty bag stay zero;
+    non-empty rows are weight-averaged and normalised to unit length.
+    """
+    out = np.zeros((len(features_per_row), dim))
+    if not features_per_row:
+        return out
+    feature_ids: dict[str, int] = {}
+    rows: list[int] = []
+    columns: list[int] = []
+    weights: list[float] = []
+    for row, features in enumerate(features_per_row):
+        for feature, weight in features:
+            feature_id = feature_ids.setdefault(feature, len(feature_ids))
+            rows.append(row)
+            columns.append(feature_id)
+            weights.append(weight)
+    if not rows:
+        return out
+    matrix = np.empty((len(feature_ids), dim))
+    for feature, feature_id in feature_ids.items():
+        matrix[feature_id] = hashed_unit_vector(feature, dim, seed)
+    row_index = np.asarray(rows)
+    weight_column = np.asarray(weights)[:, None]
+    np.add.at(out, row_index, matrix[np.asarray(columns)] * weight_column)
+    totals = np.zeros(len(features_per_row))
+    np.add.at(totals, row_index, np.asarray(weights))
+    populated = totals > 0.0
+    out[populated] /= totals[populated, None]
+    norms = np.linalg.norm(out, axis=1)
+    positive = norms > 0.0
+    out[positive] /= norms[positive, None]
+    return out
 
 
 @lru_cache(maxsize=200_000)

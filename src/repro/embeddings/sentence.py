@@ -5,6 +5,10 @@ sentence (attribute name, whole schema, or natural-language query) is the
 weighted mean of hashed token vectors plus lighter-weight character
 n-gram vectors, which handles multi-word attributes ("OrderTrackingNumber"
 vs "order tracking number") the way USE handles them in the paper.
+
+``embed_many`` composes all distinct uncached keys in one vectorized
+pass; ``embed`` is a thin wrapper over the same path, so a string embeds
+to bit-identical floats alone or inside any batch.
 """
 
 from __future__ import annotations
@@ -13,7 +17,8 @@ import math
 
 import numpy as np
 
-from .hashing import hashed_unit_vector, ngrams, tokenize
+from ._base import HashedEmbedder
+from .hashing import ngrams, tokenize
 
 __all__ = ["SentenceEncoder"]
 
@@ -24,16 +29,16 @@ _COMMON_TOKENS = frozenset(
 )
 
 
-class SentenceEncoder:
+class SentenceEncoder(HashedEmbedder):
     """Deterministic sentence embedding model."""
 
     def __init__(self, dim: int = 128, ngram_sizes: tuple[int, ...] = (4,), seed: int = 1) -> None:
         if dim < 8:
             raise ValueError("dim must be >= 8")
+        super().__init__()
         self.dim = dim
         self.ngram_sizes = tuple(ngram_sizes)
         self.seed = seed
-        self._cache: dict[str, np.ndarray] = {}
 
     def _token_weight(self, token: str) -> float:
         if token in _COMMON_TOKENS:
@@ -41,41 +46,18 @@ class SentenceEncoder:
         # Longer tokens tend to be more specific; weight grows slowly.
         return 1.0 + 0.1 * math.log1p(len(token))
 
-    def embed(self, text: str) -> np.ndarray:
-        """Embed a sentence (or attribute name) into a unit vector."""
-        key = text.strip().lower()
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        tokens = tokenize(key)
-        if not tokens:
-            vector = np.zeros(self.dim)
-        else:
-            accumulator = np.zeros(self.dim)
-            total = 0.0
-            for token in tokens:
-                weight = self._token_weight(token)
-                accumulator += weight * hashed_unit_vector(token, self.dim, self.seed)
-                total += weight
-                for gram in ngrams(token, self.ngram_sizes):
-                    accumulator += 0.25 * hashed_unit_vector(gram, self.dim, self.seed)
-                    total += 0.25
-            vector = accumulator / total
-            norm = np.linalg.norm(vector)
-            if norm > 0:
-                vector = vector / norm
-
-        vector.setflags(write=False)
-        if len(self._cache) < 500_000:
-            self._cache[key] = vector
-        return vector
+    def _features(self, key: str) -> list[tuple[str, float]]:
+        """IDF-weighted word tokens plus lightly weighted n-grams."""
+        features: list[tuple[str, float]] = []
+        for token in tokenize(key):
+            features.append((token, self._token_weight(token)))
+            for gram in ngrams(token, self.ngram_sizes):
+                features.append((gram, 0.25))
+        return features
 
     def embed_many(self, texts: list[str]) -> np.ndarray:
         """Embed a list of sentences into a (len(texts), dim) matrix."""
-        if not texts:
-            return np.zeros((0, self.dim))
-        return np.vstack([self.embed(text) for text in texts])
+        return self._embed_batch(texts)
 
     def embed_schema(self, attributes: list[str] | tuple[str, ...]) -> np.ndarray:
         """Embed a whole schema as the mean of its attribute embeddings."""

@@ -27,7 +27,13 @@ def cosine_similarity_matrix(queries: np.ndarray, index: np.ndarray) -> np.ndarr
 
 
 class NearestNeighbourIndex:
-    """Exact cosine nearest-neighbour search over labelled vectors."""
+    """Exact cosine nearest-neighbour search over labelled vectors.
+
+    Batches are first-class: :meth:`top_k_batch` answers many queries with
+    one GEMM plus an ``argpartition`` top-k selection (no full sort), and
+    :meth:`query` is a thin wrapper over the same path, so a query returns
+    bit-identical similarities alone or inside any batch.
+    """
 
     def __init__(self, labels: list[str], vectors: np.ndarray) -> None:
         if len(labels) != vectors.shape[0]:
@@ -40,16 +46,59 @@ class NearestNeighbourIndex:
     def __len__(self) -> int:
         return len(self.labels)
 
+    def top_k_batch(self, matrix: np.ndarray, top_k: int = 1) -> list[list[tuple[int, float]]]:
+        """Per query row: the ``top_k`` (index, similarity) pairs.
+
+        One matrix product against the whole index answers every query;
+        the top-k selection uses ``argpartition`` (O(n) per row) instead
+        of a full sort, with ties broken by ascending index so results
+        are deterministic. Zero-vector query rows score 0 everywhere.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        n_queries = matrix.shape[0]
+        if n_queries == 0 or len(self.labels) == 0:
+            return [[] for _ in range(n_queries)]
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        units = matrix / np.where(norms > 0.0, norms, 1.0)
+        # One matrix-matrix product for the whole batch. einsum's own
+        # kernel (not BLAS) on purpose: BLAS GEMM results vary in the
+        # last ulp with the batch's row count/position, which would break
+        # the guarantee that a query scores bit-identically in any batch.
+        similarities = np.einsum("qd,ld->ql", units, self._unit_vectors)
+        top_k = min(top_k, len(self.labels))
+        if top_k == 1:
+            # argmax returns the first maximum — the same ascending-index
+            # tie-break as the general path, without the partition.
+            best = np.argmax(similarities, axis=1)
+            return [
+                [(int(index), float(row[index]))]
+                for index, row in zip(best, similarities)
+            ]
+        if top_k < len(self.labels):
+            candidates = np.argpartition(-similarities, top_k - 1, axis=1)[:, :top_k]
+        else:
+            candidates = np.tile(np.arange(len(self.labels)), (n_queries, 1))
+        results: list[list[tuple[int, float]]] = []
+        for row, row_candidates in zip(similarities, candidates):
+            scores = row[row_candidates]
+            order = np.lexsort((row_candidates, -scores))
+            results.append(
+                [(int(row_candidates[i]), float(scores[i])) for i in order]
+            )
+        return results
+
+    def query_batch(self, matrix: np.ndarray, top_k: int = 1) -> list[list[tuple[str, float]]]:
+        """Per query row: the ``top_k`` (label, similarity) pairs."""
+        return [
+            [(self.labels[index], score) for index, score in row]
+            for row in self.top_k_batch(matrix, top_k=top_k)
+        ]
+
     def query(self, vector: np.ndarray, top_k: int = 1) -> list[tuple[str, float]]:
         """Return the ``top_k`` most similar labels with their similarities."""
         if len(self.labels) == 0:
             return []
-        norm = np.linalg.norm(vector)
-        unit = vector / norm if norm > 0 else vector
-        similarities = self._unit_vectors @ unit
-        top_k = min(top_k, len(self.labels))
-        order = np.argsort(-similarities)[:top_k]
-        return [(self.labels[i], float(similarities[i])) for i in order]
+        return self.query_batch(np.asarray(vector, dtype=float)[None, :], top_k=top_k)[0]
 
     def best(self, vector: np.ndarray) -> tuple[str, float] | None:
         """The single most similar label, or None for an empty index."""

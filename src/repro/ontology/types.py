@@ -7,8 +7,9 @@ superproperty), and a natural-language description.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from ..errors import OntologyError
@@ -26,12 +27,15 @@ class AtomicKind(str, Enum):
     URL = "URL"
 
 
+@lru_cache(maxsize=65_536)
 def normalize_label(label: str) -> str:
     """Normalise a type label or column name for matching (paper §3.4).
 
     Replaces underscores and hyphens with spaces, splits camel-case and
     digit/letter compounds, lowercases, and collapses whitespace.
     ``productID`` and ``product_id`` both normalise to ``"product id"``.
+    Memoised: annotation normalises the same column names and ontology
+    labels over and over across a corpus.
     """
     result: list[str] = []
     previous: str | None = None

@@ -19,7 +19,7 @@ live in :mod:`repro.pipeline.stages`.
 
 from .report import PipelineReport, StageMetrics
 from .runner import Pipeline, PipelineOutcome
-from .stage import FunctionStage, Stage, StageContext, stage_from
+from .stage import BatchStage, FunctionStage, MapStage, Stage, StageContext, stage_from
 from .stages import (
     AnnotateStage,
     AnnotatedCandidate,
@@ -33,10 +33,12 @@ from .stages import (
 __all__ = [
     "AnnotateStage",
     "AnnotatedCandidate",
+    "BatchStage",
     "CurateStage",
     "ExtractStage",
     "FilterStage",
     "FunctionStage",
+    "MapStage",
     "ParseStage",
     "Pipeline",
     "PipelineOutcome",

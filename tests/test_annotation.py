@@ -15,7 +15,6 @@ from repro.core.annotation import (
 )
 from repro.errors import AnnotationError
 from repro.ontology.dbpedia import load_dbpedia
-from repro.ontology.schema_org import load_schema_org
 
 
 @pytest.fixture(scope="module")
@@ -148,3 +147,88 @@ class TestAnnotationPipeline:
         annotations = annotate_table(orders_table)
         for annotation in annotations.for_method(AnnotationMethod.SEMANTIC):
             assert 0.0 <= annotation.confidence <= 1.0
+
+
+class TestBatchAnnotation:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return AnnotationPipeline(AnnotationConfig())
+
+    def _tables(self, orders_table, people_table):
+        from repro.dataframe.table import Table
+
+        edge_cases = Table(
+            header=["field_1", "", "   ", "status", "unmatchable_zzz", "status"],
+            rows=[["1", "2", "3", "4", "5", "6"]],
+            table_id="edge-cases",
+        )
+        return [orders_table, people_table, edge_cases]
+
+    def test_annotate_batch_equals_per_table_annotate(
+        self, pipeline, orders_table, people_table
+    ):
+        tables = self._tables(orders_table, people_table)
+        batched = pipeline.annotate_batch(tables)
+        assert batched == [pipeline.annotate(table) for table in tables]
+
+    def test_annotator_batch_equals_per_column(self, pipeline, orders_table, people_table):
+        tables = self._tables(orders_table, people_table)
+        for group in (pipeline.syntactic, pipeline.semantic):
+            for annotator in group.values():
+                batched = annotator.annotate_batch(tables)
+                per_column = [
+                    [
+                        annotation
+                        for annotation in (
+                            annotator.annotate_column(name) for name in table.header
+                        )
+                        if annotation is not None
+                    ]
+                    for table in tables
+                ]
+                assert batched == per_column
+
+    def test_empty_batch(self, pipeline):
+        assert pipeline.annotate_batch([]) == []
+
+    def test_batch_preserves_table_ids(self, pipeline, orders_table, people_table):
+        batched = pipeline.annotate_batch([orders_table, people_table])
+        assert [annotations.table_id for annotations in batched] == [
+            orders_table.table_id,
+            people_table.table_id,
+        ]
+
+    def test_annotate_tables_helper(self, orders_table, people_table):
+        from repro.core.annotation import annotate_tables
+
+        batched = annotate_tables([orders_table, people_table])
+        assert batched == [annotate_table(orders_table), annotate_table(people_table)]
+
+
+class TestPipelineCache:
+    def test_explicit_config_reuses_pipeline(self, orders_table, monkeypatch):
+        from repro.core import annotation as annotation_module
+
+        built = []
+        original_init = annotation_module.AnnotationPipeline.__init__
+
+        def counting_init(self, config=None):
+            built.append(config)
+            original_init(self, config)
+
+        monkeypatch.setattr(annotation_module.AnnotationPipeline, "__init__", counting_init)
+        annotation_module._PIPELINE_CACHE.clear()
+        config = AnnotationConfig(ontologies=("dbpedia",), semantic_similarity_threshold=0.6)
+        annotate_table(orders_table, config)
+        annotate_table(orders_table, config)
+        annotate_table(orders_table, AnnotationConfig(ontologies=("dbpedia",), semantic_similarity_threshold=0.6))
+        assert len(built) == 1
+
+    def test_distinct_configs_get_distinct_pipelines(self, orders_table):
+        from repro.core.annotation import _PIPELINE_CACHE, _pipeline_for
+
+        strict = AnnotationConfig(semantic_similarity_threshold=0.9)
+        loose = AnnotationConfig(semantic_similarity_threshold=0.1)
+        assert _pipeline_for(strict) is not _pipeline_for(loose)
+        assert _pipeline_for(strict) is _pipeline_for(strict)
+        assert len(_PIPELINE_CACHE) <= 8

@@ -126,3 +126,85 @@ class TestSimilarityUtilities:
     def test_nearest_neighbour_length_mismatch(self):
         with pytest.raises(ValueError):
             NearestNeighbourIndex(["a"], np.eye(2))
+
+
+class TestBatchQueries:
+    @pytest.fixture(scope="class")
+    def index(self):
+        model = FastTextModel(dim=32)
+        labels = [f"type {i}" for i in range(40)]
+        return NearestNeighbourIndex(labels, model.embed_batch(labels))
+
+    def test_query_batch_matches_row_wise_query_exactly(self, index):
+        model = FastTextModel(dim=32)
+        matrix = model.embed_batch(["status", "order id", "unrelated words", "type 7"])
+        batched = index.query_batch(matrix, top_k=3)
+        assert batched == [index.query(matrix[i], top_k=3) for i in range(matrix.shape[0])]
+
+    def test_query_batch_matches_full_sort_reference(self, index):
+        model = FastTextModel(dim=32)
+        matrix = model.embed_batch(["customer email", "status"])
+        for row, hits in zip(matrix, index.query_batch(matrix, top_k=5)):
+            reference = index.query(row, top_k=len(index))[:5]
+            assert hits == reference
+
+    def test_zero_vector_query_row_scores_zero(self, index):
+        matrix = np.vstack([np.zeros(32), np.ones(32)])
+        zero_hits, one_hits = index.query_batch(matrix, top_k=2)
+        assert all(score == 0.0 for _, score in zero_hits)
+        assert len(zero_hits) == len(one_hits) == 2
+
+    def test_empty_query_batch(self, index):
+        assert index.query_batch(np.zeros((0, 32)), top_k=3) == []
+
+    def test_empty_index(self):
+        empty = NearestNeighbourIndex([], np.zeros((0, 8)))
+        assert empty.query(np.ones(8)) == []
+        assert empty.query_batch(np.ones((2, 8))) == [[], []]
+        assert empty.best(np.ones(8)) is None
+
+    def test_top_k_batch_clamps_to_index_size(self, index):
+        matrix = FastTextModel(dim=32).embed_batch(["status"])
+        hits = index.top_k_batch(matrix, top_k=10_000)[0]
+        assert len(hits) == len(index)
+        scores = [score for _, score in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ties_break_by_ascending_index(self):
+        # Two identical index vectors tie exactly; the lower index wins.
+        vectors = np.vstack([np.eye(4)[0], np.eye(4)[0], np.eye(4)[1]])
+        index = NearestNeighbourIndex(["first", "twin", "other"], vectors)
+        hits = index.query(np.eye(4)[0], top_k=2)
+        assert [label for label, _ in hits] == ["first", "twin"]
+
+
+class TestBatchEmbeddingIdentity:
+    def test_fasttext_batch_rows_equal_single_embeds(self):
+        batch_model, single_model = FastTextModel(dim=32), FastTextModel(dim=32)
+        texts = ["order id", "Status", "", "order id", "naïve column"]
+        batch = batch_model.embed_batch(texts)
+        singles = np.vstack([single_model.embed(text) for text in texts])
+        assert np.array_equal(batch, singles)
+
+    def test_sentence_batch_rows_equal_single_embeds(self):
+        batch_model, single_model = SentenceEncoder(dim=32), SentenceEncoder(dim=32)
+        texts = ["total price per order", "sensor id", "total price per order"]
+        batch = batch_model.embed_many(texts)
+        singles = np.vstack([single_model.embed(text) for text in texts])
+        assert np.array_equal(batch, singles)
+
+    def test_batch_results_independent_of_batch_composition(self):
+        reference = FastTextModel(dim=32).embed_batch(["alpha", "beta", "gamma"])
+        shuffled_model = FastTextModel(dim=32)
+        shuffled = shuffled_model.embed_batch(["gamma", "alpha", "delta", "beta"])
+        assert np.array_equal(reference[0], shuffled[1])
+        assert np.array_equal(reference[1], shuffled[3])
+        assert np.array_equal(reference[2], shuffled[0])
+
+    def test_similarity_delegates_to_shared_cosine(self):
+        model = FastTextModel()
+        from repro.embeddings.similarity import cosine_similarity as shared
+
+        left, right = model.embed("product id"), model.embed("id")
+        assert model.similarity("product id", "id") == shared(left, right)
+        assert model.similarity("", "anything") == 0.0

@@ -5,13 +5,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro._rand import derive_seed, stable_hash
+from repro.config import AnnotationConfig
+from repro.core.annotation import AnnotationPipeline
 from repro.dataframe.dtypes import AtomicType, infer_column_type, infer_value_type
 from repro.dataframe.io import table_to_csv
 from repro.dataframe.parser import parse_csv
 from repro.dataframe.table import Table
 from repro.embeddings.fasttext import FastTextModel
 from repro.embeddings.sentence import SentenceEncoder
-from repro.embeddings.similarity import cosine_similarity
+from repro.embeddings.similarity import NearestNeighbourIndex, cosine_similarity
 from repro.ontology.types import normalize_label
 
 # Cell text without characters that require CSV quoting and without
@@ -153,6 +155,79 @@ class TestEmbeddingProperties:
         model = FastTextModel(dim=16)
         similarity = cosine_similarity(model.embed(left), model.embed(right))
         assert -1.0 - 1e-9 <= similarity <= 1.0 + 1e-9
+
+
+#: Column-name alphabet mixing letters, digits, separators and spaces so
+#: the strategies hit the skip rules (digits, empty, normalisation).
+_column_name = st.text(
+    alphabet=st.sampled_from(list("abcdefgh_- 0123XY")), min_size=0, max_size=14
+)
+
+#: One shared pipeline: building one embeds every ontology label.
+_BATCH_PIPELINE = AnnotationPipeline(AnnotationConfig())
+
+
+class TestBatchAnnotationProperties:
+    @given(
+        headers=st.lists(
+            st.lists(_column_name, min_size=1, max_size=6), min_size=1, max_size=4
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_annotate_batch_equals_per_column_annotate(self, headers):
+        tables = [
+            Table(
+                header=header,
+                rows=[["x"] * len(header)],
+                table_id=f"prop-{i}",
+            )
+            for i, header in enumerate(headers)
+        ]
+        batched = _BATCH_PIPELINE.annotate_batch(tables)
+        assert batched == [_BATCH_PIPELINE.annotate(table) for table in tables]
+        for table, annotations in zip(tables, batched):
+            for group in (_BATCH_PIPELINE.syntactic, _BATCH_PIPELINE.semantic):
+                for annotator in group.values():
+                    expected = [
+                        annotation
+                        for annotation in (
+                            annotator.annotate_column(name) for name in table.header
+                        )
+                        if annotation is not None
+                    ]
+                    produced = [
+                        annotation
+                        for annotation in annotations.for_method(
+                            annotator.method, annotator.ontology.name
+                        )
+                    ]
+                    assert produced == expected
+
+
+class TestQueryBatchProperties:
+    @given(
+        n_labels=st.integers(min_value=0, max_value=12),
+        n_queries=st.integers(min_value=0, max_value=8),
+        top_k=st.integers(min_value=1, max_value=15),
+        seed=st.integers(min_value=0, max_value=2**16),
+        zero_rows=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_query_batch_equals_row_wise_query(
+        self, n_labels, n_queries, top_k, seed, zero_rows
+    ):
+        rng = np.random.default_rng(seed)
+        vectors = rng.standard_normal((n_labels, 8))
+        index = NearestNeighbourIndex([f"l{i}" for i in range(n_labels)], vectors)
+        queries = rng.standard_normal((n_queries, 8))
+        if zero_rows and n_queries:
+            queries[0] = 0.0
+        batched = index.query_batch(queries, top_k=top_k)
+        assert batched == [index.query(queries[i], top_k=top_k) for i in range(n_queries)]
+        for row in batched:
+            assert len(row) == min(top_k, n_labels)
+            scores = [score for _, score in row]
+            assert scores == sorted(scores, reverse=True)
 
 
 class TestSeedingProperties:

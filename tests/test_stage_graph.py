@@ -10,9 +10,11 @@ from repro.core.pipeline import CorpusBuilder, build_corpus
 from repro.github.content import GeneratorConfig
 from repro.pipeline import (
     AnnotateStage,
+    BatchStage,
     CurateStage,
     FilterStage,
     FunctionStage,
+    MapStage,
     ParseStage,
     Pipeline,
     StageContext,
@@ -206,6 +208,135 @@ class TestReportReconciliation:
     def test_peak_batch_is_bounded(self, pipeline_result):
         report = pipeline_result.pipeline_report
         assert 0 < report.peak_batch_items <= report.batch_size
+
+
+class _DoublingBatchStage:
+    """A toy batch stage recording the chunk shapes it received."""
+
+    name = "double"
+
+    def __init__(self, delay_by_item: dict | None = None):
+        self.chunks: list[int] = []
+        self.delay_by_item = delay_by_item or {}
+
+    def process_batch(self, batch, ctx):
+        import time
+
+        self.chunks.append(len(batch))
+        for item in batch:
+            delay = self.delay_by_item.get(item)
+            if delay:
+                time.sleep(delay)
+        return [item * 2 for item in batch]
+
+
+class TestMapStage:
+    def test_batch_stages_satisfy_protocol(self):
+        assert isinstance(_DoublingBatchStage(), BatchStage)
+        assert isinstance(ParseStage(), BatchStage)
+        parse_map = MapStage(ParseStage())
+        assert parse_map.name == "parsing"
+
+    def test_sequential_chunking(self):
+        stage = _DoublingBatchStage()
+        outcome = Pipeline([MapStage(stage, chunk_size=4)]).run(range(10))
+        assert outcome.items == [i * 2 for i in range(10)]
+        assert stage.chunks == [4, 4, 2]
+
+    def test_parallel_preserves_order(self):
+        # The first chunk is the slowest; its results must still lead.
+        stage = _DoublingBatchStage(delay_by_item={0: 0.05, 8: 0.01})
+        outcome = Pipeline([MapStage(stage, chunk_size=2, workers=4)]).run(range(12))
+        assert outcome.items == [i * 2 for i in range(12)]
+
+    def test_parallel_equals_sequential(self):
+        serial = Pipeline([MapStage(_DoublingBatchStage(), chunk_size=3)]).run(range(50))
+        parallel = Pipeline(
+            [MapStage(_DoublingBatchStage(), chunk_size=3, workers=4)]
+        ).run(range(50))
+        assert serial.items == parallel.items
+
+    def test_workers_inherited_from_pipeline_config(self):
+        recorded = []
+
+        class Recorder:
+            name = "recorder"
+
+            def process_batch(self, batch, ctx):
+                import threading
+
+                recorded.append(threading.current_thread().name)
+                return batch
+
+        config = PipelineConfig(workers=3)
+        Pipeline([MapStage(Recorder(), chunk_size=1)]).run(range(6), config=config)
+        assert any("ThreadPoolExecutor" in name for name in recorded)
+
+    def test_counters_reconcile_with_per_item_stage(self):
+        outcome = Pipeline([MapStage(_DoublingBatchStage(), chunk_size=4)]).run(range(10))
+        metrics = outcome.report.stage("double")
+        assert metrics.items_in == 10
+        assert metrics.items_out == 10
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            MapStage(_DoublingBatchStage(), chunk_size=0)
+        with pytest.raises(ValueError):
+            MapStage(_DoublingBatchStage(), workers=0)
+
+    def test_map_wrapped_parse_stage_resets_reports(self, small_config):
+        builder = CorpusBuilder(
+            small_config, generator_config=GeneratorConfig.small(seed=23)
+        )
+        from repro.wordnet.topics import select_topics
+
+        topics = select_topics(2, seed=23).topics
+        files, _ = builder.extractor.extract(list(topics))
+        pipeline = Pipeline([MapStage(ParseStage(), chunk_size=8, workers=2)])
+        first = pipeline.run(files, config=small_config)
+        second = pipeline.run(files, config=small_config)
+        for outcome in (first, second):
+            parsing = outcome.report.stage_reports["parsing"]
+            assert parsing.attempted == outcome.report.stage("parsing").items_in
+            assert parsing.parsed == outcome.report.stage("parsing").items_out
+
+    def test_annotate_process_batch_equals_per_item(self, small_config):
+        builder = CorpusBuilder(
+            small_config, generator_config=GeneratorConfig.small(seed=31)
+        )
+        from repro.wordnet.topics import select_topics
+
+        topics = select_topics(2, seed=31).topics
+        files, _ = builder.extractor.extract(list(topics))
+        parsed, _ = builder.parser.parse_all(files[:12])
+        stage = AnnotateStage(AnnotationPipeline(small_config.annotation))
+        ctx = StageContext()
+        batched = stage.process_batch(parsed, ctx)
+        per_item = list(stage.process(iter(parsed), ctx))
+        assert [candidate.annotations for candidate in batched] == [
+            candidate.annotations for candidate in per_item
+        ]
+
+
+class TestParallelBuild:
+    def test_workers_build_identical_corpus(self):
+        config = PipelineConfig(target_tables=15, seed=13)
+        generator = GeneratorConfig(n_repositories=80, mean_rows=25, seed=13)
+        serial = build_corpus(config, generator_config=generator)
+        parallel = build_corpus(config.replace(workers=4), generator_config=generator)
+        assert len(parallel.corpus) == 15
+        assert [t.table_id for t in serial.corpus] == [t.table_id for t in parallel.corpus]
+        for one, two in zip(serial.corpus, parallel.corpus):
+            assert one.table.rows == two.table.rows
+            assert one.annotations == two.annotations
+        report = parallel.pipeline_report
+        assert report.stage("parsing").items_in == parallel.parsing_report.attempted
+
+    def test_invalid_workers_rejected(self):
+        from repro.errors import PipelineConfigError
+
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(workers=0)
 
 
 class TestBuilderOverGraph:
