@@ -20,6 +20,7 @@ from __future__ import annotations
 from time import perf_counter
 
 import numpy as np
+import pytest
 
 from repro.config import AnnotationConfig
 from repro.core.annotation import AnnotationPipeline, TableAnnotations
@@ -132,7 +133,12 @@ def run_throughput_comparison(n_tables: int = N_TABLES, seed: int = 20230530) ->
     }
 
 
+@pytest.mark.slow
 def test_bench_annotation_throughput(benchmark):
+    # Marked slow: the ≥3x timing assertion is load-sensitive (a busy
+    # machine or a warm lru_cache for the baseline path can flake it),
+    # so it runs with the heavy benchmarks (`pytest -m slow`) and via
+    # scripts/bench.py, not in tier-1.
     tables = synthetic_tables(N_TABLES)
     config = AnnotationConfig()
     per_column_pipeline = AnnotationPipeline(config)

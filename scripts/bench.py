@@ -1,17 +1,25 @@
 #!/usr/bin/env python
-"""Run the annotation-throughput benchmark and write a perf baseline.
+"""Run perf benchmarks and write JSON baselines.
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python scripts/bench.py [--tables N] [--output PATH]
+    PYTHONPATH=src python scripts/bench.py [--suite SUITE] [--tables N]
 
-Times the per-column annotation path against the batched engine on the
-same synthetic corpus the pytest benchmark uses, checks the ≥3x speedup
-and exact-equality acceptance criteria, and writes the numbers to
-``BENCH_annotation.json`` so future PRs have a perf trajectory to
-compare against. The pytest harness equivalent is::
+Suites:
 
-    PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s
+* ``annotation`` (default) — per-column vs batched annotation
+  throughput; writes ``BENCH_annotation.json`` and enforces the ≥3x
+  speedup / exact-equality acceptance criteria.
+* ``corpus_io`` — sharded corpus storage I/O (streaming build into an
+  on-disk store, atomic save, lazy reload, single-table gets) with a
+  peak-RSS note; writes ``BENCH_corpus_io.json``.
+* ``all`` — both.
+
+The pytest harness equivalents (both carry the ``slow`` marker, which
+the default run deselects, so ``-m slow`` is required)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_corpus_io.py -s -m slow
 """
 
 from __future__ import annotations
@@ -33,29 +41,31 @@ from benchmarks.test_bench_annotation_throughput import (  # noqa: E402
     N_TABLES,
     run_throughput_comparison,
 )
+from benchmarks.test_bench_corpus_io import (  # noqa: E402
+    N_TABLES as IO_N_TABLES,
+    SHARD_SIZE,
+    run_corpus_io_benchmark,
+)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tables", type=int, default=N_TABLES, help="synthetic corpus size")
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=REPO_ROOT / "BENCH_annotation.json",
-        help="where to write the JSON baseline",
-    )
-    args = parser.parse_args(argv)
-
-    result = run_throughput_comparison(n_tables=args.tables)
+def _write_baseline(output: Path, benchmark: str, result: dict) -> None:
     baseline = {
-        "benchmark": "annotation_throughput",
+        "benchmark": benchmark,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "machine": platform.machine(),
-        **{key: round(value, 6) if isinstance(value, float) else value for key, value in result.items()},
+        **{
+            key: round(value, 6) if isinstance(value, float) else value
+            for key, value in result.items()
+        },
     }
-    args.output.write_text(json.dumps(baseline, indent=2) + "\n")
+    output.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline written to {output}")
 
+
+def run_annotation_suite(tables: int, output: Path) -> int:
+    result = run_throughput_comparison(n_tables=tables)
+    _write_baseline(output, "annotation_throughput", result)
     print(
         f"annotated {result['n_tables']} tables / {result['n_columns']} columns "
         f"({result['unique_names']} distinct names)"
@@ -66,8 +76,6 @@ def main(argv: list[str] | None = None) -> int:
         f"speedup {result['speedup']:.2f}x | "
         f"{result['batched_columns_per_second']:.0f} cols/sec batched"
     )
-    print(f"baseline written to {args.output}")
-
     if not result["results_equal"]:
         print("FAIL: batched results differ from per-column results", file=sys.stderr)
         return 1
@@ -75,6 +83,57 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: speedup {result['speedup']:.2f}x below {MIN_SPEEDUP}x", file=sys.stderr)
         return 1
     return 0
+
+
+def run_corpus_io_suite(tables: int, output: Path) -> int:
+    result = run_corpus_io_benchmark(n_tables=tables, shard_size=SHARD_SIZE)
+    _write_baseline(output, "corpus_io", result)
+    print(
+        f"built {result['n_tables']} tables into {result['n_shards']} shards "
+        f"(shard_size={result['shard_size']}) in {result['build_seconds']:.2f}s "
+        f"({result['build_tables_per_second']:.0f} tables/sec, resumable commits)"
+    )
+    print(
+        f"atomic save {result['save_seconds']:.3f}s | "
+        f"lazy reload {result['reload_seconds']:.3f}s "
+        f"({result['reload_tables_per_second']:.0f} tables/sec) | "
+        f"{result['lazy_gets']} single-table gets {result['lazy_get_seconds']:.3f}s"
+    )
+    print(
+        f"peak RSS {result['peak_rss_kb_note'] / 1024:.0f} MiB "
+        "(process high-water mark, note only)"
+    )
+    if result["n_reloaded"] != result["n_tables"]:
+        print("FAIL: reload returned a different table count", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=("annotation", "corpus_io", "all"),
+        default="annotation",
+        help="which benchmark suite to run",
+    )
+    parser.add_argument("--tables", type=int, default=None, help="override corpus size")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON baseline (single-suite runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.suite in ("annotation", "all"):
+        output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_annotation.json"
+        status |= run_annotation_suite(args.tables or N_TABLES, output)
+    if args.suite in ("corpus_io", "all"):
+        output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_corpus_io.json"
+        status |= run_corpus_io_suite(args.tables or IO_N_TABLES, output)
+    return status
 
 
 if __name__ == "__main__":

@@ -28,11 +28,18 @@ The legacy entry points (:func:`build_corpus`, :class:`CorpusBuilder`)
 remain as thin wrappers over the streaming pipeline and return the same
 :class:`PipelineResult` as before.
 
+Corpus storage is pluggable (:mod:`repro.storage`): the corpus container
+delegates to an in-memory dict, a lazy sharded-JSONL reader, or the
+append-only sharded writer used by resumable builds —
+``GitTables.build(config, store_dir="corpus/")`` streams to disk, can be
+killed and resumed, and serves applications without loading the corpus
+into memory.
+
 Substrates: ``dataframe``, ``wordnet``, ``ontology``, ``embeddings``,
-``anonymize``, ``github``; corpus construction in ``core``; ML components
-in ``ml``; the applications in ``applications``; evaluation datasets in
-``benchdata``; experiment drivers regenerating every paper table and
-figure in ``experiments``.
+``anonymize``, ``github``; corpus construction in ``core``; storage
+backends in ``storage``; ML components in ``ml``; the applications in
+``applications``; evaluation datasets in ``benchdata``; experiment
+drivers regenerating every paper table and figure in ``experiments``.
 """
 
 from .api import GitTables
@@ -42,6 +49,7 @@ from .core.pipeline import CorpusBuilder, PipelineResult, build_corpus
 from .core.stats import AnnotationStatistics, CorpusStatistics
 from .dataframe import Table, parse_csv
 from .pipeline import Pipeline, PipelineReport, Stage, StageContext
+from .storage import CorpusStore, InMemoryStore, ShardedCorpusWriter, ShardedJsonlStore
 
 __all__ = [
     "AnnotatedTable",
@@ -49,14 +57,18 @@ __all__ = [
     "AnnotationStatistics",
     "CorpusBuilder",
     "CorpusStatistics",
+    "CorpusStore",
     "CurationConfig",
     "ExtractionConfig",
     "GitTables",
     "GitTablesCorpus",
+    "InMemoryStore",
     "Pipeline",
     "PipelineConfig",
     "PipelineReport",
     "PipelineResult",
+    "ShardedCorpusWriter",
+    "ShardedJsonlStore",
     "Stage",
     "StageContext",
     "Table",

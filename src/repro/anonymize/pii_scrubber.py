@@ -76,11 +76,23 @@ class PIIScrubber:
             if column_name not in result.header:
                 continue
             faker_class = PII_FAKER_CLASSES[label]
-            fake_values = self.provider.generate_column(faker_class, result.num_rows)
+            # Key the fake-value stream by (table, column) so the same
+            # column always scrubs to the same values regardless of how
+            # many tables this provider scrubbed before it — required
+            # for resumed corpus builds to stay byte-identical.
+            provider = self.provider.keyed("scrub", table.table_id, column_name)
+            fake_values = provider.generate_column(faker_class, result.num_rows)
             result = result.with_column_values(column_name, fake_values)
             report.scrubbed_columns.append(column_name)
             report.scrubbed_types[column_name] = label
 
         if report.scrubbed_columns:
-            result = result.with_metadata(pii_scrubbed_columns=tuple(report.scrubbed_columns))
+            # Stored as list/dict so the values are stable across a JSON
+            # round-trip (disk-backed corpora must deserialize to exactly
+            # what the in-memory pipeline produced). The types mapping
+            # lets curation statistics be rebuilt from a reloaded corpus.
+            result = result.with_metadata(
+                pii_scrubbed_columns=list(report.scrubbed_columns),
+                pii_scrubbed_types=dict(report.scrubbed_types),
+            )
         return result, report

@@ -38,11 +38,29 @@ _EMAIL_DOMAINS = ("example.com", "example.org", "example.net", "mail.example", "
 
 
 class FakeDataProvider:
-    """Deterministic generator of fake PII replacement values."""
+    """Deterministic generator of fake PII replacement values.
+
+    The default stream is sequential per provider instance; callers that
+    need values to be reproducible *independent of generation order*
+    (e.g. the PII scrubber, whose tables may be processed by different
+    build sessions) should draw from :meth:`keyed` sub-providers.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._rng = derive_rng(seed, "fake-data-provider")
+
+    def keyed(self, *key: object) -> "FakeDataProvider":
+        """A provider whose stream depends only on (seed, key).
+
+        Two keyed providers with the same seed and key generate identical
+        sequences no matter how much either parent has generated — the
+        property that makes PII scrubbing stable across resumed corpus
+        builds, where some tables are skipped rather than re-scrubbed.
+        """
+        provider = FakeDataProvider(seed=self.seed)
+        provider._rng = derive_rng(self.seed, "fake-data-provider", *key)
+        return provider
 
     def _choice(self, options: tuple[str, ...]) -> str:
         return str(options[int(self._rng.integers(0, len(options)))])

@@ -46,6 +46,7 @@ from .applications.type_detection import TypeDetectionExperiment, TypeDetectionR
 from .config import PipelineConfig
 from .core.corpus import GitTablesCorpus
 from .core.pipeline import DEFAULT_BATCH_SIZE, CorpusBuilder, PipelineResult
+from .storage.sharded import DEFAULT_SHARD_SIZE
 from .core.stats import AnnotationStatistics, CorpusStatistics
 from .embeddings.sentence import SentenceEncoder
 from .pipeline.report import PipelineReport
@@ -87,15 +88,25 @@ class GitTables:
         instance=None,
         generator_config=None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        store_dir: str | os.PathLike[str] | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ) -> "GitTables":
-        """Run the streaming construction pipeline and wrap the result."""
+        """Run the streaming construction pipeline and wrap the result.
+
+        With ``store_dir`` the build streams into a sharded on-disk
+        store and is resumable: re-running after an interruption picks
+        up from the store's manifest instead of starting over, and the
+        session's corpus is backed by the lazy sharded reader rather
+        than held in memory. See :meth:`CorpusBuilder.build
+        <repro.core.pipeline.CorpusBuilder.build>`.
+        """
         builder = CorpusBuilder(
             config=config,
             instance=instance,
             generator_config=generator_config,
             batch_size=batch_size,
         )
-        result = builder.build()
+        result = builder.build(store_dir=store_dir, shard_size=shard_size)
         return cls(corpus=result.corpus, result=result, config=builder.config)
 
     @classmethod
@@ -109,9 +120,15 @@ class GitTables:
         return cls(corpus=result.corpus, result=result, config=config)
 
     @classmethod
-    def load(cls, directory: str | os.PathLike[str]) -> "GitTables":
-        """Load a corpus previously persisted with :meth:`save`."""
-        return cls(corpus=GitTablesCorpus.load(directory))
+    def load(cls, directory: str | os.PathLike[str], cache_shards: int = 2) -> "GitTables":
+        """Load a corpus previously persisted with :meth:`save`.
+
+        The storage format is auto-detected: sharded directories come
+        back lazily (only the manifest is read up front; ``cache_shards``
+        bounds resident parsed shards), legacy directories load into
+        memory.
+        """
+        return cls(corpus=GitTablesCorpus.load(directory, cache_shards=cache_shards))
 
     # -- corpus access -----------------------------------------------------
 
@@ -144,8 +161,14 @@ class GitTables:
     def annotation_stats(self) -> AnnotationStatistics:
         return AnnotationStatistics.from_corpus(self._corpus)
 
-    def save(self, directory: str | os.PathLike[str]) -> None:
-        self._corpus.save(directory)
+    def save(
+        self,
+        directory: str | os.PathLike[str],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        format: str = "sharded",
+    ) -> None:
+        """Persist the corpus atomically (sharded JSONL by default)."""
+        self._corpus.save(directory, shard_size=shard_size, format=format)
 
     # -- shared lazy state -------------------------------------------------
 

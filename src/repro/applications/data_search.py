@@ -43,7 +43,9 @@ class TableSearchEngine:
         self._table_ids: list[str] = []
         self._schemas: list[tuple[str, ...]] = []
         embeddings: list[np.ndarray] = []
-        for table_id, schema in corpus.schemas():
+        # Stream schemas so disk-backed corpora never materialize their
+        # full table list; only the (small) schema metadata is retained.
+        for table_id, schema in corpus.iter_schemas():
             if not schema:
                 continue
             self._table_ids.append(table_id)

@@ -50,7 +50,9 @@ def sample_corpus_columns(
 
     Columns are deduplicated on (name, first values) so repeated snapshot
     tables do not dominate the sample, mirroring the paper's
-    "deduplicated columns".
+    "deduplicated columns". The corpus is read in one streaming pass, so
+    lazy disk-backed stores are never materialized — only the sampled
+    column pool is held.
     """
     pool: list[tuple[str, tuple]] = []
     seen: set[tuple] = set()

@@ -68,7 +68,9 @@ class KGMatchingBenchmark:
         """Curate benchmark columns from a corpus.
 
         Target columns are those with a *syntactic* annotation — the most
-        reliable gold labels available, as in the paper.
+        reliable gold labels available, as in the paper. The corpus is
+        consumed in one streaming pass (disk-backed stores are never
+        materialized); only the curated benchmark columns are retained.
         """
         benchmark = cls()
         for annotated in corpus:

@@ -60,9 +60,11 @@ class NearestCompletion:
     ) -> None:
         self.encoder = encoder or SentenceEncoder()
         self.min_schema_length = min_schema_length
+        # Stream schemas (disk-backed corpora stay on disk); only the
+        # qualifying schema tuples are kept.
         self._schemas: list[tuple[str, tuple[str, ...]]] = [
             (table_id, schema)
-            for table_id, schema in corpus.schemas()
+            for table_id, schema in corpus.iter_schemas()
             if len(schema) >= min_schema_length
         ]
         # Pre-embed every attribute of every schema in one batched pass

@@ -100,7 +100,11 @@ class TypeDetectionExperiment:
         return None
 
     def sample_labelled_columns(self, corpus: GitTablesCorpus) -> _LabelledColumns:
-        """Sample up to ``columns_per_type`` deduplicated columns per type."""
+        """Sample up to ``columns_per_type`` deduplicated columns per type.
+
+        One streaming pass over the corpus: works unchanged over lazy
+        disk-backed stores, holding only the sampled column values.
+        """
         per_type: dict[str, list[tuple]] = {label: [] for label in self.target_types}
         seen: set[tuple] = set()
         for annotated in corpus:

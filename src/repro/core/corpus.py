@@ -2,20 +2,46 @@
 
 An :class:`AnnotatedTable` bundles a curated table with its column
 annotations and provenance; :class:`GitTablesCorpus` is the queryable
-collection the analysis and application layers operate on. The corpus can
-be persisted to (and re-loaded from) a directory of JSON files so that
-expensive corpus builds can be cached between experiments.
+collection the analysis and application layers operate on.
+
+Physical storage is pluggable: the corpus delegates every container
+operation to a :class:`~repro.storage.base.CorpusStore` backend — the
+in-memory dict by default, or a lazy sharded-JSONL store for corpora
+that should not (or cannot) be fully resident. Iteration, ``get`` and
+the derived views are backend-aware and streaming, so code written as
+``for annotated in corpus`` works identically over both.
+
+Persistence: :meth:`GitTablesCorpus.save` writes the sharded JSONL
+layout (atomically — the target directory appears only once fully
+written) and :meth:`GitTablesCorpus.load` auto-detects the format,
+returning a *lazy* disk-backed corpus for sharded directories and an
+in-memory corpus for the legacy one-JSON-file-per-table layout.
+
+Sub-corpus name provenance: derived corpora record how they were carved
+out of their parent in the corpus name — ``topic_subset("cars")`` of a
+corpus named ``gittables`` is named ``gittables/topic=cars``, and
+``filter(...)`` appends ``/filtered`` (or the caller-supplied name).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterator
 
 from ..dataframe.table import Table
 from ..errors import CorpusError
+from ..storage.base import CorpusStore
+from ..storage.memory import InMemoryStore
+from ..storage.sharded import (
+    DEFAULT_SHARD_SIZE,
+    ShardedCorpusWriter,
+    ShardedJsonlStore,
+    is_sharded_dir,
+)
 from .annotation import AnnotationMethod, ColumnAnnotation, TableAnnotations
 
 __all__ = ["AnnotatedTable", "GitTablesCorpus"]
@@ -90,92 +116,265 @@ class AnnotatedTable:
 
 
 class GitTablesCorpus:
-    """A collection of annotated tables."""
+    """A collection of annotated tables over a pluggable storage backend.
 
-    def __init__(self, name: str = "gittables") -> None:
-        self.name = name
-        self._tables: dict[str, AnnotatedTable] = {}
+    ``store`` defaults to a fresh :class:`~repro.storage.memory.InMemoryStore`;
+    pass a :class:`~repro.storage.sharded.ShardedJsonlStore` (or use
+    :meth:`load` on a sharded directory) for a lazily-loaded disk-backed
+    corpus. The container API is identical across backends.
+    """
+
+    def __init__(self, name: str | None = None, store: CorpusStore | None = None) -> None:
+        if store is None:
+            store = InMemoryStore(name=name or "gittables")
+        elif name is not None:
+            store.name = name
+        self._store = store
+
+    @property
+    def store(self) -> CorpusStore:
+        """The storage backend this corpus delegates to."""
+        return self._store
+
+    @property
+    def name(self) -> str:
+        return self._store.name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._store.name = value
 
     # -- container protocol ----------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._tables)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[AnnotatedTable]:
-        return iter(self._tables.values())
+        return iter(self._store)
 
     def __contains__(self, table_id: str) -> bool:
-        return table_id in self._tables
+        return table_id in self._store
 
     def get(self, table_id: str) -> AnnotatedTable | None:
-        return self._tables.get(table_id)
+        """The table for ``table_id`` (sharded backends read one shard)."""
+        return self._store.get(table_id)
 
     def add(self, annotated: AnnotatedTable) -> None:
         """Add a table; duplicate table ids are rejected."""
-        table_id = annotated.table_id
-        if table_id in self._tables:
-            raise CorpusError(f"duplicate table id {table_id!r}")
-        self._tables[table_id] = annotated
+        self._store.add(annotated)
+
+    def table_ids(self) -> Iterator[str]:
+        """Stream table ids without loading table content."""
+        return self._store.table_ids()
 
     # -- queries -----------------------------------------------------------
 
     def tables(self) -> list[AnnotatedTable]:
-        return list(self._tables.values())
+        """All tables as a list (materializes; prefer iterating the corpus)."""
+        return list(self._store)
 
     def topics(self) -> list[str]:
         """Sorted list of distinct topics present in the corpus."""
-        return sorted({annotated.topic for annotated in self._tables.values()})
+        hint = self._store.stats_hint()
+        if hint is not None:
+            return sorted(hint.get("topics", {}))
+        return sorted({annotated.topic for annotated in self._store})
 
     def topic_subset(self, topic: str) -> "GitTablesCorpus":
-        """The sub-corpus of tables extracted for one topic."""
-        subset = GitTablesCorpus(name=f"{self.name}:{topic}")
-        for annotated in self._tables.values():
+        """The sub-corpus of tables extracted for one topic.
+
+        The result is in-memory and named ``<parent>/topic=<topic>`` so
+        downstream reports can trace where a subset came from.
+        """
+        subset = GitTablesCorpus(name=f"{self.name}/topic={topic}")
+        for annotated in self._store:
             if annotated.topic == topic:
                 subset.add(annotated)
         return subset
 
     def filter(self, predicate: Callable[[AnnotatedTable], bool], name: str | None = None) -> "GitTablesCorpus":
-        """A sub-corpus of the tables satisfying ``predicate``."""
-        subset = GitTablesCorpus(name=name or f"{self.name}:filtered")
-        for annotated in self._tables.values():
+        """A sub-corpus of the tables satisfying ``predicate``.
+
+        The result is in-memory and named ``<parent>/filtered`` unless an
+        explicit ``name`` records more specific provenance.
+        """
+        subset = GitTablesCorpus(name=name or f"{self.name}/filtered")
+        for annotated in self._store:
             if predicate(annotated):
                 subset.add(annotated)
         return subset
 
     def repositories(self) -> dict[str, int]:
         """repository full name -> number of tables contributed."""
+        hint = self._store.stats_hint()
+        if hint is not None:
+            return dict(hint.get("repositories", {}))
         counts: dict[str, int] = {}
-        for annotated in self._tables.values():
+        for annotated in self._store:
             counts[annotated.repository] = counts.get(annotated.repository, 0) + 1
         return counts
 
+    def iter_schemas(self) -> Iterator[tuple[str, tuple[str, ...]]]:
+        """Stream (table id, schema) pairs without materializing a list."""
+        for annotated in self._store:
+            yield annotated.table_id, annotated.table.schema
+
     def schemas(self) -> list[tuple[str, tuple[str, ...]]]:
         """(table id, schema) pairs, used by schema completion and search."""
-        return [(annotated.table_id, annotated.table.schema) for annotated in self._tables.values()]
+        return list(self.iter_schemas())
 
     def total_rows(self) -> int:
-        return sum(annotated.table.num_rows for annotated in self._tables.values())
+        hint = self._store.stats_hint()
+        if hint is not None:
+            return int(hint.get("total_rows", 0))
+        return sum(annotated.table.num_rows for annotated in self._store)
 
     def total_columns(self) -> int:
-        return sum(annotated.table.num_columns for annotated in self._tables.values())
+        hint = self._store.stats_hint()
+        if hint is not None:
+            return int(hint.get("total_columns", 0))
+        return sum(annotated.table.num_columns for annotated in self._store)
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, directory: str | os.PathLike[str]) -> None:
-        """Persist the corpus as one JSON file per table plus an index."""
+    def save(
+        self,
+        directory: str | os.PathLike[str],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        format: str = "sharded",
+    ) -> None:
+        """Persist the corpus to ``directory`` atomically.
+
+        The corpus is first written to a temporary sibling directory and
+        only renamed into place once complete, so a half-written corpus
+        is never observable at ``directory``. Overwriting an existing
+        corpus moves the old one aside, renames the new one in, then
+        removes the old — if the swap-in fails the old corpus is
+        restored, and a process kill inside the (two-rename) swap window
+        leaves the old corpus intact under the sibling recovery name
+        ``.<name>.replaced-<pid>`` rather than corrupting anything.
+
+        ``format="sharded"`` (default) writes the sharded JSONL layout of
+        :mod:`repro.storage.sharded`; ``format="legacy"`` writes the
+        original one-JSON-file-per-table layout.
+
+        The target directory is replaced *wholesale*: anything else
+        living in it is discarded with the old corpus. One exception —
+        when the corpus being saved is backed by this very directory,
+        its ``build.json`` provenance (which keeps the store reusable by
+        ``build(store_dir=...)``) is carried over.
+        """
+        if format not in ("sharded", "legacy"):
+            raise ValueError(f"unknown corpus format {format!r}")
+        directory = Path(directory)
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        self._clean_stale_save_dirs(directory)
+        staging = directory.parent / f".{directory.name}.saving-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        try:
+            if format == "sharded":
+                writer = ShardedCorpusWriter(staging, shard_size=shard_size, name=self.name)
+                # Commit shard-sized chunks so saving a lazy disk-backed
+                # corpus never materializes it (commit boundaries do not
+                # change the output bytes).
+                for annotated in self._store:
+                    writer.add(annotated)
+                    if writer.pending_count >= shard_size:
+                        writer.commit()
+                writer.commit()
+            else:
+                self._save_legacy(staging)
+            # Re-saving a store's own corpus onto its directory keeps the
+            # build provenance valid — carry it into the replacement.
+            store_directory = getattr(self._store, "directory", None)
+            build_meta = directory / "build.json"
+            if (
+                store_directory is not None
+                and Path(store_directory).resolve() == directory.resolve()
+                and build_meta.exists()
+            ):
+                shutil.copy2(build_meta, staging / "build.json")
+            if directory.exists():
+                replaced = directory.parent / f".{directory.name}.replaced-{os.getpid()}"
+                os.rename(directory, replaced)
+                try:
+                    os.rename(staging, directory)
+                except BaseException:
+                    # Put the old corpus back before propagating; the new
+                    # one stays in staging until the finally-cleanup.
+                    os.rename(replaced, directory)
+                    raise
+                shutil.rmtree(replaced)
+            else:
+                os.rename(staging, directory)
+        finally:
+            if staging.exists():
+                shutil.rmtree(staging)
+
+    @staticmethod
+    def _is_dead_sibling(path: Path) -> bool:
+        """Whether a pid-suffixed staging/recovery sibling is orphaned."""
+        pid_text = path.name.rpartition("-")[2]
+        if not pid_text.isdigit() or int(pid_text) == os.getpid():
+            return False
+        try:
+            os.kill(int(pid_text), 0)
+        except ProcessLookupError:
+            return True
+        except OSError:  # pragma: no cover - e.g. EPERM: pid is alive
+            return False
+        return False
+
+    @classmethod
+    def _clean_stale_save_dirs(cls, directory: Path) -> None:
+        """Recover from saves interrupted by *dead* processes.
+
+        An interrupted save can leave two kinds of pid-suffixed siblings:
+        ``.<name>.replaced-<pid>`` — the previous corpus, moved aside
+        during the swap window; if the target directory is gone (the
+        process died between the two renames) this is the only complete
+        copy, so it is **restored**, and only deleted when the target
+        exists (the swap completed, the copy is superseded). And
+        ``.<name>.saving-<pid>`` — a half-written staging tree, always
+        garbage. Live pids are left alone — their save is in flight.
+        """
+        for path in directory.parent.glob(f".{directory.name}.replaced-*"):
+            if not cls._is_dead_sibling(path):
+                continue
+            if directory.exists():
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                os.rename(path, directory)
+        for path in directory.parent.glob(f".{directory.name}.saving-*"):
+            if cls._is_dead_sibling(path):
+                shutil.rmtree(path, ignore_errors=True)
+
+    def _save_legacy(self, directory: Path) -> None:
+        """The original layout: one JSON file per table plus an index."""
         os.makedirs(directory, exist_ok=True)
         index = []
-        for position, annotated in enumerate(self._tables.values()):
+        for position, annotated in enumerate(self._store):
             filename = f"table_{position:06d}.json"
-            with open(os.path.join(directory, filename), "w", encoding="utf-8") as handle:
+            with open(directory / filename, "w", encoding="utf-8") as handle:
                 json.dump(annotated.to_dict(), handle)
             index.append({"file": filename, "table_id": annotated.table_id, "topic": annotated.topic})
-        with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as handle:
+        with open(directory / "index.json", "w", encoding="utf-8") as handle:
             json.dump({"name": self.name, "tables": index}, handle)
 
     @classmethod
-    def load(cls, directory: str | os.PathLike[str]) -> "GitTablesCorpus":
-        """Load a corpus previously written by :meth:`save`."""
+    def load(
+        cls, directory: str | os.PathLike[str], cache_shards: int = 2
+    ) -> "GitTablesCorpus":
+        """Load a corpus previously written by :meth:`save`.
+
+        Sharded directories come back *lazily*: only the manifest is read
+        here, and shards are loaded on demand (``cache_shards`` bounds
+        how many parsed shards stay resident). Legacy directories are
+        loaded eagerly into memory, as before.
+        """
+        if is_sharded_dir(directory):
+            return cls(store=ShardedJsonlStore(directory, cache_shards=cache_shards))
         index_path = os.path.join(directory, "index.json")
         if not os.path.exists(index_path):
             raise CorpusError(f"no corpus index found at {index_path}")

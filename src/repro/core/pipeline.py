@@ -9,6 +9,12 @@ streaming stage graph in :mod:`repro.pipeline`:
 Tables stream through generator-based stages in batches; the run stops
 pulling from every upstream stage as soon as ``config.target_tables``
 tables have been curated, so no table is annotated only to be discarded.
+Builds targeting a ``store_dir`` stream each batch into a sharded
+on-disk store (:mod:`repro.storage.sharded`) and are resumable: the
+manifest is the commit log, a resume skips every already-annotated
+table via the resume-skip stage, and the final
+:class:`~repro.pipeline.report.PipelineReport` merges the counters of
+every session that contributed.
 Every stage still produces its legacy report — all are bundled in the
 returned :class:`PipelineResult` together with the unified
 :class:`~repro.pipeline.report.PipelineReport` — so experiments can
@@ -23,13 +29,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import os
+
 from ..config import PipelineConfig
+from ..errors import CorpusError
 from ..github.client import GitHubClient
 from ..github.content import GeneratorConfig
 from ..github.instance import GitHubInstance, build_instance
-from ..pipeline.report import PipelineReport
+from ..pipeline.report import PipelineReport, combine_counters
 from ..pipeline.runner import Pipeline
+from ..pipeline.stage import StageContext
 from ..pipeline.stages import default_stages
+from ..storage.checkpoint import (
+    BuildCheckpoint,
+    config_fingerprint,
+    load_build_meta,
+    require_compatible_build,
+    save_build_meta,
+)
+from ..storage.sharded import DEFAULT_SHARD_SIZE, ShardedCorpusWriter, ShardedJsonlStore
 from ..wordnet.topics import select_topics
 from .annotation import AnnotationPipeline
 from .corpus import GitTablesCorpus
@@ -46,7 +64,17 @@ DEFAULT_BATCH_SIZE = 32
 
 @dataclass
 class PipelineResult:
-    """The corpus plus per-stage reports."""
+    """The corpus plus per-stage reports.
+
+    The legacy stage reports are *session-scoped*: they describe the work
+    the returning process actually performed. For store-backed builds
+    that resumed (or reused) a directory, the cross-session truth lives
+    in ``pipeline_report`` (counters merged over every session); the
+    curation report is additionally rebuilt from corpus metadata on pure
+    reuse, since Table-3 statistics are derivable from the tables
+    themselves, while extraction/parsing/filter reports describe dropped
+    items that no longer exist anywhere.
+    """
 
     corpus: GitTablesCorpus
     extraction_report: ExtractionReport
@@ -75,8 +103,13 @@ class CorpusBuilder:
         # PipelineConfig validates itself in __post_init__.
         self.config = config or PipelineConfig.default()
         self.batch_size = batch_size
+        #: The generator configuration behind the synthetic instance, kept
+        #: for the resume fingerprint (None when a pre-built instance was
+        #: handed in — such builds cannot be fingerprinted).
+        self.generator_config: GeneratorConfig | None = None
         if instance is None:
-            instance = build_instance(self._derive_generator_config(generator_config))
+            self.generator_config = self._derive_generator_config(generator_config)
+            instance = build_instance(self.generator_config)
         self.instance = instance
         self.client = GitHubClient(instance)
         self.extractor = CSVExtractor(self.client, self.config.extraction)
@@ -98,7 +131,7 @@ class CorpusBuilder:
         base = GeneratorConfig(seed=self.config.seed)
         return base.scaled_to_files(target_files)
 
-    def pipeline(self) -> Pipeline:
+    def pipeline(self, skip_source_urls: set[str] | None = None) -> Pipeline:
         """The Figure-1 stage graph over this builder's components.
 
         A fresh graph (with fresh stage reports) per call; callers may
@@ -106,6 +139,8 @@ class CorpusBuilder:
         ``config.workers > 1`` the parsing and annotation stages run as
         chunked thread-pool map stages (order-preserving; may prefetch
         up to ``workers + 1`` chunks past the early-stop limit).
+        ``skip_source_urls`` inserts the resume-skip stage used by
+        store-targeted builds.
         """
         return Pipeline(
             default_stages(
@@ -116,35 +151,160 @@ class CorpusBuilder:
                 self.curator,
                 workers=self.config.workers,
                 chunk_size=self.batch_size,
+                skip_source_urls=skip_source_urls,
             ),
             batch_size=self.batch_size,
             name="gittables-build",
         )
 
-    def build(self) -> PipelineResult:
-        """Run the full streaming pipeline and return corpus plus reports."""
-        config = self.config
-        topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
+    def build(
+        self,
+        store_dir: str | os.PathLike[str] | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ) -> PipelineResult:
+        """Run the full streaming pipeline and return corpus plus reports.
 
-        pipeline = self.pipeline()
-        outcome = pipeline.run(
-            topic_selection.topics, config=config, limit=config.target_tables
+        Without ``store_dir`` the corpus is assembled in memory (the
+        historical behaviour). With ``store_dir`` the build streams
+        straight into a sharded on-disk store and is **resumable**: every
+        runner batch is committed to the shard files and manifest before
+        the next is pulled, so a killed build restarted with the same
+        configuration picks up from the manifest, skips every table it
+        already annotated, and produces a directory byte-identical to an
+        uninterrupted run. The returned corpus is backed by the lazy
+        sharded reader, not resident in memory.
+        """
+        if store_dir is not None:
+            return self._build_to_store(store_dir, shard_size)
+        topic_selection = select_topics(
+            self.config.extraction.topic_count, seed=self.config.seed
         )
-
         corpus = GitTablesCorpus()
-        for annotated in outcome.items:
-            corpus.add(annotated)
 
-        reports = outcome.report.stage_reports
+        def collect(batch: list) -> None:
+            for annotated in batch:
+                corpus.add(annotated)
+
+        outcome = self.pipeline().run(
+            topic_selection.topics,
+            config=self.config,
+            limit=self.config.target_tables,
+            sink=collect,
+        )
+        return self._result(corpus, outcome.report, topic_selection.topics)
+
+    def _result(
+        self, corpus: GitTablesCorpus, report: PipelineReport, topics: tuple[str, ...]
+    ) -> PipelineResult:
+        reports = report.stage_reports
         return PipelineResult(
             corpus=corpus,
             extraction_report=reports.get("extraction", ExtractionReport()),
             parsing_report=reports.get("parsing", ParsingReport()),
             filter_report=reports.get("filtering", FilterReport()),
             curation_report=reports.get("curation", CurationReport()),
-            topics=topic_selection.topics,
-            pipeline_report=outcome.report,
+            topics=topics,
+            pipeline_report=report,
         )
+
+    def _build_to_store(
+        self, store_dir: str | os.PathLike[str], shard_size: int
+    ) -> PipelineResult:
+        """Resumable streaming build into a sharded corpus directory."""
+        config = self.config
+        topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
+        writer = ShardedCorpusWriter(store_dir, shard_size=shard_size)
+        fingerprint = config_fingerprint(config, self.generator_config)
+
+        # build.json is the directory's permanent provenance record: any
+        # build call against an existing store — in-flight or completed —
+        # must match the configuration the store was started with.
+        stored_fingerprint = load_build_meta(store_dir)
+        if stored_fingerprint is not None:
+            if stored_fingerprint.get("generator") is None or self.generator_config is None:
+                # A pre-built `instance` cannot be fingerprinted, so two
+                # different sources would compare equal — refuse to mix.
+                raise CorpusError(
+                    f"corpus at {store_dir} involves a pre-built GitHub instance "
+                    "whose data source cannot be verified; such builds are not "
+                    "resumable or reusable — delete the directory to rebuild"
+                )
+            require_compatible_build(stored_fingerprint, fingerprint, store_dir)
+        elif writer.committed_count > 0:
+            raise CorpusError(
+                f"corpus at {store_dir} holds {writer.committed_count} tables but "
+                "no build metadata, so it cannot be verified against this "
+                "configuration; load it explicitly or delete the directory to rebuild"
+            )
+        else:
+            save_build_meta(store_dir, fingerprint)
+
+        checkpoint = BuildCheckpoint.load(store_dir)
+        if checkpoint is None:
+            if writer.committed_count >= config.target_tables:
+                # A completed build (its checkpoint was cleared): the
+                # fingerprint matched, so reuse it as-is without touching
+                # manifest or shards. Curation statistics are rebuilt
+                # from table metadata; the other legacy stage reports
+                # describe dropped/raw items and only exist in the
+                # session that did the work (see PipelineResult).
+                corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+                report = PipelineReport(pipeline_name="gittables-build")
+                report.items_collected = len(corpus)
+                report.stage_reports["curation"] = CurationReport.from_corpus(corpus)
+                return self._result(corpus, report, topic_selection.topics)
+            checkpoint = BuildCheckpoint(fingerprint=fingerprint)
+        else:
+            checkpoint.require_compatible(fingerprint, store_dir)
+
+        base_counters = checkpoint.counters
+        # Persist the fingerprint before any work so even a crash inside
+        # the first batch leaves a resumable directory behind.
+        checkpoint.save(store_dir)
+
+        ctx = StageContext(config=config)
+
+        def commit_batch(batch: list) -> None:
+            writer.extend(batch)
+            writer.commit()
+            # Recomputed from the immutable base every commit (never
+            # compounded); the session count lives in the merged
+            # counters, the checkpoint field mirrors it.
+            merged = combine_counters(base_counters, ctx.report.counters())
+            BuildCheckpoint(
+                fingerprint=fingerprint,
+                sessions=merged["sessions"],
+                counters=merged,
+            ).save(store_dir)
+
+        remaining = config.target_tables - writer.committed_count
+        if remaining > 0:
+            outcome = self.pipeline(skip_source_urls=writer.source_urls()).run(
+                topic_selection.topics,
+                config=config,
+                ctx=ctx,
+                limit=remaining,
+                sink=commit_batch,
+            )
+            report = outcome.report
+        else:
+            writer.commit()
+            report = ctx.report
+            report.pipeline_name = "gittables-build"
+        if base_counters:
+            report.merge_counters(base_counters)
+        # The build is complete: the checkpoint's job is done, and
+        # removing it makes a resumed directory byte-identical to a
+        # one-shot one.
+        BuildCheckpoint.clear(store_dir)
+        corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+        if "curation" not in report.stage_reports:
+            # The no-work path (target already met, e.g. killed between
+            # the last commit and checkpoint clear) ran no curation
+            # stage; rebuild its report from corpus metadata like the
+            # pure-reuse path does.
+            report.stage_reports["curation"] = CurationReport.from_corpus(corpus)
+        return self._result(corpus, report, topic_selection.topics)
 
 
 def build_corpus(
@@ -152,11 +312,17 @@ def build_corpus(
     instance: GitHubInstance | None = None,
     generator_config: GeneratorConfig | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    store_dir: str | os.PathLike[str] | None = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
 ) -> PipelineResult:
-    """Convenience wrapper: construct a corpus with one call."""
+    """Convenience wrapper: construct a corpus with one call.
+
+    With ``store_dir`` the build streams into a resumable sharded
+    on-disk store (see :meth:`CorpusBuilder.build`).
+    """
     return CorpusBuilder(
         config=config,
         instance=instance,
         generator_config=generator_config,
         batch_size=batch_size,
-    ).build()
+    ).build(store_dir=store_dir, shard_size=shard_size)

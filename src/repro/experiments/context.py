@@ -29,10 +29,20 @@ _SCALES = ("small", "default", "large")
 
 @dataclass
 class ExperimentContext:
-    """Lazily built corpora shared by the experiment drivers."""
+    """Lazily built corpora shared by the experiment drivers.
+
+    With ``store_dir`` set, the GitTables corpus is built *into a
+    resumable sharded on-disk store* (one subdirectory per
+    (scale, seed)) instead of memory: an interrupted build resumes from
+    its manifest, a finished store is reused as-is by later processes,
+    and the drivers iterate the lazy store without materializing the
+    table list.
+    """
 
     scale: str = "default"
     seed: int = 20230530
+    #: Optional directory for persistent, resumable corpus storage.
+    store_dir: str | None = None
     _pipeline_result: PipelineResult | None = field(default=None, repr=False)
     _session: GitTables | None = field(default=None, repr=False)
     _viznet: GitTablesCorpus | None = field(default=None, repr=False)
@@ -65,12 +75,22 @@ class ExperimentContext:
 
     # -- cached artefacts -----------------------------------------------------
 
+    def corpus_store_dir(self) -> str | None:
+        """Where this context's sharded corpus lives (None = in memory)."""
+        if self.store_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.store_dir, f"gittables-{self.scale}-seed{self.seed}")
+
     @property
     def pipeline_result(self) -> PipelineResult:
         """The GitTables construction run (corpus + stage reports)."""
         if self._pipeline_result is None:
             self._pipeline_result = build_corpus(
-                self.pipeline_config(), generator_config=self.generator_config()
+                self.pipeline_config(),
+                generator_config=self.generator_config(),
+                store_dir=self.corpus_store_dir(),
             )
         return self._pipeline_result
 
@@ -109,14 +129,21 @@ class ExperimentContext:
         return self._t2dv2
 
 
-_CONTEXT_CACHE: dict[tuple[str, int], ExperimentContext] = {}
+_CONTEXT_CACHE: dict[tuple[str, int, str | None], ExperimentContext] = {}
 
 
-def get_context(scale: str = "default", seed: int = 20230530) -> ExperimentContext:
-    """Return the cached context for (scale, seed), building it lazily."""
-    key = (scale, seed)
+def get_context(
+    scale: str = "default", seed: int = 20230530, store_dir: str | None = None
+) -> ExperimentContext:
+    """Return the cached context for (scale, seed), building it lazily.
+
+    ``store_dir`` opts the context into persistent sharded corpus
+    storage (resumable builds, lazy loading; see
+    :class:`ExperimentContext`).
+    """
+    key = (scale, seed, store_dir)
     if key not in _CONTEXT_CACHE:
-        _CONTEXT_CACHE[key] = ExperimentContext(scale=scale, seed=seed)
+        _CONTEXT_CACHE[key] = ExperimentContext(scale=scale, seed=seed, store_dir=store_dir)
     return _CONTEXT_CACHE[key]
 
 

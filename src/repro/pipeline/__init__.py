@@ -17,7 +17,7 @@ limit is met, and collects per-stage counters and timings into a
 live in :mod:`repro.pipeline.stages`.
 """
 
-from .report import PipelineReport, StageMetrics
+from .report import PipelineReport, StageMetrics, combine_counters
 from .runner import Pipeline, PipelineOutcome
 from .stage import BatchStage, FunctionStage, MapStage, Stage, StageContext, stage_from
 from .stages import (
@@ -27,6 +27,7 @@ from .stages import (
     ExtractStage,
     FilterStage,
     ParseStage,
+    ResumeSkipStage,
     default_stages,
 )
 
@@ -43,9 +44,11 @@ __all__ = [
     "Pipeline",
     "PipelineOutcome",
     "PipelineReport",
+    "ResumeSkipStage",
     "Stage",
     "StageContext",
     "StageMetrics",
+    "combine_counters",
     "default_stages",
     "stage_from",
 ]

@@ -13,7 +13,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StageMetrics", "PipelineReport"]
+__all__ = ["StageMetrics", "PipelineReport", "combine_counters"]
+
+
+def combine_counters(base: dict, current: dict) -> dict:
+    """Sum two :meth:`PipelineReport.counters` snapshots stage-wise.
+
+    Used while a resumable build is running: the persisted checkpoint is
+    always ``combine_counters(prior_sessions_base, this_session_so_far)``
+    — recomputed from the immutable base at every commit, never
+    compounded onto itself.
+    """
+    stages: dict[str, dict] = {}
+    for snapshot in (base, current):
+        for name, counts in snapshot.get("stages", {}).items():
+            into = stages.setdefault(
+                name, {"items_in": 0, "items_out": 0, "cumulative_seconds": 0.0}
+            )
+            into["items_in"] += int(counts.get("items_in", 0))
+            into["items_out"] += int(counts.get("items_out", 0))
+            into["cumulative_seconds"] += float(counts.get("cumulative_seconds", 0.0))
+    return {
+        "sessions": int(base.get("sessions", 0)) + int(current.get("sessions", 1)),
+        "batches": int(base.get("batches", 0)) + int(current.get("batches", 0)),
+        "items_collected": (
+            int(base.get("items_collected", 0)) + int(current.get("items_collected", 0))
+        ),
+        "total_seconds": (
+            float(base.get("total_seconds", 0.0)) + float(current.get("total_seconds", 0.0))
+        ),
+        "stages": stages,
+    }
 
 
 @dataclass
@@ -66,6 +96,10 @@ class PipelineReport:
     #: True when the runner stopped pulling because it hit its limit.
     stopped_early: bool = False
     total_seconds: float = 0.0
+    #: Number of build sessions these counters cover. 1 for a normal run;
+    #: a resumed corpus build merges the counters of every prior
+    #: interrupted session (see :meth:`merge_counters`).
+    sessions: int = 1
 
     def stage(self, name: str) -> StageMetrics:
         """Metrics for one stage (raises ``KeyError`` for unknown names)."""
@@ -80,6 +114,55 @@ class PipelineReport:
     @property
     def stage_names(self) -> tuple[str, ...]:
         return tuple(self.stages)
+
+    # -- cross-session reconciliation --------------------------------------
+
+    def counters(self) -> dict:
+        """A JSON-serialisable snapshot of the run's counters.
+
+        Used by resumable corpus builds: the snapshot is persisted in the
+        build checkpoint at every commit and merged into the next
+        session's report by :meth:`merge_counters`, so the final report
+        of a build that spanned several interrupted sessions accounts for
+        *all* work done. Only counters that sum meaningfully are included
+        (the legacy per-stage report objects are per-session).
+        """
+        return {
+            "sessions": self.sessions,
+            "batches": self.batches,
+            "items_collected": self.items_collected,
+            "total_seconds": self.total_seconds,
+            "stages": {
+                name: {
+                    "items_in": metrics.items_in,
+                    "items_out": metrics.items_out,
+                    "cumulative_seconds": metrics.cumulative_seconds,
+                }
+                for name, metrics in self.stages.items()
+            },
+        }
+
+    def merge_counters(self, prior: dict) -> None:
+        """Fold a prior session's :meth:`counters` snapshot into this report.
+
+        Item counts add up per stage; per-stage exclusive seconds are
+        re-derived from the prior cumulative chain so timings reflect
+        total wall-clock work across sessions. Call after the run has
+        finished (the runner finalizes exclusive times first).
+        """
+        prior_upstream = 0.0
+        for name, counts in prior.get("stages", {}).items():
+            metrics = self.register_stage(name)
+            metrics.items_in += int(counts.get("items_in", 0))
+            metrics.items_out += int(counts.get("items_out", 0))
+            prior_cumulative = float(counts.get("cumulative_seconds", 0.0))
+            metrics.cumulative_seconds += prior_cumulative
+            metrics.seconds += max(0.0, prior_cumulative - prior_upstream)
+            prior_upstream = prior_cumulative
+        self.sessions += int(prior.get("sessions", 1))
+        self.batches += int(prior.get("batches", 0))
+        self.items_collected += int(prior.get("items_collected", 0))
+        self.total_seconds += float(prior.get("total_seconds", 0.0))
 
     def as_rows(self) -> list[dict]:
         """One dict per stage, convenient for tabular printing."""

@@ -135,12 +135,22 @@ class Pipeline:
         config: PipelineConfig | None = None,
         ctx: StageContext | None = None,
         limit: int | None = None,
+        sink: Callable[[list], None] | None = None,
     ) -> PipelineOutcome:
         """Run the graph over ``source``, collecting at most ``limit`` items.
 
         Results are pulled in batches of ``batch_size``; once ``limit``
         results have been collected no further item is pulled from any
         stage (streaming early stop).
+
+        With a ``sink``, each result batch is handed to ``sink(batch)``
+        instead of being accumulated, so the run never materializes more
+        than one batch of results — this is how corpus builds stream
+        straight into an on-disk store. ``PipelineOutcome.items`` is
+        empty in sink mode; counters in the report are unaffected. A
+        sink that raises aborts the run (stage ``finally`` blocks still
+        execute), which is also the crash model of resumable builds:
+        everything the sink committed stays committed.
         """
         if ctx is None:
             ctx = StageContext(config=config)
@@ -153,11 +163,12 @@ class Pipeline:
         started = perf_counter()
         stream, closers = self._build(source, ctx)
         items: list = []
+        collected = 0
         try:
             while True:
                 take = self.batch_size
                 if limit is not None:
-                    take = min(take, limit - len(items))
+                    take = min(take, limit - collected)
                     if take <= 0:
                         report.stopped_early = True
                         break
@@ -166,7 +177,16 @@ class Pipeline:
                     break
                 report.batches += 1
                 report.peak_batch_items = max(report.peak_batch_items, len(batch))
-                items.extend(batch)
+                collected += len(batch)
+                # Keep the collected count and elapsed time live so
+                # mid-run checkpoint snapshots (resumable builds) see
+                # accurate totals even if this session is killed.
+                report.items_collected = collected
+                report.total_seconds = perf_counter() - started
+                if sink is not None:
+                    sink(batch)
+                else:
+                    items.extend(batch)
         finally:
             # Close outermost-first so stage finally-blocks (which flush
             # report fields) run now, not whenever GC finalizes the chain.
@@ -174,7 +194,7 @@ class Pipeline:
                 close = getattr(generator, "close", None)
                 if close is not None:
                     close()
-        report.items_collected = len(items)
+        report.items_collected = collected
         report.total_seconds = perf_counter() - started
         self._finalize_exclusive_times(report)
         return PipelineOutcome(items=items, report=report, context=ctx)

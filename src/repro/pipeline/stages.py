@@ -42,6 +42,7 @@ from .stage import MapStage, StageContext
 __all__ = [
     "AnnotatedCandidate",
     "ExtractStage",
+    "ResumeSkipStage",
     "ParseStage",
     "FilterStage",
     "AnnotateStage",
@@ -92,6 +93,30 @@ class ExtractStage:
         finally:
             report.api_requests = client.request_count
             report.simulated_wait_seconds = client.total_wait_seconds
+
+
+class ResumeSkipStage:
+    """Drop extracted files whose tables a resumed build already stored.
+
+    Sits between extraction and parsing when a corpus build targets a
+    sharded store directory. ``done_urls`` is the set of source URLs
+    recorded in the store manifest; re-extracted files matching it are
+    dropped *before* parsing, so a resumed session never re-annotates (or
+    re-curates) a committed table. The stage's runner metrics make the
+    resume auditable: ``items_dropped`` is exactly the number of tables
+    skipped because a previous session already produced them. On a fresh
+    build the set is empty and the stage passes everything through.
+    """
+
+    name = "resume-skip"
+
+    def __init__(self, done_urls: set[str] | frozenset[str] = frozenset()) -> None:
+        self.done_urls = set(done_urls)
+
+    def process(self, items: Iterator, ctx: StageContext) -> Iterator:
+        for extracted in items:
+            if extracted.url not in self.done_urls:
+                yield extracted
 
 
 class ParseStage:
@@ -226,6 +251,7 @@ def default_stages(
     curator: ContentCurator,
     workers: int = 1,
     chunk_size: int = 32,
+    skip_source_urls: set[str] | None = None,
 ) -> list:
     """The paper's Figure-1 stage order, from existing components.
 
@@ -234,16 +260,25 @@ def default_stages(
     ``chunk_size`` items run on a thread pool. The default ``workers=1``
     keeps the strictly serial per-item graph (zero over-pull past an
     early-stop limit).
+
+    ``skip_source_urls`` (store-targeted builds only) inserts a
+    :class:`ResumeSkipStage` after extraction so tables already committed
+    by an interrupted session are never re-annotated.
     """
     parse = ParseStage(parser)
     annotate = AnnotateStage(annotator)
     if workers > 1:
         parse = MapStage(parse, chunk_size=chunk_size, workers=workers)
         annotate = MapStage(annotate, chunk_size=chunk_size, workers=workers)
-    return [
-        ExtractStage(extractor),
-        parse,
-        FilterStage(table_filter),
-        annotate,
-        CurateStage(curator),
-    ]
+    stages: list = [ExtractStage(extractor)]
+    if skip_source_urls is not None:
+        stages.append(ResumeSkipStage(skip_source_urls))
+    stages.extend(
+        [
+            parse,
+            FilterStage(table_filter),
+            annotate,
+            CurateStage(curator),
+        ]
+    )
+    return stages

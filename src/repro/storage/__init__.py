@@ -1,0 +1,46 @@
+"""Pluggable corpus storage backends.
+
+:class:`~repro.storage.base.CorpusStore` is the protocol behind
+:class:`~repro.core.corpus.GitTablesCorpus`; the backends are the
+in-memory dict (:class:`InMemoryStore`), the lazy sharded-JSONL reader
+(:class:`ShardedJsonlStore`), and the append-only resumable writer
+(:class:`ShardedCorpusWriter`). :class:`BuildCheckpoint` carries
+cross-session build state for resumable corpus construction.
+"""
+
+from .base import CorpusStore, StoreStats
+from .checkpoint import (
+    BUILD_META_FILENAME,
+    CHECKPOINT_FILENAME,
+    BuildCheckpoint,
+    config_fingerprint,
+    load_build_meta,
+    save_build_meta,
+)
+from .memory import InMemoryStore
+from .sharded import (
+    DEFAULT_SHARD_SIZE,
+    MANIFEST_FILENAME,
+    SHARDED_FORMAT,
+    ShardedCorpusWriter,
+    ShardedJsonlStore,
+    is_sharded_dir,
+)
+
+__all__ = [
+    "CorpusStore",
+    "StoreStats",
+    "InMemoryStore",
+    "ShardedJsonlStore",
+    "ShardedCorpusWriter",
+    "BuildCheckpoint",
+    "config_fingerprint",
+    "is_sharded_dir",
+    "DEFAULT_SHARD_SIZE",
+    "MANIFEST_FILENAME",
+    "SHARDED_FORMAT",
+    "BUILD_META_FILENAME",
+    "CHECKPOINT_FILENAME",
+    "load_build_meta",
+    "save_build_meta",
+]

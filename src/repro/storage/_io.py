@@ -1,0 +1,46 @@
+"""Shared durability helpers for the storage package."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_json", "fsync_dir"]
+
+
+def fsync_dir(directory: str | os.PathLike[str]) -> None:
+    """Durably persist a directory's entries (file creations/renames).
+
+    fsyncing a file does not durably record its *name* — that requires
+    fsyncing the containing directory. Best-effort: some platforms and
+    filesystems reject opening directories for fsync; those simply keep
+    their native (weaker) crash guarantees.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str | os.PathLike[str], payload: dict, indent: int = 1) -> None:
+    """Atomically replace ``path`` with ``payload`` as JSON.
+
+    The bytes are written to a temp sibling, flushed and fsynced, then
+    renamed over ``path`` — a reader never observes a half-written file.
+    The rename itself is made durable by fsyncing the directory.
+    """
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, ensure_ascii=False, indent=indent) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    fsync_dir(path.parent)

@@ -1,0 +1,156 @@
+"""Build checkpoints: what a resumed corpus construction needs to know.
+
+A resumable build writes two kinds of state into its corpus directory:
+
+* the **manifest** (see :mod:`repro.storage.sharded`) — the committed
+  corpus itself, which tells a resumed session which source files are
+  already annotated and stored;
+* ``build.json`` (this module) — the build's **provenance**: a
+  fingerprint of the pipeline configuration the corpus was (or is
+  being) built with. It is written before the first batch and kept for
+  the life of the directory, so *any* later build call against the
+  directory — whether the build is still in flight or long completed —
+  is validated against the original configuration instead of silently
+  returning or extending a corpus built with a different seed/target.
+* ``checkpoint.json`` (this module) — the *session* state: the
+  cumulative :class:`~repro.pipeline.report.PipelineReport` counters of
+  every session so far, so the final report reconciles across
+  interrupted sessions.
+
+The checkpoint is deleted when a build completes, which is what makes a
+finished resumed directory byte-identical to a finished one-shot
+directory; ``build.json`` is deterministic (pure configuration, no
+timings), so keeping it preserves that byte-identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import CorpusError
+from ._io import atomic_write_json
+
+__all__ = [
+    "BUILD_META_FILENAME",
+    "CHECKPOINT_FILENAME",
+    "BuildCheckpoint",
+    "config_fingerprint",
+    "load_build_meta",
+    "save_build_meta",
+    "require_compatible_build",
+]
+
+BUILD_META_FILENAME = "build.json"
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+def _normalize(value):
+    """JSON round-trip normalisation so tuples compare equal to lists."""
+    return json.loads(json.dumps(value))
+
+
+def config_fingerprint(config, generator_config=None) -> dict:
+    """A JSON-comparable fingerprint of everything that shapes the stream.
+
+    Covers the full :class:`~repro.config.PipelineConfig` (minus
+    ``workers``, which is proven not to change corpus contents) and the
+    synthetic-instance generator configuration. A custom pre-built
+    ``instance`` object cannot be fingerprinted — ``generator`` is
+    recorded as ``None`` then, which the builder treats as
+    *unverifiable*: stores carrying such a fingerprint are never resumed
+    or reused, because two different instances would compare equal.
+    """
+    payload = dataclasses.asdict(config)
+    payload.pop("workers", None)
+    fingerprint = {"config": payload, "generator": None}
+    if generator_config is not None:
+        if dataclasses.is_dataclass(generator_config):
+            fingerprint["generator"] = dataclasses.asdict(generator_config)
+        else:  # pragma: no cover - defensive for exotic callers
+            fingerprint["generator"] = repr(generator_config)
+    return _normalize(fingerprint)
+
+
+def save_build_meta(directory: str | os.PathLike[str], fingerprint: dict) -> None:
+    """Record the build's configuration fingerprint (atomic, durable)."""
+    atomic_write_json(
+        Path(directory) / BUILD_META_FILENAME, {"fingerprint": _normalize(fingerprint)}
+    )
+
+
+def load_build_meta(directory: str | os.PathLike[str]) -> dict | None:
+    """The fingerprint a directory's corpus was built with, or ``None``."""
+    path = Path(directory) / BUILD_META_FILENAME
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle).get("fingerprint")
+
+
+def require_compatible_build(
+    stored_fingerprint: dict, fingerprint: dict, directory
+) -> None:
+    """Reject building against a directory made with a different config."""
+    if stored_fingerprint != _normalize(fingerprint):
+        raise CorpusError(
+            f"corpus at {directory} was built with a different pipeline "
+            "configuration (seed/target/stage settings differ); delete the "
+            "directory to rebuild from scratch"
+        )
+
+
+@dataclass
+class BuildCheckpoint:
+    """Cross-session state of one resumable corpus build."""
+
+    fingerprint: dict
+    #: Completed sessions so far (the running one not included).
+    sessions: int = 0
+    #: Cumulative report counters of completed work, as produced by
+    #: :meth:`repro.pipeline.report.PipelineReport.counters`.
+    counters: dict = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, directory: str | os.PathLike[str]) -> "BuildCheckpoint | None":
+        """The checkpoint stored in ``directory``, or ``None``."""
+        path = Path(directory) / CHECKPOINT_FILENAME
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(
+            fingerprint=payload.get("fingerprint", {}),
+            sessions=int(payload.get("sessions", 0)),
+            counters=payload.get("counters", {}),
+        )
+
+    def save(self, directory: str | os.PathLike[str]) -> None:
+        """Atomically write the checkpoint next to the manifest."""
+        atomic_write_json(
+            Path(directory) / CHECKPOINT_FILENAME,
+            {
+                "fingerprint": self.fingerprint,
+                "sessions": self.sessions,
+                "counters": self.counters,
+            },
+        )
+
+    def require_compatible(self, fingerprint: dict, directory) -> None:
+        """Reject a resume whose configuration differs from the original."""
+        if self.fingerprint != _normalize(fingerprint):
+            raise CorpusError(
+                f"cannot resume corpus build at {directory}: the pipeline "
+                "configuration differs from the one the build was started "
+                "with (delete the directory to rebuild from scratch)"
+            )
+
+    @staticmethod
+    def clear(directory: str | os.PathLike[str]) -> None:
+        """Remove the checkpoint (called when a build completes)."""
+        path = Path(directory) / CHECKPOINT_FILENAME
+        if path.exists():
+            path.unlink()

@@ -1,0 +1,429 @@
+"""Sharded JSONL corpus storage: manifest, lazy reader, append-only writer.
+
+On-disk layout of a sharded corpus directory::
+
+    corpus/
+      manifest.json        # shard index, table-id map, cached stats
+      shard_00000.jsonl    # one JSON document per line, one table each
+      shard_00001.jsonl
+      ...
+
+The manifest is the single source of truth. Every shard entry records
+the number of *committed* lines and the exact committed byte length of
+its file, so a crash that appends lines without reaching the manifest
+rewrite is recoverable: on the next open the shard file is truncated
+back to the committed byte count and the interrupted tables are simply
+re-produced. The manifest itself is always replaced atomically
+(temp file + ``os.replace``), so it is never observed half-written.
+
+Two stores share the layout:
+
+* :class:`ShardedJsonlStore` — the lazy reader. ``get`` touches only the
+  shard holding the requested table; iteration streams shard by shard
+  with a small LRU of parsed shards; corpus statistics are answered
+  straight from the manifest.
+* :class:`ShardedCorpusWriter` — the append-only writer used as the
+  corpus-construction sink. ``add`` buffers tables, ``commit`` appends
+  them to shard files and rewrites the manifest, which is the atomic
+  checkpoint that makes interrupted builds resumable.
+
+Shard files are written with a canonical JSON encoding (compact
+separators, ``ensure_ascii=False``), so two builds that produce the same
+tables in the same order produce byte-identical shard files and
+manifests regardless of which backend or session wrote them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict, deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import CorpusError
+from ._io import atomic_write_json, fsync_dir
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.corpus import AnnotatedTable
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "SHARDED_FORMAT",
+    "DEFAULT_SHARD_SIZE",
+    "is_sharded_dir",
+    "ShardedJsonlStore",
+    "ShardedCorpusWriter",
+]
+
+MANIFEST_FILENAME = "manifest.json"
+SHARDED_FORMAT = "gittables-sharded-jsonl"
+#: Tables per shard file unless overridden.
+DEFAULT_SHARD_SIZE = 256
+
+
+def is_sharded_dir(directory: str | os.PathLike[str]) -> bool:
+    """Whether ``directory`` holds a sharded corpus (has a manifest)."""
+    return os.path.exists(os.path.join(directory, MANIFEST_FILENAME))
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard_{index:05d}.jsonl"
+
+
+def _encode_table(annotated: "AnnotatedTable") -> bytes:
+    """Canonical one-line JSON encoding of a table (byte-deterministic)."""
+    payload = json.dumps(annotated.to_dict(), ensure_ascii=False, separators=(",", ":"))
+    return payload.encode("utf-8") + b"\n"
+
+
+def _read_shard_tables(path: Path, byte_count: int) -> list:
+    """Decode the committed prefix of one shard file into tables.
+
+    Reading exactly ``byte_count`` bytes is the single place the
+    committed-bytes truncation rule is applied on the read side; both
+    the lazy reader and the writer's read-back paths go through here.
+    """
+    from ..core.corpus import AnnotatedTable
+
+    with open(path, "rb") as handle:
+        data = handle.read(byte_count)
+    return [
+        AnnotatedTable.from_dict(json.loads(line.decode("utf-8")))
+        for line in data.splitlines()
+        if line
+    ]
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    """Atomically replace the manifest (temp file + rename)."""
+    atomic_write_json(directory / MANIFEST_FILENAME, manifest)
+
+
+def _read_manifest(directory: Path) -> dict:
+    manifest_path = directory / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        raise CorpusError(f"no corpus manifest found at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != SHARDED_FORMAT:
+        raise CorpusError(
+            f"unexpected corpus format {manifest.get('format')!r} at {manifest_path}"
+        )
+    return manifest
+
+
+def _empty_stats() -> dict:
+    return {"total_rows": 0, "total_columns": 0, "topics": {}, "repositories": {}}
+
+
+class ShardedJsonlStore:
+    """Read-only lazy view over a sharded corpus directory.
+
+    Only the manifest is loaded up front. ``get`` parses exactly the one
+    shard that holds the requested table; repeated lookups hit an LRU of
+    up to ``cache_shards`` parsed shards. Iteration streams in shard
+    order through the same cache, so at most ``cache_shards`` shards are
+    ever resident.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str], cache_shards: int = 2) -> None:
+        if cache_shards < 1:
+            raise ValueError("cache_shards must be >= 1")
+        self.directory = Path(directory)
+        self._manifest = _read_manifest(self.directory)
+        self.name: str = self._manifest.get("name", "gittables")
+        self.cache_shards = cache_shards
+        #: table id -> (shard index, line index); insertion-ordered.
+        self._locations: dict[str, tuple[int, int]] = {
+            table_id: (entry["shard"], entry["line"])
+            for table_id, entry in self._manifest.get("tables", {}).items()
+        }
+        self._cache: OrderedDict[int, list] = OrderedDict()
+
+    # -- manifest-backed metadata -----------------------------------------
+
+    @property
+    def manifest(self) -> dict:
+        """The parsed manifest (treat as read-only)."""
+        return self._manifest
+
+    def shard_files(self) -> list[str]:
+        """Shard file names in shard order."""
+        return [entry["file"] for entry in self._manifest.get("shards", [])]
+
+    def source_urls(self) -> set[str]:
+        """Source URLs of every stored table (metadata only)."""
+        return {
+            entry["source_url"]
+            for entry in self._manifest.get("tables", {}).values()
+            if "source_url" in entry
+        }
+
+    def stats_hint(self) -> dict | None:
+        """Corpus statistics cached in the manifest (no shard reads)."""
+        return self._manifest.get("stats")
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._locations
+
+    def table_ids(self) -> Iterator[str]:
+        return iter(self._locations)
+
+    def _load_shard(self, index: int) -> list:
+        """Parse one shard into AnnotatedTable records (LRU-cached)."""
+        if index in self._cache:
+            self._cache.move_to_end(index)
+            return self._cache[index]
+        entry = self._manifest["shards"][index]
+        tables = _read_shard_tables(self.directory / entry["file"], entry["bytes"])
+        if len(tables) != entry["count"]:
+            raise CorpusError(
+                f"shard {entry['file']} holds {len(tables)} tables, "
+                f"manifest says {entry['count']}"
+            )
+        self._cache[index] = tables
+        while len(self._cache) > self.cache_shards:
+            self._cache.popitem(last=False)
+        return tables
+
+    def get(self, table_id: str) -> "AnnotatedTable | None":
+        location = self._locations.get(table_id)
+        if location is None:
+            return None
+        shard_index, line_index = location
+        return self._load_shard(shard_index)[line_index]
+
+    def __iter__(self) -> Iterator["AnnotatedTable"]:
+        for shard_index in range(len(self._manifest.get("shards", []))):
+            yield from self._load_shard(shard_index)
+
+    def add(self, annotated: "AnnotatedTable") -> None:
+        raise CorpusError(
+            "ShardedJsonlStore is read-only; build through ShardedCorpusWriter "
+            "or copy into an in-memory corpus"
+        )
+
+
+class ShardedCorpusWriter:
+    """Append-only sharded store used as the corpus-construction sink.
+
+    ``add`` buffers tables in memory; :meth:`commit` appends the buffer
+    to shard files (rolling over every ``shard_size`` tables) and then
+    atomically rewrites the manifest. The manifest only ever describes
+    fully committed data, so a crash at any point loses at most the
+    uncommitted buffer plus any half-appended lines — both are healed on
+    the next open (the shard file is truncated back to the committed byte
+    count recorded in the manifest).
+
+    Opening a directory that already holds a manifest *resumes* it:
+    committed tables, shard layout, and cached statistics are picked up,
+    and new tables append after them.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        name: str = "gittables",
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if is_sharded_dir(self.directory):
+            manifest = _read_manifest(self.directory)
+            self.name = manifest.get("name", name)
+            self.shard_size = int(manifest.get("shard_size", shard_size))
+            self._shards = [dict(entry) for entry in manifest.get("shards", [])]
+            self._tables = {
+                table_id: dict(entry) for table_id, entry in manifest.get("tables", {}).items()
+            }
+            self._stats = manifest.get("stats", _empty_stats())
+            self._heal_shards()
+        else:
+            self.name = name
+            self.shard_size = shard_size
+            self._shards: list[dict] = []
+            self._tables: dict[str, dict] = {}
+            self._stats = _empty_stats()
+        self._pending: deque = deque()
+        self._pending_ids: set[str] = set()
+
+    def _heal_shards(self) -> None:
+        """Restore the on-disk state the manifest describes.
+
+        Shard files listed in the manifest are truncated back to their
+        committed byte counts, and shard files *not* in the manifest —
+        left behind when a crash hit after a shard rollover but before
+        the manifest rewrite — are deleted, so a resumed build's
+        directory stays byte-identical to a one-shot build's.
+        """
+        listed = {entry["file"] for entry in self._shards}
+        for path in self.directory.glob("shard_*.jsonl"):
+            if path.name not in listed:
+                path.unlink()
+        for entry in self._shards:
+            path = self.directory / entry["file"]
+            if not path.exists():
+                raise CorpusError(f"missing shard file {path}")
+            size = path.stat().st_size
+            if size < entry["bytes"]:
+                raise CorpusError(
+                    f"shard file {path} is shorter ({size}B) than the manifest "
+                    f"records ({entry['bytes']}B); the corpus is corrupt"
+                )
+            if size > entry["bytes"]:
+                with open(path, "r+b") as handle:
+                    handle.truncate(entry["bytes"])
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tables) + len(self._pending)
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._tables or table_id in self._pending_ids
+
+    def table_ids(self) -> Iterator[str]:
+        yield from self._tables
+        for annotated in self._pending:
+            yield annotated.table_id
+
+    def add(self, annotated: "AnnotatedTable") -> None:
+        table_id = annotated.table_id
+        if table_id in self:
+            raise CorpusError(f"duplicate table id {table_id!r}")
+        self._pending.append(annotated)
+        self._pending_ids.add(table_id)
+
+    def extend(self, tables) -> None:
+        for annotated in tables:
+            self.add(annotated)
+
+    def get(self, table_id: str) -> "AnnotatedTable | None":
+        for annotated in self._pending:
+            if annotated.table_id == table_id:
+                return annotated
+        entry = self._tables.get(table_id)
+        if entry is None:
+            return None
+        return self._read_committed(entry["shard"], entry["line"])
+
+    def _read_committed(self, shard_index: int, line_index: int) -> "AnnotatedTable":
+        entry = self._shards[shard_index]
+        return _read_shard_tables(self.directory / entry["file"], entry["bytes"])[line_index]
+
+    def __iter__(self) -> Iterator["AnnotatedTable"]:
+        for entry in self._shards:
+            yield from _read_shard_tables(self.directory / entry["file"], entry["bytes"])
+        yield from iter(self._pending)
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Tables added but not yet committed to disk."""
+        return len(self._pending)
+
+    @property
+    def committed_count(self) -> int:
+        """Tables durably recorded in the manifest."""
+        return len(self._tables)
+
+    def source_urls(self) -> set[str]:
+        """Source URLs of committed tables (what a resumed build skips)."""
+        return {
+            entry["source_url"] for entry in self._tables.values() if "source_url" in entry
+        }
+
+    def stats_hint(self) -> dict | None:
+        """Committed statistics (pending tables are not yet included)."""
+        if self._pending:
+            return None
+        return self._stats
+
+    def commit(self) -> int:
+        """Flush the pending buffer to shard files, then the manifest.
+
+        Returns the number of tables committed. The manifest rewrite is
+        the commit point: it happens only after the shard bytes are
+        flushed and fsynced, and is itself an atomic replace. Pending
+        tables are grouped per destination shard, so a commit costs one
+        append + fsync per shard file touched, not per table.
+
+        Note the manifest rewrite is proportional to tables committed so
+        far; committing every small batch of a very large build is
+        O(N^2) total manifest bytes. Callers trading durability for
+        throughput should commit less often (the crash-loss window is
+        exactly the uncommitted buffer); a delta-log manifest is on the
+        roadmap.
+        """
+        committed = len(self._pending)
+        while self._pending:
+            if not self._shards or self._shards[-1]["count"] >= self.shard_size:
+                filename = _shard_filename(len(self._shards))
+                # A fresh shard truncates any stale file left by a crash
+                # that rolled over without reaching the manifest rewrite.
+                with open(self.directory / filename, "wb"):
+                    pass
+                # Persist the new file's directory entry before the
+                # manifest can reference it (a manifest naming a file
+                # whose dirent was lost to a power cut is unrecoverable).
+                fsync_dir(self.directory)
+                self._shards.append({"file": filename, "count": 0, "bytes": 0})
+            entry = self._shards[-1]
+            room = self.shard_size - entry["count"]
+            group = [self._pending.popleft() for _ in range(min(room, len(self._pending)))]
+            self._append_group(entry, group)
+        self._pending_ids.clear()
+        self._write_manifest()
+        return committed
+
+    def _append_group(self, entry: dict, group: list) -> None:
+        """Append a group of tables to one shard with a single fsync."""
+        shard_index = len(self._shards) - 1
+        encoded = [_encode_table(annotated) for annotated in group]
+        with open(self.directory / entry["file"], "ab") as handle:
+            handle.write(b"".join(encoded))
+            handle.flush()
+            os.fsync(handle.fileno())
+        stats = self._stats
+        for annotated, payload in zip(group, encoded):
+            table = annotated.table
+            self._tables[annotated.table_id] = {
+                "shard": shard_index,
+                "line": entry["count"],
+                "source_url": annotated.source_url,
+            }
+            entry["count"] += 1
+            entry["bytes"] += len(payload)
+            stats["total_rows"] += table.num_rows
+            stats["total_columns"] += table.num_columns
+            stats["topics"][annotated.topic] = stats["topics"].get(annotated.topic, 0) + 1
+            stats["repositories"][annotated.repository] = (
+                stats["repositories"].get(annotated.repository, 0) + 1
+            )
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format": SHARDED_FORMAT,
+            "version": 1,
+            "name": self.name,
+            "shard_size": self.shard_size,
+            "table_count": len(self._tables),
+            "shards": self._shards,
+            "tables": self._tables,
+            "stats": self._stats,
+        }
+        _write_manifest(self.directory, manifest)
+
+    def as_reader(self, cache_shards: int = 2) -> ShardedJsonlStore:
+        """Commit everything and reopen this directory as a lazy reader."""
+        self.commit()
+        return ShardedJsonlStore(self.directory, cache_shards=cache_shards)

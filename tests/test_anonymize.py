@@ -45,6 +45,21 @@ class TestFakeDataProvider:
     def test_deterministic_given_seed(self):
         assert FakeDataProvider(seed=3).name() == FakeDataProvider(seed=3).name()
 
+    def test_keyed_stream_independent_of_parent_usage(self):
+        """Keyed sub-providers depend only on (seed, key), not on how much
+        the parent generated before — the property resumed builds rely on."""
+        fresh = FakeDataProvider(seed=3)
+        worn = FakeDataProvider(seed=3)
+        for _ in range(10):
+            worn.name()
+        assert fresh.keyed("k").generate_column("faker.email", 4) == worn.keyed(
+            "k"
+        ).generate_column("faker.email", 4)
+        # Different keys (and seeds) give different streams.
+        assert fresh.keyed("k").generate_column("faker.email", 4) != fresh.keyed(
+            "other"
+        ).generate_column("faker.email", 4)
+
 
 class TestPIIScrubber:
     def _annotations(self, people_table):

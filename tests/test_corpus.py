@@ -44,6 +44,8 @@ class TestCorpusContainer:
         subset = corpus.topic_subset("organism")
         assert len(subset) == 1
         assert subset.topics() == ["organism"]
+        # Provenance is recorded in the derived corpus name.
+        assert subset.name == "gittables/topic=organism"
 
     def test_filter_predicate(self):
         corpus = GitTablesCorpus()
@@ -51,6 +53,15 @@ class TestCorpusContainer:
         corpus.add(_annotated("t2", repo="b/y"))
         filtered = corpus.filter(lambda annotated: annotated.repository == "a/x")
         assert len(filtered) == 1
+        assert filtered.name == "gittables/filtered"
+
+    def test_iter_schemas_streams(self):
+        corpus = GitTablesCorpus()
+        corpus.add(_annotated("t1"))
+        corpus.add(_annotated("t2"))
+        iterator = corpus.iter_schemas()
+        assert next(iterator) == ("t1", ("id", "status"))
+        assert list(iterator) == [("t2", ("id", "status"))]
 
     def test_repository_counts(self):
         corpus = GitTablesCorpus()
