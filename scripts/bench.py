@@ -13,13 +13,18 @@ Suites:
 * ``corpus_io`` — sharded corpus storage I/O (streaming build into an
   on-disk store, atomic save, lazy reload, single-table gets) with a
   peak-RSS note; writes ``BENCH_corpus_io.json``.
-* ``all`` — both.
+* ``index_io`` — cold ``GitTables.load()`` + first-query latency with
+  and without persisted mmap-backed index artifacts; enforces the ≥5x
+  cold-start speedup / exact-equality acceptance criteria and writes
+  ``BENCH_index_io.json``.
+* ``all`` — every suite.
 
-The pytest harness equivalents (both carry the ``slow`` marker, which
+The pytest harness equivalents (all carry the ``slow`` marker, which
 the default run deselects, so ``-m slow`` is required)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_corpus_io.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_index_io.py -s -m slow
 """
 
 from __future__ import annotations
@@ -45,6 +50,11 @@ from benchmarks.test_bench_corpus_io import (  # noqa: E402
     N_TABLES as IO_N_TABLES,
     SHARD_SIZE,
     run_corpus_io_benchmark,
+)
+from benchmarks.test_bench_index_io import (  # noqa: E402
+    MIN_SPEEDUP as INDEX_MIN_SPEEDUP,
+    N_TABLES as INDEX_N_TABLES,
+    run_index_io_benchmark,
 )
 
 
@@ -109,11 +119,33 @@ def run_corpus_io_suite(tables: int, output: Path) -> int:
     return 0
 
 
+def run_index_io_suite(tables: int, output: Path) -> int:
+    result = run_index_io_benchmark(n_tables=tables)
+    _write_baseline(output, "index_io", result)
+    print(
+        f"cold load+first-query over {result['n_indexed_schemas']} schemas: "
+        f"no artifacts {result['cold_no_artifacts_seconds']:.3f}s | "
+        f"with artifacts {result['cold_with_artifacts_seconds']:.3f}s | "
+        f"speedup {result['speedup']:.1f}x | "
+        f"one-time publish {result['publish_seconds']:.3f}s"
+    )
+    if not result["results_equal"]:
+        print("FAIL: artifact-backed results differ from embedded results", file=sys.stderr)
+        return 1
+    if result["speedup"] < INDEX_MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below {INDEX_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("annotation", "corpus_io", "all"),
+        choices=("annotation", "corpus_io", "index_io", "all"),
         default="annotation",
         help="which benchmark suite to run",
     )
@@ -133,6 +165,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.suite in ("corpus_io", "all"):
         output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_corpus_io.json"
         status |= run_corpus_io_suite(args.tables or IO_N_TABLES, output)
+    if args.suite in ("index_io", "all"):
+        output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_index_io.json"
+        status |= run_index_io_suite(args.tables or INDEX_N_TABLES, output)
     return status
 
 

@@ -9,7 +9,12 @@ methods with shared lazily-built state.
 The expensive artefacts — the sentence-embedding cache, the search
 engine's schema-embedding index, the completion index, the curated KG
 benchmark — are constructed on first use and reused across calls, so
-repeated queries never rebuild state. Search and completion resolve
+repeated queries never rebuild state. Sessions over a sharded store
+directory additionally persist those indexes as **mmap-backed
+artifacts** next to the corpus (:mod:`repro.storage.artifacts`):
+:meth:`GitTables.load` warms them from disk in milliseconds with zero
+corpus-wide embedding work, building and publishing on first miss.
+Search and completion resolve
 through batched nearest-neighbour queries
 (:meth:`~repro.embeddings.similarity.NearestNeighbourIndex.query_batch`);
 :meth:`GitTables.search_batch` exposes the many-queries-in-one-GEMM path
@@ -46,7 +51,8 @@ from .applications.type_detection import TypeDetectionExperiment, TypeDetectionR
 from .config import PipelineConfig
 from .core.corpus import GitTablesCorpus
 from .core.pipeline import DEFAULT_BATCH_SIZE, CorpusBuilder, PipelineResult
-from .storage.sharded import DEFAULT_SHARD_SIZE
+from .storage.artifacts import IndexArtifactStore
+from .storage.sharded import DEFAULT_SHARD_SIZE, ShardedJsonlStore, is_sharded_dir
 from .core.stats import AnnotationStatistics, CorpusStatistics
 from .embeddings.sentence import SentenceEncoder
 from .pipeline.report import PipelineReport
@@ -68,6 +74,7 @@ class GitTables:
         result: PipelineResult | None = None,
         config: PipelineConfig | None = None,
         encoder: SentenceEncoder | None = None,
+        artifacts: IndexArtifactStore | None = None,
     ) -> None:
         self._corpus = corpus
         self._result = result
@@ -75,6 +82,10 @@ class GitTables:
         #: One embedding model (with its internal text cache) shared by
         #: search and schema completion.
         self._encoder = encoder or SentenceEncoder()
+        #: Optional persistent artifact store: the lazily-built indexes
+        #: below are resolved from (and published to) mmap-backed
+        #: fingerprint-guarded artifacts living next to the corpus.
+        self._artifacts = artifacts
         self._search_engine: TableSearchEngine | None = None
         self._completer: NearestCompletion | None = None
         self._kg_benchmarks: dict[tuple[int, int], KGMatchingBenchmark] = {}
@@ -107,28 +118,60 @@ class GitTables:
             batch_size=batch_size,
         )
         result = builder.build(store_dir=store_dir, shard_size=shard_size)
-        return cls(corpus=result.corpus, result=result, config=builder.config)
+        artifacts = (
+            IndexArtifactStore.for_corpus_dir(store_dir) if store_dir is not None else None
+        )
+        return cls(
+            corpus=result.corpus, result=result, config=builder.config, artifacts=artifacts
+        )
 
     @classmethod
-    def from_corpus(cls, corpus: GitTablesCorpus, config: PipelineConfig | None = None) -> "GitTables":
+    def from_corpus(
+        cls,
+        corpus: GitTablesCorpus,
+        config: PipelineConfig | None = None,
+        artifacts: IndexArtifactStore | None = None,
+    ) -> "GitTables":
         """Wrap an already-built corpus."""
-        return cls(corpus=corpus, config=config)
+        return cls(corpus=corpus, config=config, artifacts=artifacts)
 
     @classmethod
-    def from_result(cls, result: PipelineResult, config: PipelineConfig | None = None) -> "GitTables":
+    def from_result(
+        cls,
+        result: PipelineResult,
+        config: PipelineConfig | None = None,
+        artifacts: IndexArtifactStore | None = None,
+    ) -> "GitTables":
         """Wrap a :class:`PipelineResult` from a previous construction run."""
-        return cls(corpus=result.corpus, result=result, config=config)
+        return cls(corpus=result.corpus, result=result, config=config, artifacts=artifacts)
 
     @classmethod
-    def load(cls, directory: str | os.PathLike[str], cache_shards: int = 2) -> "GitTables":
+    def load(
+        cls,
+        directory: str | os.PathLike[str],
+        cache_shards: int = 2,
+        use_artifacts: bool = True,
+    ) -> "GitTables":
         """Load a corpus previously persisted with :meth:`save`.
 
         The storage format is auto-detected: sharded directories come
         back lazily (only the manifest is read up front; ``cache_shards``
         bounds resident parsed shards), legacy directories load into
         memory.
+
+        Sharded directories also attach the persistent **index artifact
+        store** under ``<directory>/artifacts`` (disable with
+        ``use_artifacts=False``): the search, completion, type-detection
+        and KG-benchmark caches warm from fingerprint-guarded mmap'd
+        artifacts on first use — zero corpus-wide embedding work when
+        the artifacts are valid, a build-and-publish on first miss.
+        Call :meth:`warm` to resolve them eagerly.
         """
-        return cls(corpus=GitTablesCorpus.load(directory, cache_shards=cache_shards))
+        corpus = GitTablesCorpus.load(directory, cache_shards=cache_shards)
+        artifacts = None
+        if use_artifacts and is_sharded_dir(directory):
+            artifacts = IndexArtifactStore.for_corpus_dir(directory)
+        return cls(corpus=corpus, artifacts=artifacts)
 
     # -- corpus access -----------------------------------------------------
 
@@ -167,8 +210,32 @@ class GitTables:
         shard_size: int = DEFAULT_SHARD_SIZE,
         format: str = "sharded",
     ) -> None:
-        """Persist the corpus atomically (sharded JSONL by default)."""
+        """Persist the corpus atomically (sharded JSONL by default).
+
+        Sharded saves carry the index artifacts along: any index already
+        built in this session (search engine, completion matrix, KG
+        benchmarks) is published into ``<directory>/artifacts`` under
+        the saved manifest's content fingerprint, so a later
+        :meth:`load` of the directory warms from mmap'd artifacts
+        instead of re-embedding the corpus. Indexes built before a
+        corpus mutation (tables added since) are *not* published — they
+        no longer describe the saved bytes.
+        """
         self._corpus.save(directory, shard_size=shard_size, format=format)
+        if format != "sharded":
+            return
+        # Corpora are append-only (duplicate ids rejected, no removal),
+        # so a size match means the index still describes the corpus.
+        current_size = len(self._corpus)
+        artifacts = IndexArtifactStore.for_corpus_dir(directory)
+        fingerprint = ShardedJsonlStore(directory).content_fingerprint()
+        if self._search_engine is not None and self._search_engine._corpus_size == current_size:
+            self._search_engine.publish_artifacts(artifacts, corpus_fingerprint=fingerprint)
+        if self._completer is not None and self._completer._corpus_size == current_size:
+            self._completer.publish_artifacts(artifacts, corpus_fingerprint=fingerprint)
+        for benchmark in self._kg_benchmarks.values():
+            if benchmark.corpus_size == current_size:
+                benchmark.publish_artifacts(artifacts, corpus_fingerprint=fingerprint)
 
     # -- shared lazy state -------------------------------------------------
 
@@ -178,17 +245,30 @@ class GitTables:
         return self._encoder
 
     @property
+    def artifacts(self) -> IndexArtifactStore | None:
+        """The attached persistent index artifact store, if any."""
+        return self._artifacts
+
+    @property
     def search_engine(self) -> TableSearchEngine:
-        """The data-search engine, built once over the corpus schemas."""
+        """The data-search engine, built once over the corpus schemas.
+
+        With an artifact store attached, "built" means mmap'd from a
+        valid persisted artifact; a fresh build publishes one.
+        """
         if self._search_engine is None:
-            self._search_engine = TableSearchEngine(self._corpus, encoder=self._encoder)
+            self._search_engine = TableSearchEngine(
+                self._corpus, encoder=self._encoder, artifacts=self._artifacts
+            )
         return self._search_engine
 
     @property
     def completer(self) -> NearestCompletion:
-        """The schema-completion index, built once."""
+        """The schema-completion index, built once (or mmap'd, see above)."""
         if self._completer is None:
-            self._completer = NearestCompletion(self._corpus, encoder=self._encoder)
+            self._completer = NearestCompletion(
+                self._corpus, encoder=self._encoder, artifacts=self._artifacts
+            )
         return self._completer
 
     def kg_benchmark(self, min_columns: int = 3, min_rows: int = 5) -> KGMatchingBenchmark:
@@ -196,15 +276,35 @@ class GitTables:
         key = (min_columns, min_rows)
         if key not in self._kg_benchmarks:
             self._kg_benchmarks[key] = KGMatchingBenchmark.from_corpus(
-                self._corpus, min_columns=min_columns, min_rows=min_rows
+                self._corpus,
+                min_columns=min_columns,
+                min_rows=min_rows,
+                artifacts=self._artifacts,
             )
         return self._kg_benchmarks[key]
 
-    def reset_caches(self) -> None:
-        """Drop every lazily-built artefact (after corpus mutation)."""
+    def warm(self) -> "GitTables":
+        """Resolve every lazily-built index now (mmap'd when artifacts hold
+        valid versions, built-and-published otherwise); returns self."""
+        _ = self.search_engine
+        _ = self.completer
+        _ = self.kg_benchmark()
+        return self
+
+    def reset_caches(self, invalidate_artifacts: bool = True) -> None:
+        """Drop every lazily-built artefact (after corpus mutation).
+
+        With an artifact store attached, the *persisted* artifacts are
+        deleted as well by default — they describe the pre-mutation
+        corpus. Pass ``invalidate_artifacts=False`` to only drop the
+        in-memory state (the fingerprint guard still protects against
+        stale reads if the stored corpus bytes changed).
+        """
         self._search_engine = None
         self._completer = None
         self._kg_benchmarks.clear()
+        if invalidate_artifacts and self._artifacts is not None:
+            self._artifacts.invalidate()
 
     # -- applications ------------------------------------------------------
 
@@ -244,6 +344,7 @@ class GitTables:
         :class:`TypeDetectionExperiment` (``columns_per_type``,
         ``epochs``, ``n_splits``, ``seed``, …).
         """
+        experiment_options.setdefault("artifacts", self._artifacts)
         experiment = TypeDetectionExperiment(**experiment_options)
         if eval_corpus is None:
             return experiment.within_corpus(self._corpus)

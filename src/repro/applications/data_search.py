@@ -10,13 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..core.corpus import GitTablesCorpus
+from ..embeddings.persist import embedder_fingerprint, load_index, publish_index
 from ..embeddings.sentence import SentenceEncoder
 from ..embeddings.similarity import NearestNeighbourIndex
+from ..storage.artifacts import IndexArtifactStore, corpus_content_fingerprint, try_publish
 
-__all__ = ["SearchResult", "TableSearchEngine"]
+__all__ = ["SearchResult", "TableSearchEngine", "SEARCH_ARTIFACT"]
+
+#: Artifact name under which the schema-embedding index is persisted.
+SEARCH_ARTIFACT = "search-schemas"
 
 
 @dataclass(frozen=True)
@@ -36,13 +39,65 @@ class TableSearchEngine:
     :class:`~repro.embeddings.similarity.NearestNeighbourIndex`;
     :meth:`search_batch` answers many queries with a single batched index
     query, and :meth:`search` is its single-query wrapper.
+
+    With an ``artifacts`` store attached (and a disk-backed corpus), the
+    index matrix is resolved from a persisted mmap-backed artifact when
+    its fingerprint (encoder config + corpus content hash) matches —
+    cold construction then costs one mmap and zero corpus-wide embedding
+    calls, with query results bit-identical to a freshly embedded index.
+    On a miss the index is built (one batched ``embed_many`` pass over
+    every attribute of every schema) and republished.
     """
 
-    def __init__(self, corpus: GitTablesCorpus, encoder: SentenceEncoder | None = None) -> None:
+    def __init__(
+        self,
+        corpus: GitTablesCorpus,
+        encoder: SentenceEncoder | None = None,
+        artifacts: IndexArtifactStore | None = None,
+    ) -> None:
         self.encoder = encoder or SentenceEncoder()
+        self.artifacts = artifacts
+        self._corpus_fingerprint = (
+            corpus_content_fingerprint(corpus) if artifacts is not None else None
+        )
+        self._corpus_size = len(corpus)
+        if not self._load_from_artifacts():
+            self._build(corpus)
+            if self.artifacts is not None and self._corpus_fingerprint is not None:
+                # Publication is an optimisation: a read-only corpus
+                # directory still serves from the in-RAM index.
+                try_publish(self.publish_artifacts, self.artifacts)
+
+    # -- construction ------------------------------------------------------
+
+    def _fingerprint(self, corpus_fingerprint: str | None = None) -> dict:
+        """The artifact guard: everything that shapes the index matrix."""
+        return {
+            "kind": "table-search",
+            "encoder": embedder_fingerprint(self.encoder),
+            "corpus": corpus_fingerprint or self._corpus_fingerprint,
+        }
+
+    def _load_from_artifacts(self) -> bool:
+        """Resolve the index from a valid persisted artifact, if any."""
+        if self.artifacts is None or self._corpus_fingerprint is None:
+            return False
+        resolved = load_index(self.artifacts, SEARCH_ARTIFACT, self._fingerprint())
+        if resolved is None:
+            return False
+        index, payload = resolved
+        schemas = payload.get("schemas")
+        if schemas is None or len(schemas) != len(index.labels):
+            return False
+        self._table_ids = list(index.labels)
+        self._schemas = [tuple(schema) for schema in schemas]
+        self._index = index
+        return True
+
+    def _build(self, corpus: GitTablesCorpus) -> None:
+        """Embed every schema with one batched pass and build the index."""
         self._table_ids: list[str] = []
         self._schemas: list[tuple[str, ...]] = []
-        embeddings: list[np.ndarray] = []
         # Stream schemas so disk-backed corpora never materialize their
         # full table list; only the (small) schema metadata is retained.
         for table_id, schema in corpus.iter_schemas():
@@ -50,9 +105,32 @@ class TableSearchEngine:
                 continue
             self._table_ids.append(table_id)
             self._schemas.append(schema)
-            embeddings.append(self.encoder.embed_schema(list(schema)))
-        matrix = np.vstack(embeddings) if embeddings else np.zeros((0, self.encoder.dim))
+        # One batched pass over the whole corpus; each row is
+        # bit-identical to embed_schema of that schema alone.
+        matrix = self.encoder.embed_schemas(self._schemas)
         self._index = NearestNeighbourIndex(self._table_ids, matrix)
+
+    def publish_artifacts(
+        self, artifacts: IndexArtifactStore, corpus_fingerprint: str | None = None
+    ) -> bool:
+        """Persist the index for future mmap-backed cold starts.
+
+        ``corpus_fingerprint`` overrides the one captured at
+        construction (used when the corpus was just saved elsewhere).
+        Returns False when no fingerprint is available (in-memory corpus
+        with no durable identity).
+        """
+        fingerprint = corpus_fingerprint or self._corpus_fingerprint
+        if fingerprint is None:
+            return False
+        publish_index(
+            artifacts,
+            SEARCH_ARTIFACT,
+            self._fingerprint(fingerprint),
+            self._index,
+            payload={"schemas": [list(schema) for schema in self._schemas]},
+        )
+        return True
 
     def __len__(self) -> int:
         return len(self._table_ids)

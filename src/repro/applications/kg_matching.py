@@ -28,6 +28,7 @@ from ..core.annotation import AnnotationMethod
 from ..core.corpus import GitTablesCorpus
 from ..dataframe.table import Column
 from ..github.values import ValuePools
+from ..storage.artifacts import IndexArtifactStore, corpus_content_fingerprint, try_publish
 
 __all__ = [
     "BenchmarkColumn",
@@ -56,6 +57,51 @@ class KGMatchingBenchmark:
 
     columns: list[BenchmarkColumn] = field(default_factory=list)
     n_tables: int = 0
+    #: The curation thresholds this benchmark was built with (recorded
+    #: so the benchmark can republish itself to an artifact store).
+    min_columns: int = 3
+    min_rows: int = 5
+    max_tables: int | None = None
+    #: Size of the source corpus at curation time — lets the facade skip
+    #: republishing a benchmark whose corpus has since grown.
+    corpus_size: int = 0
+
+    @staticmethod
+    def _artifact_name(min_columns: int, min_rows: int, max_tables: int | None) -> str:
+        suffix = "" if max_tables is None else f"-t{max_tables}"
+        return f"kg-benchmark-c{min_columns}-r{min_rows}{suffix}"
+
+    def _fingerprint(self, corpus_fingerprint: str) -> dict:
+        return {
+            "kind": "kg-benchmark",
+            "min_columns": int(self.min_columns),
+            "min_rows": int(self.min_rows),
+            "max_tables": self.max_tables,
+            "corpus": corpus_fingerprint,
+        }
+
+    def publish_artifacts(
+        self, artifacts: IndexArtifactStore, corpus_fingerprint: str
+    ) -> bool:
+        """Persist the curated columns so reloads skip the corpus pass."""
+        artifacts.publish(
+            self._artifact_name(self.min_columns, self.min_rows, self.max_tables),
+            self._fingerprint(corpus_fingerprint),
+            payload={
+                "n_tables": self.n_tables,
+                "columns": [
+                    {
+                        "table_id": column.table_id,
+                        "column_name": column.column_name,
+                        "values": list(column.values),
+                        "ontology": column.ontology,
+                        "gold_type": column.gold_type,
+                    }
+                    for column in self.columns
+                ],
+            },
+        )
+        return True
 
     @classmethod
     def from_corpus(
@@ -64,6 +110,7 @@ class KGMatchingBenchmark:
         min_columns: int = 3,
         min_rows: int = 5,
         max_tables: int | None = None,
+        artifacts: IndexArtifactStore | None = None,
     ) -> "KGMatchingBenchmark":
         """Curate benchmark columns from a corpus.
 
@@ -71,8 +118,35 @@ class KGMatchingBenchmark:
         reliable gold labels available, as in the paper. The corpus is
         consumed in one streaming pass (disk-backed stores are never
         materialized); only the curated benchmark columns are retained.
+
+        With ``artifacts`` attached and a disk-backed corpus, the
+        curated columns are resolved from a fingerprint-guarded artifact
+        (and published after a fresh pass), so reloads skip the corpus
+        scan entirely.
         """
-        benchmark = cls()
+        benchmark = cls(min_columns=min_columns, min_rows=min_rows, max_tables=max_tables)
+        benchmark.corpus_size = len(corpus)
+        corpus_fingerprint = None
+        if artifacts is not None:
+            corpus_fingerprint = corpus_content_fingerprint(corpus)
+        if corpus_fingerprint is not None:
+            loaded = artifacts.load(
+                cls._artifact_name(min_columns, min_rows, max_tables),
+                benchmark._fingerprint(corpus_fingerprint),
+            )
+            if loaded is not None and "columns" in loaded.payload:
+                benchmark.n_tables = int(loaded.payload.get("n_tables", 0))
+                benchmark.columns = [
+                    BenchmarkColumn(
+                        table_id=entry["table_id"],
+                        column_name=entry["column_name"],
+                        values=tuple(entry["values"]),
+                        ontology=entry["ontology"],
+                        gold_type=entry["gold_type"],
+                    )
+                    for entry in loaded.payload["columns"]
+                ]
+                return benchmark
         for annotated in corpus:
             table = annotated.table
             if table.num_columns < min_columns or table.num_rows < min_rows:
@@ -100,6 +174,8 @@ class KGMatchingBenchmark:
                 benchmark.n_tables += 1
                 if max_tables is not None and benchmark.n_tables >= max_tables:
                     break
+        if corpus_fingerprint is not None:
+            try_publish(benchmark.publish_artifacts, artifacts, corpus_fingerprint)
         return benchmark
 
     def columns_for(self, ontology: str) -> list[BenchmarkColumn]:

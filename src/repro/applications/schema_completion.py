@@ -16,10 +16,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.corpus import GitTablesCorpus
+from ..embeddings.persist import embedder_fingerprint
 from ..embeddings.sentence import SentenceEncoder
 from ..embeddings.similarity import cosine_similarity
+from ..storage.artifacts import IndexArtifactStore, corpus_content_fingerprint, try_publish
 
-__all__ = ["SchemaCompletion", "NearestCompletion", "CompletionEvaluation"]
+__all__ = ["SchemaCompletion", "NearestCompletion", "CompletionEvaluation", "COMPLETION_ARTIFACT"]
+
+#: Artifact name under which the flat attribute matrix is persisted.
+COMPLETION_ARTIFACT = "completion-attributes"
 
 
 @dataclass(frozen=True)
@@ -50,33 +55,109 @@ class CompletionEvaluation:
 
 
 class NearestCompletion:
-    """Algorithm 1: k-nearest schema completions by prefix embedding distance."""
+    """Algorithm 1: k-nearest schema completions by prefix embedding distance.
+
+    With an ``artifacts`` store attached (and a disk-backed corpus), the
+    per-attribute embedding matrix is resolved from a persisted
+    mmap-backed artifact when its fingerprint (encoder config +
+    ``min_schema_length`` + corpus content hash) matches, so
+    construction costs one mmap and zero corpus-wide embedding calls;
+    completions are bit-identical to a freshly embedded index. On a miss
+    the matrix is built and republished.
+    """
 
     def __init__(
         self,
         corpus: GitTablesCorpus,
         encoder: SentenceEncoder | None = None,
         min_schema_length: int = 4,
+        artifacts: IndexArtifactStore | None = None,
     ) -> None:
         self.encoder = encoder or SentenceEncoder()
         self.min_schema_length = min_schema_length
+        self.artifacts = artifacts
+        self._corpus_fingerprint = (
+            corpus_content_fingerprint(corpus) if artifacts is not None else None
+        )
+        self._corpus_size = len(corpus)
+        if not self._load_from_artifacts():
+            self._build(corpus)
+            if self.artifacts is not None and self._corpus_fingerprint is not None:
+                # Publication is an optimisation: a read-only corpus
+                # directory still serves from the in-RAM matrix.
+                try_publish(self.publish_artifacts, self.artifacts)
+
+    # -- construction ------------------------------------------------------
+
+    def _fingerprint(self, corpus_fingerprint: str | None = None) -> dict:
+        return {
+            "kind": "schema-completion",
+            "encoder": embedder_fingerprint(self.encoder),
+            "min_schema_length": int(self.min_schema_length),
+            "corpus": corpus_fingerprint or self._corpus_fingerprint,
+        }
+
+    def _load_from_artifacts(self) -> bool:
+        """Resolve the flat attribute matrix from a valid artifact."""
+        if self.artifacts is None or self._corpus_fingerprint is None:
+            return False
+        loaded = self.artifacts.load(COMPLETION_ARTIFACT, self._fingerprint())
+        if loaded is None:
+            return False
+        table_ids = loaded.payload.get("table_ids")
+        schemas = loaded.payload.get("schemas")
+        matrix = loaded.arrays.get("attributes")
+        if table_ids is None or schemas is None or matrix is None:
+            return False
+        if len(table_ids) != len(schemas) or matrix.shape[0] != sum(map(len, schemas)):
+            return False
+        self._schemas = [
+            (table_id, tuple(schema)) for table_id, schema in zip(table_ids, schemas)
+        ]
+        self._flat_matrix = matrix
+        self._slice_attribute_embeddings()
+        return True
+
+    def _build(self, corpus: GitTablesCorpus) -> None:
         # Stream schemas (disk-backed corpora stay on disk); only the
         # qualifying schema tuples are kept.
         self._schemas: list[tuple[str, tuple[str, ...]]] = [
             (table_id, schema)
             for table_id, schema in corpus.iter_schemas()
-            if len(schema) >= min_schema_length
+            if len(schema) >= self.min_schema_length
         ]
         # Pre-embed every attribute of every schema in one batched pass
         # (the encoder deduplicates repeated attribute names across the
         # whole corpus), then split the matrix back per schema.
         flat_attributes = [attr for _, schema in self._schemas for attr in schema]
-        flat_matrix = self.encoder.embed_many(flat_attributes)
+        self._flat_matrix = self.encoder.embed_many(flat_attributes)
+        self._slice_attribute_embeddings()
+
+    def _slice_attribute_embeddings(self) -> None:
+        """Per-schema views into the flat (mmap'd or in-RAM) matrix."""
         self._attribute_embeddings: list[np.ndarray] = []
         offset = 0
         for _, schema in self._schemas:
-            self._attribute_embeddings.append(flat_matrix[offset : offset + len(schema)])
+            self._attribute_embeddings.append(self._flat_matrix[offset : offset + len(schema)])
             offset += len(schema)
+
+    def publish_artifacts(
+        self, artifacts: IndexArtifactStore, corpus_fingerprint: str | None = None
+    ) -> bool:
+        """Persist the attribute matrix for mmap-backed cold starts."""
+        fingerprint = corpus_fingerprint or self._corpus_fingerprint
+        if fingerprint is None:
+            return False
+        artifacts.publish(
+            COMPLETION_ARTIFACT,
+            self._fingerprint(fingerprint),
+            arrays={"attributes": self._flat_matrix},
+            payload={
+                "table_ids": [table_id for table_id, _ in self._schemas],
+                "schemas": [list(schema) for _, schema in self._schemas],
+            },
+        )
+        return True
 
     def __len__(self) -> int:
         return len(self._schemas)

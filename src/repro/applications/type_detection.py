@@ -23,6 +23,7 @@ from ..ml.crossval import StratifiedKFold
 from ..ml.features import ColumnFeaturizer
 from ..ml.metrics import f1_score_macro
 from ..ml.neural import MLPClassifier
+from ..storage.artifacts import IndexArtifactStore, corpus_content_fingerprint, try_publish
 
 __all__ = ["TypeDetectionResult", "TypeDetectionExperiment", "DEFAULT_TARGET_TYPES"]
 
@@ -81,6 +82,7 @@ class TypeDetectionExperiment:
         featurizer: ColumnFeaturizer | None = None,
         epochs: int = 30,
         seed: int = 0,
+        artifacts: IndexArtifactStore | None = None,
     ) -> None:
         self.target_types = tuple(target_types)
         self.columns_per_type = columns_per_type
@@ -88,6 +90,10 @@ class TypeDetectionExperiment:
         self.featurizer = featurizer or ColumnFeaturizer()
         self.epochs = epochs
         self.seed = seed
+        #: Optional persisted-feature cache: sampled+featurised column
+        #: matrices of disk-backed corpora are mmap'd back instead of
+        #: re-extracted (see :meth:`sample_labelled_columns`).
+        self.artifacts = artifacts
 
     # -- sampling -----------------------------------------------------------
 
@@ -99,12 +105,46 @@ class TypeDetectionExperiment:
                     return annotation.type_label
         return None
 
+    def _sampling_fingerprint(self, corpus_fingerprint: str, corpus_name: str) -> dict:
+        """Everything that shapes the sampled feature matrix."""
+        return {
+            "kind": "type-features",
+            "featurizer": self.featurizer.config_fingerprint(),
+            "target_types": list(self.target_types),
+            "columns_per_type": int(self.columns_per_type),
+            "seed": int(self.seed),
+            # The sampling RNG is derived from the corpus name as well.
+            "corpus_name": corpus_name,
+            "corpus": corpus_fingerprint,
+        }
+
     def sample_labelled_columns(self, corpus: GitTablesCorpus) -> _LabelledColumns:
         """Sample up to ``columns_per_type`` deduplicated columns per type.
 
         One streaming pass over the corpus: works unchanged over lazy
-        disk-backed stores, holding only the sampled column values.
+        disk-backed stores, holding only the sampled column values. With
+        an artifact store attached and a disk-backed corpus, the sampled
+        feature matrix is mmap'd back from a fingerprint-guarded
+        artifact (and published after a fresh extraction), so repeated
+        experiments over the same store skip the corpus pass entirely.
         """
+        artifact_name = None
+        fingerprint = None
+        if self.artifacts is not None:
+            corpus_fingerprint = corpus_content_fingerprint(corpus)
+            if corpus_fingerprint is not None:
+                # Keyed per corpus so train/eval corpora of a transfer
+                # experiment can coexist in one store.
+                artifact_name = f"type-features-{corpus_fingerprint[:12]}"
+                fingerprint = self._sampling_fingerprint(corpus_fingerprint, corpus.name)
+                loaded = self.artifacts.load(artifact_name, fingerprint)
+                if loaded is not None and "features" in loaded.arrays:
+                    return _LabelledColumns(
+                        corpus_name=loaded.payload.get("corpus_name", corpus.name),
+                        labels=np.array(loaded.payload.get("labels", [])),
+                        features=loaded.arrays["features"],
+                    )
+
         per_type: dict[str, list[tuple]] = {label: [] for label in self.target_types}
         seen: set[tuple] = set()
         for annotated in corpus:
@@ -132,6 +172,14 @@ class TypeDetectionExperiment:
             labels.extend([label] * len(pool))
 
         features = self.featurizer.featurize_many(values_list)
+        if artifact_name is not None:
+            try_publish(
+                self.artifacts.publish,
+                artifact_name,
+                fingerprint,
+                arrays={"features": features},
+                payload={"labels": labels, "corpus_name": corpus.name},
+            )
         return _LabelledColumns(
             corpus_name=corpus.name, labels=np.array(labels), features=features
         )

@@ -33,10 +33,12 @@ from typing import Sequence
 from ..config import AnnotationConfig
 from ..dataframe.table import Table
 from ..embeddings.fasttext import FastTextModel
+from ..embeddings.persist import embedder_fingerprint, load_index, publish_index
 from ..embeddings.similarity import NearestNeighbourIndex
 from ..errors import AnnotationError
 from ..ontology.registry import load_ontologies
 from ..ontology.types import Ontology, normalize_label
+from ..storage.artifacts import IndexArtifactStore, fingerprint_digest, try_publish
 
 __all__ = [
     "AnnotationMethod",
@@ -253,7 +255,15 @@ class SyntacticAnnotator(_ColumnNameAnnotator):
 
 
 class SemanticAnnotator(_ColumnNameAnnotator):
-    """Embedding-based annotation using a FastText-style model."""
+    """Embedding-based annotation using a FastText-style model.
+
+    The ontology label index (one embedded vector per type label) can be
+    persisted to an :class:`~repro.storage.artifacts.IndexArtifactStore`
+    and mmap'd back — guarded by the embedding model's configuration and
+    a hash of the label list, so an ontology or model change always
+    rebuilds. Query results over a loaded index are bit-identical to a
+    freshly embedded one.
+    """
 
     method = AnnotationMethod.SEMANTIC
 
@@ -263,6 +273,7 @@ class SemanticAnnotator(_ColumnNameAnnotator):
         model: FastTextModel | None = None,
         similarity_threshold: float = 0.5,
         skip_numeric_column_names: bool = True,
+        artifacts: IndexArtifactStore | None = None,
     ) -> None:
         if not 0.0 <= similarity_threshold <= 1.0:
             raise AnnotationError("similarity_threshold must be within [0, 1]")
@@ -270,12 +281,34 @@ class SemanticAnnotator(_ColumnNameAnnotator):
         self.model = model or FastTextModel()
         self.similarity_threshold = similarity_threshold
         self.skip_numeric_column_names = skip_numeric_column_names
-        self._index = self._build_index()
+        self._index = self._build_index(artifacts)
 
-    def _build_index(self) -> NearestNeighbourIndex:
+    def _index_fingerprint(self, labels: list[str]) -> dict:
+        return {
+            "kind": "ontology-index",
+            "encoder": embedder_fingerprint(self.model),
+            "ontology": {
+                "name": self.ontology.name,
+                "labels_digest": fingerprint_digest(labels),
+            },
+        }
+
+    def _build_index(self, artifacts: IndexArtifactStore | None = None) -> NearestNeighbourIndex:
         labels = self.ontology.labels()
+        artifact_name = f"ontology-{self.ontology.name}"
+        fingerprint = None
+        if artifacts is not None:
+            fingerprint = self._index_fingerprint(labels)
+            resolved = load_index(artifacts, artifact_name, fingerprint)
+            if resolved is not None:
+                index, _ = resolved
+                if index.labels == list(labels):
+                    return index
         vectors = self.model.embed_batch([normalize_label(label) for label in labels])
-        return NearestNeighbourIndex(labels, vectors)
+        index = NearestNeighbourIndex(labels, vectors)
+        if fingerprint is not None:
+            try_publish(publish_index, artifacts, artifact_name, fingerprint, index)
+        return index
 
     def resolve_normalized(
         self, names: Sequence[str]
@@ -300,9 +333,19 @@ class SemanticAnnotator(_ColumnNameAnnotator):
 
 
 class AnnotationPipeline:
-    """Runs both annotation methods against every configured ontology."""
+    """Runs both annotation methods against every configured ontology.
 
-    def __init__(self, config: AnnotationConfig | None = None) -> None:
+    ``artifacts`` optionally persists/resolves the semantic annotators'
+    ontology label indexes through an
+    :class:`~repro.storage.artifacts.IndexArtifactStore`, skipping the
+    embed-every-label construction cost on warm starts.
+    """
+
+    def __init__(
+        self,
+        config: AnnotationConfig | None = None,
+        artifacts: IndexArtifactStore | None = None,
+    ) -> None:
         self.config = config or AnnotationConfig()
         self.config.validate()
         self._ontologies = load_ontologies(self.config.ontologies)
@@ -321,6 +364,7 @@ class AnnotationPipeline:
                 model=model,
                 similarity_threshold=self.config.semantic_similarity_threshold,
                 skip_numeric_column_names=self.config.skip_numeric_column_names,
+                artifacts=artifacts,
             )
             for name, ontology in self._ontologies.items()
         }

@@ -277,24 +277,30 @@ class GitTablesCorpus:
                 writer = ShardedCorpusWriter(staging, shard_size=shard_size, name=self.name)
                 # Commit shard-sized chunks so saving a lazy disk-backed
                 # corpus never materializes it (commit boundaries do not
-                # change the output bytes).
+                # change the output bytes; finalize compacts the
+                # manifest delta log away).
                 for annotated in self._store:
                     writer.add(annotated)
                     if writer.pending_count >= shard_size:
                         writer.commit()
-                writer.commit()
+                writer.finalize()
             else:
                 self._save_legacy(staging)
             # Re-saving a store's own corpus onto its directory keeps the
-            # build provenance valid — carry it into the replacement.
+            # build provenance valid — carry it (and the derived index
+            # artifacts, still valid since the content is unchanged)
+            # into the replacement.
             store_directory = getattr(self._store, "directory", None)
-            build_meta = directory / "build.json"
             if (
                 store_directory is not None
                 and Path(store_directory).resolve() == directory.resolve()
-                and build_meta.exists()
             ):
-                shutil.copy2(build_meta, staging / "build.json")
+                build_meta = directory / "build.json"
+                if build_meta.exists():
+                    shutil.copy2(build_meta, staging / "build.json")
+                artifacts_dir = directory / "artifacts"
+                if artifacts_dir.is_dir():
+                    shutil.copytree(artifacts_dir, staging / "artifacts")
             if directory.exists():
                 replaced = directory.parent / f".{directory.name}.replaced-{os.getpid()}"
                 os.rename(directory, replaced)

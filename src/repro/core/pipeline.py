@@ -288,9 +288,12 @@ class CorpusBuilder:
             )
             report = outcome.report
         else:
-            writer.commit()
             report = ctx.report
             report.pipeline_name = "gittables-build"
+        # Compact the manifest delta log: a completed directory holds
+        # only shard files + manifest.json, byte-identical no matter how
+        # many commits or sessions produced it.
+        writer.finalize()
         if base_counters:
             report.merge_counters(base_counters)
         # The build is complete: the checkpoint's job is done, and

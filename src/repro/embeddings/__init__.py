@@ -14,6 +14,7 @@ pipeline relies on:
 
 from .fasttext import FastTextModel
 from .hashing import hashed_unit_vector, ngrams, tokenize
+from .persist import embedder_fingerprint
 from .sentence import SentenceEncoder
 from .similarity import NearestNeighbourIndex, cosine_similarity, cosine_similarity_matrix
 
@@ -23,6 +24,7 @@ __all__ = [
     "SentenceEncoder",
     "cosine_similarity",
     "cosine_similarity_matrix",
+    "embedder_fingerprint",
     "hashed_unit_vector",
     "ngrams",
     "tokenize",

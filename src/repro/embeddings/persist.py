@@ -1,0 +1,103 @@
+"""Embedding persistence glue for the index artifact store.
+
+The artifact store (:mod:`repro.storage.artifacts`) deals in anonymous
+named arrays; this module supplies the embedding-side conventions on top
+of it:
+
+* :func:`embedder_fingerprint` — the JSON identity of a hashed embedding
+  model (class, dim, seed, n-gram sizes, weights). Two models with equal
+  fingerprints embed every string bit-identically, so the fingerprint
+  stands in for "same encoder" in artifact guards.
+* :func:`publish_index` / :func:`load_index` — persist a
+  :class:`~repro.embeddings.similarity.NearestNeighbourIndex` as one
+  artifact (its unit-vector matrix as an mmap-able array, its labels in
+  the payload) and resolve it back, bypassing re-normalisation so a
+  loaded index answers queries bit-identically to the published one.
+
+Consumers (search, completion, annotation) assemble their full
+fingerprints from :func:`embedder_fingerprint` plus the corpus content
+hash (:func:`repro.storage.artifacts.corpus_content_fingerprint`) and
+any of their own parameters that shape the matrix.
+"""
+
+from __future__ import annotations
+
+from ..storage.artifacts import IndexArtifactStore, LoadedArtifact
+from .similarity import NearestNeighbourIndex
+
+__all__ = [
+    "embedder_fingerprint",
+    "publish_index",
+    "load_index",
+    "index_from_artifact",
+]
+
+#: Array key under which an index's unit-vector matrix is published.
+INDEX_VECTORS_KEY = "unit_vectors"
+#: Payload key under which an index's labels are published.
+INDEX_LABELS_KEY = "labels"
+
+
+def embedder_fingerprint(model) -> dict:
+    """The JSON identity of a hashed embedding model.
+
+    Covers everything that shapes the produced vectors: the concrete
+    class, dimensionality, hash seed, and the optional n-gram/weight
+    knobs a subclass defines. Models compare equal exactly when they
+    embed every string identically.
+    """
+    fingerprint: dict = {
+        "class": type(model).__name__,
+        "dim": int(model.dim),
+        "seed": int(model.seed),
+    }
+    ngram_sizes = getattr(model, "ngram_sizes", None)
+    if ngram_sizes is not None:
+        fingerprint["ngram_sizes"] = list(ngram_sizes)
+    word_weight = getattr(model, "word_weight", None)
+    if word_weight is not None:
+        fingerprint["word_weight"] = float(word_weight)
+    return fingerprint
+
+
+def publish_index(
+    artifacts: IndexArtifactStore,
+    name: str,
+    fingerprint: dict,
+    index: NearestNeighbourIndex,
+    payload: dict | None = None,
+) -> None:
+    """Publish an index (plus optional extra payload) as one artifact."""
+    full_payload = dict(payload or {})
+    full_payload[INDEX_LABELS_KEY] = list(index.labels)
+    artifacts.publish(
+        name,
+        fingerprint,
+        arrays={INDEX_VECTORS_KEY: index._unit_vectors},
+        payload=full_payload,
+    )
+
+
+def index_from_artifact(loaded: LoadedArtifact) -> NearestNeighbourIndex:
+    """Rebuild the index held by a loaded artifact (mmap-backed)."""
+    return NearestNeighbourIndex._from_unit_vectors(
+        loaded.payload[INDEX_LABELS_KEY], loaded.arrays[INDEX_VECTORS_KEY]
+    )
+
+
+def load_index(
+    artifacts: IndexArtifactStore, name: str, fingerprint: dict
+) -> tuple[NearestNeighbourIndex, dict] | None:
+    """Resolve a published index, or ``None`` on any artifact miss.
+
+    Returns ``(index, payload)``; the index's vector matrix stays
+    mmap'd, so this is O(open) regardless of corpus size.
+    """
+    loaded = artifacts.load(name, fingerprint)
+    if loaded is None:
+        return None
+    try:
+        index = index_from_artifact(loaded)
+    except (KeyError, ValueError):
+        return None
+    return index, loaded.payload

@@ -63,7 +63,29 @@ class SentenceEncoder(HashedEmbedder):
         """Embed a whole schema as the mean of its attribute embeddings."""
         if not attributes:
             return np.zeros(self.dim)
-        matrix = self.embed_many(list(attributes))
-        vector = matrix.mean(axis=0)
-        norm = np.linalg.norm(vector)
-        return vector / norm if norm > 0 else vector
+        return self.embed_schemas([attributes])[0]
+
+    def embed_schemas(self, schemas: list) -> np.ndarray:
+        """Embed many schemas into a (len(schemas), dim) matrix at once.
+
+        One :meth:`embed_many` pass over every attribute of every schema
+        (distinct attribute names are composed once corpus-wide), then
+        the per-schema mean + normalisation of :meth:`embed_schema`
+        applied slice by slice — each row is bit-identical to embedding
+        that schema alone, which is what lets persisted search indexes
+        guarantee equality with freshly embedded ones.
+        """
+        flat_attributes = [attr for schema in schemas for attr in schema]
+        flat_matrix = self.embed_many(flat_attributes)
+        rows: list[np.ndarray] = []
+        offset = 0
+        for schema in schemas:
+            if not schema:
+                rows.append(np.zeros(self.dim))
+                continue
+            block = flat_matrix[offset : offset + len(schema)]
+            offset += len(schema)
+            vector = block.mean(axis=0)
+            norm = np.linalg.norm(vector)
+            rows.append(vector / norm if norm > 0 else vector)
+        return np.vstack(rows) if rows else np.zeros((0, self.dim))

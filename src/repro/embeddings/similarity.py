@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import numpy as np
 
 __all__ = ["cosine_similarity", "cosine_similarity_matrix", "NearestNeighbourIndex"]
+
+#: On-disk layout of a persisted index (see NearestNeighbourIndex.save).
+_INDEX_META_FILENAME = "index.json"
+_INDEX_VECTORS_FILENAME = "unit_vectors.npy"
+_INDEX_FORMAT = "nn-index"
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
@@ -43,8 +52,75 @@ class NearestNeighbourIndex:
         norms[norms == 0.0] = 1.0
         self._unit_vectors = vectors / norms
 
+    @classmethod
+    def _from_unit_vectors(cls, labels: list[str], unit_vectors: np.ndarray) -> "NearestNeighbourIndex":
+        """Construct from vectors that are *already* the index's unit rows.
+
+        The normalising division in ``__init__`` is skipped entirely —
+        re-dividing already-normalised rows by their (not exactly 1.0)
+        norms would perturb the last ulp and break the bit-identity
+        guarantee between a persisted index and the one it was saved
+        from. Internal: used by :meth:`mmap` and the artifact loaders.
+        """
+        if len(labels) != unit_vectors.shape[0]:
+            raise ValueError("labels and vectors must have the same length")
+        index = cls.__new__(cls)
+        index.labels = list(labels)
+        index._unit_vectors = unit_vectors
+        return index
+
     def __len__(self) -> int:
         return len(self.labels)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Persist the index to a directory for later :meth:`mmap`.
+
+        The (already normalised) unit-vector matrix is written verbatim
+        as ``unit_vectors.npy`` next to a JSON metadata file holding the
+        labels and the expected dtype/shape, so an ``mmap`` of the saved
+        index answers queries bit-identically to this in-RAM one.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        vectors = np.asarray(self._unit_vectors)
+        with open(path / _INDEX_VECTORS_FILENAME, "wb") as handle:
+            np.save(handle, vectors)
+        meta = {
+            "format": _INDEX_FORMAT,
+            "version": 1,
+            "labels": self.labels,
+            "dtype": str(vectors.dtype),
+            "shape": list(vectors.shape),
+        }
+        with open(path / _INDEX_META_FILENAME, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, ensure_ascii=False)
+
+    @classmethod
+    def mmap(cls, path: str | os.PathLike[str]) -> "NearestNeighbourIndex":
+        """Open a :meth:`save`'d index read-only via ``np.memmap``.
+
+        Only the labels are read eagerly; the vector matrix is mapped,
+        so opening costs O(mmap) regardless of index size. Queries are
+        bit-identical to the index that was saved. Raises ``ValueError``
+        when the directory's contents do not match their metadata
+        (truncated or tampered files).
+        """
+        path = Path(path)
+        with open(path / _INDEX_META_FILENAME, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != _INDEX_FORMAT:
+            raise ValueError(f"not a persisted index: {path}")
+        expected_shape = tuple(meta.get("shape", ()))
+        # Zero-size matrices cannot be mmap'd; they are read eagerly.
+        mmap_mode = None if 0 in expected_shape else "r"
+        vectors = np.load(path / _INDEX_VECTORS_FILENAME, mmap_mode=mmap_mode, allow_pickle=False)
+        if vectors.shape != expected_shape or str(vectors.dtype) != meta.get("dtype"):
+            raise ValueError(f"persisted index at {path} does not match its metadata")
+        if mmap_mode is None:
+            vectors.setflags(write=False)
+        return cls._from_unit_vectors(meta["labels"], vectors)
 
     def top_k_batch(self, matrix: np.ndarray, top_k: int = 1) -> list[list[tuple[int, float]]]:
         """Per query row: the ``top_k`` (index, similarity) pairs.

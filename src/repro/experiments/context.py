@@ -83,6 +83,21 @@ class ExperimentContext:
 
         return os.path.join(self.store_dir, f"gittables-{self.scale}-seed{self.seed}")
 
+    def artifact_store(self):
+        """The persistent index artifact store of this context's corpus.
+
+        ``None`` for in-memory contexts. Store-backed contexts share one
+        artifact store across every experiment driver *and* across
+        processes: the first session to need an index publishes it, all
+        later sessions mmap it back.
+        """
+        directory = self.corpus_store_dir()
+        if directory is None:
+            return None
+        from ..storage.artifacts import IndexArtifactStore
+
+        return IndexArtifactStore.for_corpus_dir(directory)
+
     @property
     def pipeline_result(self) -> PipelineResult:
         """The GitTables construction run (corpus + stage reports)."""
@@ -105,11 +120,16 @@ class ExperimentContext:
 
         Shared across all experiment drivers of this context, so the
         embedding cache, the search/completion indexes and the KG
-        benchmark are built at most once per scale.
+        benchmark are built at most once per scale. Store-backed
+        contexts additionally attach the persistent artifact store, so
+        those indexes are built at most once per *store directory* —
+        later processes mmap the published artifacts.
         """
         if self._session is None:
             self._session = GitTables.from_result(
-                self.pipeline_result, config=self.pipeline_config()
+                self.pipeline_result,
+                config=self.pipeline_config(),
+                artifacts=self.artifact_store(),
             )
         return self._session
 

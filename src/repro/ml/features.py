@@ -153,6 +153,23 @@ class ColumnFeaturizer:
     def n_features(self) -> int:
         return len(self._names)
 
+    def config_fingerprint(self) -> dict:
+        """JSON identity of everything that shapes the feature vectors.
+
+        Used to guard persisted feature matrices (see
+        :mod:`repro.storage.artifacts`): two featurizers with equal
+        fingerprints produce bit-identical features for the same values.
+        """
+        from ..embeddings.persist import embedder_fingerprint
+
+        return {
+            "model": embedder_fingerprint(self.model),
+            "max_values": int(self.max_values),
+            "include_embeddings": bool(self.include_embeddings),
+            "include_char_features": bool(self.include_char_features),
+            "include_statistics": bool(self.include_statistics),
+        }
+
     # -- extraction ----------------------------------------------------------
 
     def _string_values(self, values) -> list[str]:

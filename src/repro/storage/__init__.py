@@ -8,6 +8,13 @@ in-memory dict (:class:`InMemoryStore`), the lazy sharded-JSONL reader
 cross-session build state for resumable corpus construction.
 """
 
+from .artifacts import (
+    ARTIFACTS_DIRNAME,
+    IndexArtifactStore,
+    LoadedArtifact,
+    corpus_content_fingerprint,
+    fingerprint_digest,
+)
 from .base import CorpusStore, StoreStats
 from .checkpoint import (
     BUILD_META_FILENAME,
@@ -19,8 +26,10 @@ from .checkpoint import (
 )
 from .memory import InMemoryStore
 from .sharded import (
+    DEFAULT_COMPACT_EVERY,
     DEFAULT_SHARD_SIZE,
     MANIFEST_FILENAME,
+    MANIFEST_LOG_FILENAME,
     SHARDED_FORMAT,
     ShardedCorpusWriter,
     ShardedJsonlStore,
@@ -34,10 +43,17 @@ __all__ = [
     "ShardedJsonlStore",
     "ShardedCorpusWriter",
     "BuildCheckpoint",
+    "IndexArtifactStore",
+    "LoadedArtifact",
+    "corpus_content_fingerprint",
+    "fingerprint_digest",
     "config_fingerprint",
     "is_sharded_dir",
+    "ARTIFACTS_DIRNAME",
+    "DEFAULT_COMPACT_EVERY",
     "DEFAULT_SHARD_SIZE",
     "MANIFEST_FILENAME",
+    "MANIFEST_LOG_FILENAME",
     "SHARDED_FORMAT",
     "BUILD_META_FILENAME",
     "CHECKPOINT_FILENAME",

@@ -16,6 +16,21 @@ back to the committed byte count and the interrupted tables are simply
 re-produced. The manifest itself is always replaced atomically
 (temp file + ``os.replace``), so it is never observed half-written.
 
+**Manifest delta log.** Rewriting the full manifest on every commit is
+O(tables committed so far) — O(N^2) total for commit-per-batch builds.
+Instead, each commit appends one canonical JSON line to ``manifest.log``
+describing exactly what the commit changed (touched shard states, new
+table locations, statistics increments), making a commit O(batch). The
+log is **compacted** into ``manifest.json`` every
+``compact_every`` commits and on :meth:`ShardedCorpusWriter.finalize`
+(which deletes the log), so a completed directory contains only the
+compacted manifest — byte-identical regardless of commit cadence or
+interruptions. Readers and resuming writers replay any uncompacted log
+tail on open; a torn final line (crash mid-append) is ignored by
+readers and truncated away by writers. Replay is idempotent: a record
+whose tables are already in the manifest (a compaction that crashed
+before deleting the log) is skipped wholesale.
+
 Two stores share the layout:
 
 * :class:`ShardedJsonlStore` — the lazy reader. ``get`` touches only the
@@ -35,6 +50,7 @@ manifests regardless of which backend or session wrote them.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from collections import OrderedDict, deque
@@ -49,17 +65,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "MANIFEST_FILENAME",
+    "MANIFEST_LOG_FILENAME",
     "SHARDED_FORMAT",
     "DEFAULT_SHARD_SIZE",
+    "DEFAULT_COMPACT_EVERY",
     "is_sharded_dir",
     "ShardedJsonlStore",
     "ShardedCorpusWriter",
 ]
 
 MANIFEST_FILENAME = "manifest.json"
+MANIFEST_LOG_FILENAME = "manifest.log"
 SHARDED_FORMAT = "gittables-sharded-jsonl"
 #: Tables per shard file unless overridden.
 DEFAULT_SHARD_SIZE = 256
+#: Uncompacted delta records tolerated before the writer folds the log
+#: back into manifest.json (bounds both log size and reader replay cost).
+DEFAULT_COMPACT_EVERY = 16
 
 
 def is_sharded_dir(directory: str | os.PathLike[str]) -> bool:
@@ -117,6 +139,68 @@ def _empty_stats() -> dict:
     return {"total_rows": 0, "total_columns": 0, "topics": {}, "repositories": {}}
 
 
+def _apply_delta(manifest: dict, record: dict) -> None:
+    """Fold one commit's delta record into a manifest state, in place."""
+    shards = manifest.setdefault("shards", [])
+    for entry in record.get("shards", []):
+        index = entry["index"]
+        state = {"file": entry["file"], "count": entry["count"], "bytes": entry["bytes"]}
+        if index == len(shards):
+            shards.append(state)
+        elif index < len(shards):
+            shards[index] = state
+        else:
+            raise CorpusError(
+                f"manifest log references shard {index} but only "
+                f"{len(shards)} shards exist; the log is corrupt"
+            )
+    manifest.setdefault("tables", {}).update(record.get("tables", {}))
+    stats = manifest.setdefault("stats", _empty_stats())
+    delta = record.get("stats", {})
+    stats["total_rows"] += delta.get("total_rows", 0)
+    stats["total_columns"] += delta.get("total_columns", 0)
+    for family in ("topics", "repositories"):
+        counts = stats.setdefault(family, {})
+        for key, increment in delta.get(family, {}).items():
+            counts[key] = counts.get(key, 0) + increment
+    manifest["table_count"] = len(manifest["tables"])
+
+
+def _replay_manifest_log(directory: Path, manifest: dict) -> tuple[int, int]:
+    """Apply the valid prefix of ``manifest.log`` to ``manifest`` in place.
+
+    Returns ``(valid_records, valid_byte_length)``. A torn final line
+    (crash mid-append) ends the valid prefix. Records whose tables are
+    already present in the manifest are counted but not re-applied: they
+    were folded in by a compaction that crashed before deleting the log,
+    and commits are all-or-nothing, so one already-known table id means
+    the whole record is stale (re-applying it would double-count the
+    statistics).
+    """
+    path = directory / MANIFEST_LOG_FILENAME
+    if not path.exists():
+        return 0, 0
+    data = path.read_bytes()
+    records = 0
+    valid_bytes = 0
+    for raw in data.splitlines(keepends=True):
+        if not raw.endswith(b"\n"):
+            break
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            break
+        tables = record.get("tables", {})
+        already_compacted = any(
+            table_id in manifest.get("tables", {}) for table_id in tables
+        )
+        if not already_compacted:
+            _apply_delta(manifest, record)
+        records += 1
+        valid_bytes += len(raw)
+    return records, valid_bytes
+
+
 class ShardedJsonlStore:
     """Read-only lazy view over a sharded corpus directory.
 
@@ -132,6 +216,9 @@ class ShardedJsonlStore:
             raise ValueError("cache_shards must be >= 1")
         self.directory = Path(directory)
         self._manifest = _read_manifest(self.directory)
+        # A mid-build store keeps recent commits in the delta log rather
+        # than the compacted manifest; fold them in (read-only replay).
+        _replay_manifest_log(self.directory, self._manifest)
         self.name: str = self._manifest.get("name", "gittables")
         self.cache_shards = cache_shards
         #: table id -> (shard index, line index); insertion-ordered.
@@ -140,6 +227,7 @@ class ShardedJsonlStore:
             for table_id, entry in self._manifest.get("tables", {}).items()
         }
         self._cache: OrderedDict[int, list] = OrderedDict()
+        self._content_fingerprint: str | None = None
 
     # -- manifest-backed metadata -----------------------------------------
 
@@ -163,6 +251,33 @@ class ShardedJsonlStore:
     def stats_hint(self) -> dict | None:
         """Corpus statistics cached in the manifest (no shard reads)."""
         return self._manifest.get("stats")
+
+    def content_fingerprint(self) -> str:
+        """Content hash of the committed corpus (manifest-derived).
+
+        Shard files are byte-deterministic functions of their tables, so
+        hashing the manifest's structural view (name, shard byte ranges,
+        table locations and provenance) identifies the corpus content
+        without reading any shard. Derived index artifacts use this as
+        their staleness guard: any commit changes the manifest, which
+        changes the fingerprint, which invalidates the artifacts.
+        """
+        if self._content_fingerprint is None:
+            payload = json.dumps(
+                {
+                    "format": self._manifest.get("format"),
+                    "name": self._manifest.get("name"),
+                    "shard_size": self._manifest.get("shard_size"),
+                    "table_count": self._manifest.get("table_count"),
+                    "shards": self._manifest.get("shards", []),
+                    "tables": self._manifest.get("tables", {}),
+                },
+                sort_keys=True,
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+            self._content_fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._content_fingerprint
 
     # -- container protocol ------------------------------------------------
 
@@ -215,15 +330,21 @@ class ShardedCorpusWriter:
 
     ``add`` buffers tables in memory; :meth:`commit` appends the buffer
     to shard files (rolling over every ``shard_size`` tables) and then
-    atomically rewrites the manifest. The manifest only ever describes
-    fully committed data, so a crash at any point loses at most the
-    uncommitted buffer plus any half-appended lines — both are healed on
-    the next open (the shard file is truncated back to the committed byte
-    count recorded in the manifest).
+    durably records the commit — one O(batch) delta line appended to
+    ``manifest.log``, compacted into a full ``manifest.json`` rewrite
+    every ``compact_every`` commits and on :meth:`finalize`. The
+    manifest+log only ever describe fully committed data, so a crash at
+    any point loses at most the uncommitted buffer plus any
+    half-appended lines — both are healed on the next open (the shard
+    file is truncated back to the committed byte count, the log back to
+    its last complete record).
 
     Opening a directory that already holds a manifest *resumes* it:
-    committed tables, shard layout, and cached statistics are picked up,
-    and new tables append after them.
+    committed tables (including any uncompacted log tail), shard layout,
+    and cached statistics are picked up, and new tables append after
+    them. :meth:`finalize` must end every build: it folds the log away
+    so the finished directory is byte-identical regardless of commit
+    cadence or interruptions.
     """
 
     def __init__(
@@ -231,13 +352,19 @@ class ShardedCorpusWriter:
         directory: str | os.PathLike[str],
         shard_size: int = DEFAULT_SHARD_SIZE,
         name: str = "gittables",
+        compact_every: int = DEFAULT_COMPACT_EVERY,
     ) -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.compact_every = compact_every
         if is_sharded_dir(self.directory):
             manifest = _read_manifest(self.directory)
+            self._log_records, valid_bytes = _replay_manifest_log(self.directory, manifest)
+            self._truncate_log(valid_bytes)
             self.name = manifest.get("name", name)
             self.shard_size = int(manifest.get("shard_size", shard_size))
             self._shards = [dict(entry) for entry in manifest.get("shards", [])]
@@ -252,8 +379,16 @@ class ShardedCorpusWriter:
             self._shards: list[dict] = []
             self._tables: dict[str, dict] = {}
             self._stats = _empty_stats()
+            self._log_records = 0
         self._pending: deque = deque()
         self._pending_ids: set[str] = set()
+
+    def _truncate_log(self, valid_bytes: int) -> None:
+        """Drop a torn tail record left in the log by a crashed append."""
+        path = self.directory / MANIFEST_LOG_FILENAME
+        if path.exists() and path.stat().st_size > valid_bytes:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_bytes)
 
     def _heal_shards(self) -> None:
         """Restore the on-disk state the manifest describes.
@@ -349,43 +484,59 @@ class ShardedCorpusWriter:
         return self._stats
 
     def commit(self) -> int:
-        """Flush the pending buffer to shard files, then the manifest.
+        """Flush the pending buffer to shard files, then record the commit.
 
-        Returns the number of tables committed. The manifest rewrite is
-        the commit point: it happens only after the shard bytes are
-        flushed and fsynced, and is itself an atomic replace. Pending
+        Returns the number of tables committed. The durable commit point
+        is one **delta record** appended (and fsynced) to
+        ``manifest.log`` after the shard bytes are flushed and fsynced —
+        O(batch), not O(tables committed so far), so commit-per-batch
+        builds stay O(N) total. Every ``compact_every`` commits (and
+        whenever ``manifest.json`` does not exist yet) the full manifest
+        is rewritten atomically instead and the log is cleared. Pending
         tables are grouped per destination shard, so a commit costs one
         append + fsync per shard file touched, not per table.
 
-        Note the manifest rewrite is proportional to tables committed so
-        far; committing every small batch of a very large build is
-        O(N^2) total manifest bytes. Callers trading durability for
-        throughput should commit less often (the crash-loss window is
-        exactly the uncommitted buffer); a delta-log manifest is on the
-        roadmap.
+        A commit with nothing pending writes nothing (it only creates
+        the base manifest if the directory has none yet).
         """
+        if not self._pending:
+            if not (self.directory / MANIFEST_FILENAME).exists():
+                self._compact()
+            return 0
         committed = len(self._pending)
+        touched: dict[int, dict] = {}
+        new_tables: dict[str, dict] = {}
+        stats_delta = _empty_stats()
         while self._pending:
             if not self._shards or self._shards[-1]["count"] >= self.shard_size:
                 filename = _shard_filename(len(self._shards))
                 # A fresh shard truncates any stale file left by a crash
-                # that rolled over without reaching the manifest rewrite.
+                # that rolled over without reaching the commit record.
                 with open(self.directory / filename, "wb"):
                     pass
                 # Persist the new file's directory entry before the
-                # manifest can reference it (a manifest naming a file
+                # manifest/log can reference it (a record naming a file
                 # whose dirent was lost to a power cut is unrecoverable).
                 fsync_dir(self.directory)
                 self._shards.append({"file": filename, "count": 0, "bytes": 0})
             entry = self._shards[-1]
             room = self.shard_size - entry["count"]
             group = [self._pending.popleft() for _ in range(min(room, len(self._pending)))]
-            self._append_group(entry, group)
+            self._append_group(entry, group, new_tables, stats_delta)
+            touched[len(self._shards) - 1] = entry
         self._pending_ids.clear()
-        self._write_manifest()
+        if (
+            not (self.directory / MANIFEST_FILENAME).exists()
+            or self._log_records + 1 >= self.compact_every
+        ):
+            self._compact()
+        else:
+            self._append_delta(touched, new_tables, stats_delta)
         return committed
 
-    def _append_group(self, entry: dict, group: list) -> None:
+    def _append_group(
+        self, entry: dict, group: list, new_tables: dict, stats_delta: dict
+    ) -> None:
         """Append a group of tables to one shard with a single fsync."""
         shard_index = len(self._shards) - 1
         encoded = [_encode_table(annotated) for annotated in group]
@@ -396,11 +547,13 @@ class ShardedCorpusWriter:
         stats = self._stats
         for annotated, payload in zip(group, encoded):
             table = annotated.table
-            self._tables[annotated.table_id] = {
+            location = {
                 "shard": shard_index,
                 "line": entry["count"],
                 "source_url": annotated.source_url,
             }
+            self._tables[annotated.table_id] = location
+            new_tables[annotated.table_id] = location
             entry["count"] += 1
             entry["bytes"] += len(payload)
             stats["total_rows"] += table.num_rows
@@ -409,6 +562,64 @@ class ShardedCorpusWriter:
             stats["repositories"][annotated.repository] = (
                 stats["repositories"].get(annotated.repository, 0) + 1
             )
+            stats_delta["total_rows"] += table.num_rows
+            stats_delta["total_columns"] += table.num_columns
+            stats_delta["topics"][annotated.topic] = (
+                stats_delta["topics"].get(annotated.topic, 0) + 1
+            )
+            stats_delta["repositories"][annotated.repository] = (
+                stats_delta["repositories"].get(annotated.repository, 0) + 1
+            )
+
+    def _append_delta(self, touched: dict, new_tables: dict, stats_delta: dict) -> None:
+        """Durably append one commit's delta record to the manifest log."""
+        record = {
+            "shards": [
+                {"index": index, **{key: entry[key] for key in ("file", "count", "bytes")}}
+                for index, entry in sorted(touched.items())
+            ],
+            "tables": new_tables,
+            "stats": stats_delta,
+        }
+        line = json.dumps(record, ensure_ascii=False, separators=(",", ":")).encode("utf-8")
+        path = self.directory / MANIFEST_LOG_FILENAME
+        existed = path.exists()
+        with open(path, "ab") as handle:
+            handle.write(line + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if not existed:
+            fsync_dir(self.directory)
+        self._log_records += 1
+
+    def _compact(self) -> None:
+        """Fold all committed state into manifest.json and drop the log.
+
+        The full rewrite happens first (atomic replace), then the log is
+        deleted; a crash in between leaves stale log records behind,
+        which replay recognises and skips (their tables are already in
+        the manifest).
+        """
+        self._write_manifest()
+        log_path = self.directory / MANIFEST_LOG_FILENAME
+        if log_path.exists():
+            log_path.unlink()
+            fsync_dir(self.directory)
+        self._log_records = 0
+
+    def finalize(self) -> int:
+        """Commit anything pending and compact the log away.
+
+        Every build path ends with this call: the finished directory
+        holds only shard files and the compacted ``manifest.json``, so
+        its bytes do not depend on how many commits (or interruptions)
+        produced it. Returns the number of tables the final commit
+        flushed.
+        """
+        committed = self.commit()
+        if self._log_records or not (self.directory / MANIFEST_FILENAME).exists():
+            self._compact()
+        return committed
 
     def _write_manifest(self) -> None:
         manifest = {
@@ -424,6 +635,6 @@ class ShardedCorpusWriter:
         _write_manifest(self.directory, manifest)
 
     def as_reader(self, cache_shards: int = 2) -> ShardedJsonlStore:
-        """Commit everything and reopen this directory as a lazy reader."""
-        self.commit()
+        """Finalize (commit + compact) and reopen as a lazy reader."""
+        self.finalize()
         return ShardedJsonlStore(self.directory, cache_shards=cache_shards)

@@ -573,6 +573,126 @@ class TestResumableBuild:
         assert loaded.topics() == gt.topics()
 
 
+class TestManifestDeltaLog:
+    """Commit-per-batch builds are O(batch): commits append one delta
+    record to manifest.log; compaction folds the log into manifest.json
+    every K commits and on finalize."""
+
+    def test_commits_append_deltas_not_manifest_rewrites(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=2)
+        writer.extend([_annotated("t1"), _annotated("t2")])
+        writer.commit()  # first commit establishes the base manifest
+        manifest_path = tmp_path / "corpus" / "manifest.json"
+        base_bytes = manifest_path.read_bytes()
+        for index in range(3, 6):
+            writer.add(_annotated(f"t{index}"))
+            writer.commit()
+        # The base manifest was not rewritten; the log carries the tail.
+        assert manifest_path.read_bytes() == base_bytes
+        log_lines = (tmp_path / "corpus" / "manifest.log").read_bytes().splitlines()
+        assert len(log_lines) == 3
+        # Each record is O(batch): exactly one table here.
+        assert all(len(json.loads(line)["tables"]) == 1 for line in log_lines)
+
+    def test_reader_replays_uncompacted_tail(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=2)
+        writer.extend([_annotated("t1"), _annotated("t2")])
+        writer.commit()
+        writer.extend([_annotated("t3"), _annotated("t4"), _annotated("t5")])
+        writer.commit()
+        store = ShardedJsonlStore(tmp_path / "corpus")
+        assert [a.table_id for a in store] == ["t1", "t2", "t3", "t4", "t5"]
+        assert store.get("t4").table_id == "t4"
+        assert store.stats_hint()["total_rows"] == 10  # 2 rows per table
+        assert store.stats_hint()["topics"] == {"id": 5}
+
+    def test_writer_resumes_from_log_tail(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=2)
+        writer.extend([_annotated("t1"), _annotated("t2")])
+        writer.commit()
+        writer.add(_annotated("t3"))
+        writer.commit()
+        resumed = ShardedCorpusWriter(tmp_path / "corpus")
+        assert len(resumed) == 3
+        resumed.add(_annotated("t4"))
+        resumed.commit()
+        assert [a.table_id for a in resumed.as_reader()] == ["t1", "t2", "t3", "t4"]
+
+    def test_torn_log_tail_ignored_and_truncated(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=2)
+        writer.extend([_annotated("t1"), _annotated("t2")])
+        writer.commit()
+        writer.add(_annotated("t3"))
+        writer.commit()
+        log_path = tmp_path / "corpus" / "manifest.log"
+        intact = log_path.read_bytes()
+        with open(log_path, "ab") as handle:
+            handle.write(b'{"torn half record')
+        # Readers ignore the torn tail.
+        assert len(ShardedJsonlStore(tmp_path / "corpus")) == 3
+        # Writers truncate it away and keep appending cleanly.
+        healed = ShardedCorpusWriter(tmp_path / "corpus")
+        assert log_path.read_bytes() == intact
+        assert len(healed) == 3
+
+    def test_compaction_every_k_commits(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=4, compact_every=3)
+        log_path = tmp_path / "corpus" / "manifest.log"
+        for index in range(6):
+            writer.add(_annotated(f"t{index}"))
+            writer.commit()
+        # Commits: #1 base manifest, #2-#3 deltas, #4 compaction (2+1
+        # reaches compact_every), #5-#6 deltas.
+        assert log_path.exists()
+        assert len(log_path.read_bytes().splitlines()) == 2
+        manifest = json.loads((tmp_path / "corpus" / "manifest.json").read_text())
+        assert manifest["table_count"] == 4
+
+    def test_finalize_compacts_and_result_is_cadence_independent(self, tmp_path):
+        """The finished directory is byte-identical no matter how many
+        commits produced it."""
+        one = ShardedCorpusWriter(tmp_path / "one", shard_size=2)
+        for index in range(5):
+            one.add(_annotated(f"t{index}"))
+            one.commit()
+        one.finalize()
+        two = ShardedCorpusWriter(tmp_path / "two", shard_size=2)
+        two.extend([_annotated(f"t{index}") for index in range(5)])
+        two.finalize()
+        assert not (tmp_path / "one" / "manifest.log").exists()
+        assert _dir_bytes(tmp_path / "one") == _dir_bytes(tmp_path / "two")
+
+    def test_stale_log_after_crashed_compaction_not_double_applied(self, tmp_path):
+        """A compaction that wrote manifest.json but crashed before
+        deleting the log must not double-count on the next open."""
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=2)
+        writer.extend([_annotated("t1"), _annotated("t2")])
+        writer.commit()
+        writer.add(_annotated("t3"))
+        writer.commit()
+        stale_log = (tmp_path / "corpus" / "manifest.log").read_bytes()
+        writer.finalize()
+        # Resurrect the log as if the unlink never happened.
+        (tmp_path / "corpus" / "manifest.log").write_bytes(stale_log)
+        store = ShardedJsonlStore(tmp_path / "corpus")
+        assert len(store) == 3
+        assert store.stats_hint()["total_rows"] == 6
+        reopened = ShardedCorpusWriter(tmp_path / "corpus")
+        assert len(reopened) == 3
+        assert reopened.stats_hint()["total_rows"] == 6
+
+    def test_content_fingerprint_tracks_commits(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "corpus", shard_size=2)
+        writer.extend([_annotated("t1"), _annotated("t2")])
+        writer.finalize()
+        first = ShardedJsonlStore(tmp_path / "corpus").content_fingerprint()
+        assert first == ShardedJsonlStore(tmp_path / "corpus").content_fingerprint()
+        again = ShardedCorpusWriter(tmp_path / "corpus")
+        again.add(_annotated("t3"))
+        again.finalize()
+        assert ShardedJsonlStore(tmp_path / "corpus").content_fingerprint() != first
+
+
 class TestCheckpointUnit:
     def test_round_trip_and_clear(self, tmp_path):
         checkpoint = BuildCheckpoint(
