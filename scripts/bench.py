@@ -17,6 +17,11 @@ Suites:
   and without persisted mmap-backed index artifacts; enforces the ≥5x
   cold-start speedup / exact-equality acceptance criteria and writes
   ``BENCH_index_io.json``.
+* ``parallel_build`` — serial vs 4-process corpus build of the
+  500-table benchmark corpus under time-compressed (real-sleep)
+  GitHub-API pacing; enforces the ≥2x wall-clock speedup and
+  byte-identical-directory acceptance criteria and writes
+  ``BENCH_parallel_build.json``.
 * ``all`` — every suite.
 
 The pytest harness equivalents (all carry the ``slow`` marker, which
@@ -25,6 +30,7 @@ the default run deselects, so ``-m slow`` is required)::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_corpus_io.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_index_io.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel_build.py -s -m slow
 """
 
 from __future__ import annotations
@@ -55,6 +61,11 @@ from benchmarks.test_bench_index_io import (  # noqa: E402
     MIN_SPEEDUP as INDEX_MIN_SPEEDUP,
     N_TABLES as INDEX_N_TABLES,
     run_index_io_benchmark,
+)
+from benchmarks.test_bench_parallel_build import (  # noqa: E402
+    MIN_SPEEDUP as PARALLEL_MIN_SPEEDUP,
+    N_TABLES as PARALLEL_N_TABLES,
+    run_parallel_build_benchmark,
 )
 
 
@@ -141,11 +152,32 @@ def run_index_io_suite(tables: int, output: Path) -> int:
     return 0
 
 
+def run_parallel_build_suite(tables: int, output: Path) -> int:
+    result = run_parallel_build_benchmark(n_tables=tables)
+    _write_baseline(output, "parallel_build", result)
+    print(
+        f"built {result['n_tables']} tables: serial {result['serial_seconds']:.1f}s | "
+        f"{result['processes']}-process {result['parallel_seconds']:.1f}s | "
+        f"speedup {result['speedup']:.2f}x "
+        f"(real_time_factor={result['real_time_factor']}, {result['cpu_count']} CPU)"
+    )
+    if not result["byte_identical"]:
+        print("FAIL: parallel directory differs from the serial build", file=sys.stderr)
+        return 1
+    if result["speedup"] < PARALLEL_MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.2f}x below {PARALLEL_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("annotation", "corpus_io", "index_io", "all"),
+        choices=("annotation", "corpus_io", "index_io", "parallel_build", "all"),
         default="annotation",
         help="which benchmark suite to run",
     )
@@ -168,6 +200,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.suite in ("index_io", "all"):
         output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_index_io.json"
         status |= run_index_io_suite(args.tables or INDEX_N_TABLES, output)
+    if args.suite in ("parallel_build", "all"):
+        output = (
+            args.output
+            if args.output and args.suite != "all"
+            else REPO_ROOT / "BENCH_parallel_build.json"
+        )
+        status |= run_parallel_build_suite(args.tables or PARALLEL_N_TABLES, output)
     return status
 
 

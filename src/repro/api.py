@@ -101,6 +101,7 @@ class GitTables:
         batch_size: int = DEFAULT_BATCH_SIZE,
         store_dir: str | os.PathLike[str] | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
+        processes: int | None = None,
     ) -> "GitTables":
         """Run the streaming construction pipeline and wrap the result.
 
@@ -108,7 +109,11 @@ class GitTables:
         store and is resumable: re-running after an interruption picks
         up from the store's manifest instead of starting over, and the
         session's corpus is backed by the lazy sharded reader rather
-        than held in memory. See :meth:`CorpusBuilder.build
+        than held in memory. ``processes`` (default:
+        ``config.processes``) fans a store build out across worker
+        processes — the finalized directory is byte-identical to a
+        serial build, and a killed build may be resumed under any
+        process count. See :meth:`CorpusBuilder.build
         <repro.core.pipeline.CorpusBuilder.build>`.
         """
         builder = CorpusBuilder(
@@ -117,7 +122,7 @@ class GitTables:
             generator_config=generator_config,
             batch_size=batch_size,
         )
-        result = builder.build(store_dir=store_dir, shard_size=shard_size)
+        result = builder.build(store_dir=store_dir, shard_size=shard_size, processes=processes)
         artifacts = (
             IndexArtifactStore.for_corpus_dir(store_dir) if store_dir is not None else None
         )

@@ -134,6 +134,14 @@ class PipelineConfig:
     #: in parallel, which prefetches work and may pull up to
     #: ``workers + 1`` chunks past an early-stop limit.
     workers: int = 1
+    #: Worker *processes* for store-targeted corpus builds. 1 (the
+    #: default) keeps the single-process streaming build; higher values
+    #: fan the extract→parse→annotate→curate work out across OS
+    #: processes with per-worker shard files and manifest logs, merged
+    #: on commit boundaries (see :mod:`repro.storage.parallel`). Like
+    #: ``workers``, this is proven not to change corpus contents, so it
+    #: is excluded from the build's config fingerprint.
+    processes: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -147,6 +155,8 @@ class PipelineConfig:
             raise PipelineConfigError("target_tables must be >= 1")
         if self.workers < 1:
             raise PipelineConfigError("workers must be >= 1")
+        if self.processes < 1:
+            raise PipelineConfigError("processes must be >= 1")
 
     def replace(self, **overrides: object) -> "PipelineConfig":
         """A copy with the given fields replaced (and re-validated).

@@ -39,7 +39,7 @@ from ..github.instance import GitHubInstance, build_instance
 from ..pipeline.report import PipelineReport, combine_counters
 from ..pipeline.runner import Pipeline
 from ..pipeline.stage import StageContext
-from ..pipeline.stages import default_stages
+from ..pipeline.stages import PipelineComponents, default_stages
 from ..storage.checkpoint import (
     BuildCheckpoint,
     config_fingerprint,
@@ -49,12 +49,11 @@ from ..storage.checkpoint import (
 )
 from ..storage.sharded import DEFAULT_SHARD_SIZE, ShardedCorpusWriter, ShardedJsonlStore
 from ..wordnet.topics import select_topics
-from .annotation import AnnotationPipeline
 from .corpus import GitTablesCorpus
-from .curation import ContentCurator, CurationReport
+from .curation import CurationReport
 from .extraction import CSVExtractor, ExtractionReport
-from .filtering import FilterReport, TableFilter
-from .parsing import ParsingReport, ParsingStage
+from .filtering import FilterReport
+from .parsing import ParsingReport
 
 __all__ = ["PipelineResult", "CorpusBuilder", "build_corpus"]
 
@@ -99,10 +98,15 @@ class CorpusBuilder:
         instance: GitHubInstance | None = None,
         generator_config: GeneratorConfig | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        real_time_factor: float = 0.0,
     ) -> None:
         # PipelineConfig validates itself in __post_init__.
         self.config = config or PipelineConfig.default()
         self.batch_size = batch_size
+        #: Converts the simulated GitHub client's virtual request time
+        #: into real sleeps (0.0 = pure virtual clock). Benchmarks use
+        #: it to model the network-bound production workload.
+        self.real_time_factor = real_time_factor
         #: The generator configuration behind the synthetic instance, kept
         #: for the resume fingerprint (None when a pre-built instance was
         #: handed in — such builds cannot be fingerprinted).
@@ -111,12 +115,15 @@ class CorpusBuilder:
             self.generator_config = self._derive_generator_config(generator_config)
             instance = build_instance(self.generator_config)
         self.instance = instance
-        self.client = GitHubClient(instance)
+        self.client = GitHubClient(instance, real_time_factor=real_time_factor)
         self.extractor = CSVExtractor(self.client, self.config.extraction)
-        self.parser = ParsingStage()
-        self.table_filter = TableFilter(self.config.curation)
-        self.annotator = AnnotationPipeline(self.config.annotation)
-        self.curator = ContentCurator(self.config.curation, seed=self.config.seed)
+        #: The per-file processing components, constructed through the
+        #: pickle-able factory that parallel worker processes also use.
+        self.components = PipelineComponents.from_config(self.config)
+        self.parser = self.components.parser
+        self.table_filter = self.components.table_filter
+        self.annotator = self.components.annotator
+        self.curator = self.components.curator
 
     def _derive_generator_config(self, override: GeneratorConfig | None) -> GeneratorConfig:
         """Size the synthetic GitHub so the target table count is reachable.
@@ -161,6 +168,7 @@ class CorpusBuilder:
         self,
         store_dir: str | os.PathLike[str] | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
+        processes: int | None = None,
     ) -> PipelineResult:
         """Run the full streaming pipeline and return corpus plus reports.
 
@@ -173,8 +181,32 @@ class CorpusBuilder:
         already annotated, and produces a directory byte-identical to an
         uninterrupted run. The returned corpus is backed by the lazy
         sharded reader, not resident in memory.
+
+        ``processes`` (default: ``config.processes``) fans a store
+        build out across worker processes, each searching, downloading
+        and annotating a disjoint slice of the source-URL stream into
+        its own shard files, merged on commit boundaries and finalized
+        byte-identically to a serial build — see
+        :class:`repro.storage.parallel.ParallelCorpusBuilder`. A build
+        may be killed under one process count and resumed under another
+        (the count is excluded from the config fingerprint). In-memory
+        builds ignore ``processes``.
         """
+        if processes is None:
+            processes = self.config.processes
+        if processes < 1:
+            raise CorpusError("processes must be >= 1")
         if store_dir is not None:
+            from ..storage.parallel import ParallelCorpusBuilder, has_parallel_state
+
+            # A directory holding in-flight parallel state (worker
+            # shards/logs) must resume through the coordinator even at
+            # processes=1 — the single-writer path cannot append to
+            # worker-scoped shards. Either path finalizes the same bytes.
+            if processes > 1 or has_parallel_state(store_dir):
+                return ParallelCorpusBuilder(self, processes=processes).build(
+                    store_dir, shard_size=shard_size
+                )
             return self._build_to_store(store_dir, shard_size)
         topic_selection = select_topics(
             self.config.extraction.topic_count, seed=self.config.seed
@@ -207,18 +239,17 @@ class CorpusBuilder:
             pipeline_report=report,
         )
 
-    def _build_to_store(
-        self, store_dir: str | os.PathLike[str], shard_size: int
-    ) -> PipelineResult:
-        """Resumable streaming build into a sharded corpus directory."""
-        config = self.config
-        topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
-        writer = ShardedCorpusWriter(store_dir, shard_size=shard_size)
-        fingerprint = config_fingerprint(config, self.generator_config)
+    def ensure_build_meta(
+        self, store_dir: str | os.PathLike[str], fingerprint: dict, committed_count: int
+    ) -> None:
+        """Validate (or create) the directory's permanent provenance record.
 
-        # build.json is the directory's permanent provenance record: any
-        # build call against an existing store — in-flight or completed —
-        # must match the configuration the store was started with.
+        ``build.json`` pins the configuration a store was started with:
+        any build call against an existing store — in-flight or
+        completed, serial or parallel — must match it. Shared by the
+        single-process and process-parallel build paths so both enforce
+        identical provenance rules.
+        """
         stored_fingerprint = load_build_meta(store_dir)
         if stored_fingerprint is not None:
             if stored_fingerprint.get("generator") is None or self.generator_config is None:
@@ -230,29 +261,46 @@ class CorpusBuilder:
                     "resumable or reusable — delete the directory to rebuild"
                 )
             require_compatible_build(stored_fingerprint, fingerprint, store_dir)
-        elif writer.committed_count > 0:
+        elif committed_count > 0:
             raise CorpusError(
-                f"corpus at {store_dir} holds {writer.committed_count} tables but "
+                f"corpus at {store_dir} holds {committed_count} tables but "
                 "no build metadata, so it cannot be verified against this "
                 "configuration; load it explicitly or delete the directory to rebuild"
             )
         else:
             save_build_meta(store_dir, fingerprint)
 
+    def reuse_result(
+        self, store_dir: str | os.PathLike[str], topics: tuple[str, ...]
+    ) -> PipelineResult:
+        """Wrap a completed store without touching manifest or shards.
+
+        Curation statistics are rebuilt from table metadata; the other
+        legacy stage reports describe dropped/raw items and only exist
+        in the session that did the work (see :class:`PipelineResult`).
+        """
+        corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+        report = PipelineReport(pipeline_name="gittables-build")
+        report.items_collected = len(corpus)
+        report.stage_reports["curation"] = CurationReport.from_corpus(corpus)
+        return self._result(corpus, report, topics)
+
+    def _build_to_store(
+        self, store_dir: str | os.PathLike[str], shard_size: int
+    ) -> PipelineResult:
+        """Resumable streaming build into a sharded corpus directory."""
+        config = self.config
+        topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
+        writer = ShardedCorpusWriter(store_dir, shard_size=shard_size)
+        fingerprint = config_fingerprint(config, self.generator_config)
+        self.ensure_build_meta(store_dir, fingerprint, writer.committed_count)
+
         checkpoint = BuildCheckpoint.load(store_dir)
         if checkpoint is None:
             if writer.committed_count >= config.target_tables:
                 # A completed build (its checkpoint was cleared): the
-                # fingerprint matched, so reuse it as-is without touching
-                # manifest or shards. Curation statistics are rebuilt
-                # from table metadata; the other legacy stage reports
-                # describe dropped/raw items and only exist in the
-                # session that did the work (see PipelineResult).
-                corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
-                report = PipelineReport(pipeline_name="gittables-build")
-                report.items_collected = len(corpus)
-                report.stage_reports["curation"] = CurationReport.from_corpus(corpus)
-                return self._result(corpus, report, topic_selection.topics)
+                # fingerprint matched, so reuse it as-is.
+                return self.reuse_result(store_dir, topic_selection.topics)
             checkpoint = BuildCheckpoint(fingerprint=fingerprint)
         else:
             checkpoint.require_compatible(fingerprint, store_dir)
@@ -317,15 +365,17 @@ def build_corpus(
     batch_size: int = DEFAULT_BATCH_SIZE,
     store_dir: str | os.PathLike[str] | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    processes: int | None = None,
 ) -> PipelineResult:
     """Convenience wrapper: construct a corpus with one call.
 
     With ``store_dir`` the build streams into a resumable sharded
-    on-disk store (see :meth:`CorpusBuilder.build`).
+    on-disk store; ``processes`` > 1 additionally fans the work out
+    across worker processes (see :meth:`CorpusBuilder.build`).
     """
     return CorpusBuilder(
         config=config,
         instance=instance,
         generator_config=generator_config,
         batch_size=batch_size,
-    ).build(store_dir=store_dir, shard_size=shard_size)
+    ).build(store_dir=store_dir, shard_size=shard_size, processes=processes)

@@ -43,6 +43,10 @@ class ExperimentContext:
     seed: int = 20230530
     #: Optional directory for persistent, resumable corpus storage.
     store_dir: str | None = None
+    #: Worker processes for the store-backed corpus build (1 = serial).
+    #: Content-neutral: any process count yields byte-identical stores,
+    #: so cached/shared store directories stay interchangeable.
+    processes: int = 1
     _pipeline_result: PipelineResult | None = field(default=None, repr=False)
     _session: GitTables | None = field(default=None, repr=False)
     _viznet: GitTablesCorpus | None = field(default=None, repr=False)
@@ -106,6 +110,7 @@ class ExperimentContext:
                 self.pipeline_config(),
                 generator_config=self.generator_config(),
                 store_dir=self.corpus_store_dir(),
+                processes=self.processes if self.store_dir is not None else None,
             )
         return self._pipeline_result
 
@@ -153,17 +158,25 @@ _CONTEXT_CACHE: dict[tuple[str, int, str | None], ExperimentContext] = {}
 
 
 def get_context(
-    scale: str = "default", seed: int = 20230530, store_dir: str | None = None
+    scale: str = "default",
+    seed: int = 20230530,
+    store_dir: str | None = None,
+    processes: int = 1,
 ) -> ExperimentContext:
     """Return the cached context for (scale, seed), building it lazily.
 
     ``store_dir`` opts the context into persistent sharded corpus
     storage (resumable builds, lazy loading; see
-    :class:`ExperimentContext`).
+    :class:`ExperimentContext`); ``processes`` > 1 runs that store
+    build process-parallel. The cache key deliberately excludes
+    ``processes`` — the stores are byte-identical either way, so a
+    context built with any process count is reusable by all.
     """
     key = (scale, seed, store_dir)
     if key not in _CONTEXT_CACHE:
-        _CONTEXT_CACHE[key] = ExperimentContext(scale=scale, seed=seed, store_dir=store_dir)
+        _CONTEXT_CACHE[key] = ExperimentContext(
+            scale=scale, seed=seed, store_dir=store_dir, processes=processes
+        )
     return _CONTEXT_CACHE[key]
 
 

@@ -9,6 +9,7 @@ tests without real waiting.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..errors import RateLimitExceeded
@@ -70,6 +71,15 @@ class GitHubClient:
     clock by the required wait (simulating a sleep) and retries, keeping
     track of the total simulated wait time — the quantity the query
     segmentation ablation reports.
+
+    ``real_time_factor`` converts the virtual request time (per-request
+    latency plus rate-limit waits) into an actual ``time.sleep``: a
+    factor of ``0.01`` makes one virtual second cost 10 real
+    milliseconds. The default ``0.0`` keeps the historical pure-virtual
+    clock (tests never sleep). Benchmarks use a non-zero factor to model
+    the production workload, where extraction is network-bound and
+    rate-limited — the regime process-parallel builds are designed to
+    overlap.
     """
 
     def __init__(
@@ -78,11 +88,15 @@ class GitHubClient:
         search_api: SearchAPI | None = None,
         rate_limiter: RateLimiter | None = None,
         seconds_per_request: float = 0.5,
+        real_time_factor: float = 0.0,
     ) -> None:
+        if real_time_factor < 0:
+            raise ValueError("real_time_factor must be >= 0")
         self.instance = instance
         self.search_api = search_api or SearchAPI(instance)
         self.rate_limiter = rate_limiter or RateLimiter()
         self.seconds_per_request = seconds_per_request
+        self.real_time_factor = real_time_factor
         self.total_wait_seconds = 0.0
         self.request_count = 0
 
@@ -94,6 +108,8 @@ class GitHubClient:
         self.rate_limiter.check()
         self.rate_limiter.advance(self.seconds_per_request)
         self.request_count += 1
+        if self.real_time_factor > 0.0:
+            time.sleep((wait + self.seconds_per_request) * self.real_time_factor)
 
     def search(self, query: SearchQuery, page: int = 1) -> SearchResponse:
         """One page of search results (rate limited)."""

@@ -19,7 +19,15 @@ live in :mod:`repro.pipeline.stages`.
 
 from .report import PipelineReport, StageMetrics, combine_counters
 from .runner import Pipeline, PipelineOutcome
-from .stage import BatchStage, FunctionStage, MapStage, Stage, StageContext, stage_from
+from .stage import (
+    BatchStage,
+    FunctionStage,
+    MapStage,
+    Stage,
+    StageContext,
+    iter_chunks,
+    stage_from,
+)
 from .stages import (
     AnnotateStage,
     AnnotatedCandidate,
@@ -27,8 +35,10 @@ from .stages import (
     ExtractStage,
     FilterStage,
     ParseStage,
+    PipelineComponents,
     ResumeSkipStage,
     default_stages,
+    processing_stages,
 )
 
 __all__ = [
@@ -42,6 +52,7 @@ __all__ = [
     "MapStage",
     "ParseStage",
     "Pipeline",
+    "PipelineComponents",
     "PipelineOutcome",
     "PipelineReport",
     "ResumeSkipStage",
@@ -50,5 +61,7 @@ __all__ = [
     "StageMetrics",
     "combine_counters",
     "default_stages",
+    "iter_chunks",
+    "processing_stages",
     "stage_from",
 ]

@@ -29,7 +29,32 @@ from typing import Callable, Iterable, Iterator, Protocol, runtime_checkable
 from ..config import PipelineConfig
 from .report import PipelineReport
 
-__all__ = ["StageContext", "Stage", "BatchStage", "FunctionStage", "MapStage", "stage_from"]
+__all__ = [
+    "StageContext",
+    "Stage",
+    "BatchStage",
+    "FunctionStage",
+    "MapStage",
+    "iter_chunks",
+    "stage_from",
+]
+
+
+def iter_chunks(items: Iterable, chunk_size: int) -> Iterator[list]:
+    """Yield ``items`` in lists of at most ``chunk_size``.
+
+    The chunking primitive shared by :class:`MapStage` and the
+    process-parallel build workers (which commit one chunk per shard
+    append, so the chunk is also the crash-atomicity unit).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
 
 
 @dataclass
@@ -135,19 +160,11 @@ class MapStage:
         workers = getattr(ctx.config, "workers", 1) if ctx.config is not None else 1
         return max(1, int(workers))
 
-    def _chunks(self, items: Iterator) -> Iterator[list]:
-        iterator = iter(items)
-        while True:
-            chunk = list(islice(iterator, self.chunk_size))
-            if not chunk:
-                return
-            yield chunk
-
     def process(self, items: Iterator, ctx: StageContext) -> Iterator:
         begin = getattr(self.stage, "begin", None)
         if begin is not None:
             begin(ctx)
-        chunks = self._chunks(items)
+        chunks = iter_chunks(items, self.chunk_size)
         workers = self._resolve_workers(ctx)
         if workers == 1:
             for chunk in chunks:

@@ -30,6 +30,7 @@ import threading
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..config import PipelineConfig
 from ..core.annotation import AnnotationPipeline, TableAnnotations
 from ..core.corpus import AnnotatedTable
 from ..core.curation import ContentCurator, CurationReport
@@ -47,7 +48,9 @@ __all__ = [
     "FilterStage",
     "AnnotateStage",
     "CurateStage",
+    "PipelineComponents",
     "default_stages",
+    "processing_stages",
 ]
 
 
@@ -57,6 +60,36 @@ class AnnotatedCandidate:
 
     parsed: ParsedFile
     annotations: TableAnnotations
+
+
+@dataclass
+class PipelineComponents:
+    """The per-file processing components behind the Figure-1 stages.
+
+    Bundles everything downstream of extraction — parser, filter,
+    annotator (with its encoder and ontology indexes), curator — and
+    knows how to construct the set from a :class:`PipelineConfig` alone.
+    That makes the construction a *pickle-able stage factory*: a
+    process-parallel build ships only the config to each worker process,
+    and every worker calls :meth:`from_config` after the fork/spawn, so
+    the encoder caches and ontology label indexes are initialised
+    per-process (they are neither shareable nor picklable themselves).
+    """
+
+    parser: ParsingStage
+    table_filter: TableFilter
+    annotator: AnnotationPipeline
+    curator: ContentCurator
+
+    @classmethod
+    def from_config(cls, config: PipelineConfig) -> "PipelineComponents":
+        """Construct fresh components for one process from the config."""
+        return cls(
+            parser=ParsingStage(),
+            table_filter=TableFilter(config.curation),
+            annotator=AnnotationPipeline(config.annotation),
+            curator=ContentCurator(config.curation, seed=config.seed),
+        )
 
 
 class ExtractStage:
@@ -265,20 +298,45 @@ def default_stages(
     :class:`ResumeSkipStage` after extraction so tables already committed
     by an interrupted session are never re-annotated.
     """
-    parse = ParseStage(parser)
-    annotate = AnnotateStage(annotator)
-    if workers > 1:
-        parse = MapStage(parse, chunk_size=chunk_size, workers=workers)
-        annotate = MapStage(annotate, chunk_size=chunk_size, workers=workers)
     stages: list = [ExtractStage(extractor)]
     if skip_source_urls is not None:
         stages.append(ResumeSkipStage(skip_source_urls))
     stages.extend(
-        [
-            parse,
-            FilterStage(table_filter),
-            annotate,
-            CurateStage(curator),
-        ]
+        processing_stages(
+            PipelineComponents(
+                parser=parser,
+                table_filter=table_filter,
+                annotator=annotator,
+                curator=curator,
+            ),
+            workers=workers,
+            chunk_size=chunk_size,
+        )
     )
     return stages
+
+
+def processing_stages(
+    components: PipelineComponents,
+    workers: int = 1,
+    chunk_size: int = 32,
+) -> list:
+    """The post-extraction stage graph: parse → filter → annotate → curate.
+
+    This is the per-file work a build fans out — thread-parallel via
+    ``workers`` (chunked :class:`~repro.pipeline.stage.MapStage`), and
+    process-parallel by running one such graph per worker process over a
+    disjoint slice of the extracted-file stream
+    (:mod:`repro.storage.parallel`).
+    """
+    parse = ParseStage(components.parser)
+    annotate = AnnotateStage(components.annotator)
+    if workers > 1:
+        parse = MapStage(parse, chunk_size=chunk_size, workers=workers)
+        annotate = MapStage(annotate, chunk_size=chunk_size, workers=workers)
+    return [
+        parse,
+        FilterStage(components.table_filter),
+        annotate,
+        CurateStage(components.curator),
+    ]

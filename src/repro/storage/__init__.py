@@ -6,6 +6,10 @@ in-memory dict (:class:`InMemoryStore`), the lazy sharded-JSONL reader
 (:class:`ShardedJsonlStore`), and the append-only resumable writer
 (:class:`ShardedCorpusWriter`). :class:`BuildCheckpoint` carries
 cross-session build state for resumable corpus construction.
+:mod:`repro.storage.parallel` lifts the writer to multi-process builds:
+per-worker shard ranges and delta logs (:class:`WorkerShardWriter`)
+merged on commit boundaries by a :class:`ParallelCorpusBuilder`
+coordinator into the same canonical on-disk layout.
 """
 
 from .artifacts import (
@@ -20,11 +24,21 @@ from .checkpoint import (
     BUILD_META_FILENAME,
     CHECKPOINT_FILENAME,
     BuildCheckpoint,
+    checkpoint_filename,
     config_fingerprint,
     load_build_meta,
     save_build_meta,
+    worker_checkpoint_ids,
 )
 from .memory import InMemoryStore
+from .parallel import (
+    FaultSpec,
+    ParallelCorpusBuilder,
+    WorkerShardWriter,
+    has_parallel_state,
+    worker_log_filename,
+    worker_shard_filename,
+)
 from .sharded import (
     DEFAULT_COMPACT_EVERY,
     DEFAULT_SHARD_SIZE,
@@ -33,10 +47,20 @@ from .sharded import (
     SHARDED_FORMAT,
     ShardedCorpusWriter,
     ShardedJsonlStore,
+    build_manifest,
     is_sharded_dir,
 )
 
 __all__ = [
+    "FaultSpec",
+    "ParallelCorpusBuilder",
+    "WorkerShardWriter",
+    "build_manifest",
+    "checkpoint_filename",
+    "has_parallel_state",
+    "worker_checkpoint_ids",
+    "worker_log_filename",
+    "worker_shard_filename",
     "CorpusStore",
     "StoreStats",
     "InMemoryStore",

@@ -6,7 +6,24 @@ import json
 import os
 from pathlib import Path
 
-__all__ = ["atomic_write_json", "fsync_dir"]
+__all__ = ["atomic_write_json", "directory_file_bytes", "fsync_dir"]
+
+
+def directory_file_bytes(directory: str | os.PathLike[str]) -> dict[str, bytes]:
+    """Name → content of every regular file directly in ``directory``.
+
+    The canonical comparator behind the storage layer's byte-identity
+    guarantees (serial vs parallel builds, one-shot vs resumed builds).
+    Top-level files only — a corpus directory's own bytes are exactly
+    its manifest + shards + build metadata; subtrees such as
+    ``artifacts/`` are derived caches, deliberately outside the
+    identity (compare them separately if a test needs to).
+    """
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(Path(directory).iterdir())
+        if path.is_file()
+    }
 
 
 def fsync_dir(directory: str | os.PathLike[str]) -> None:

@@ -38,14 +38,52 @@ __all__ = [
     "BUILD_META_FILENAME",
     "CHECKPOINT_FILENAME",
     "BuildCheckpoint",
+    "checkpoint_filename",
     "config_fingerprint",
     "load_build_meta",
+    "numbered_sidecar_ids",
     "save_build_meta",
     "require_compatible_build",
+    "worker_checkpoint_ids",
 ]
 
 BUILD_META_FILENAME = "build.json"
 CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+def checkpoint_filename(worker: int | None = None) -> str:
+    """The checkpoint file name — global, or scoped to one build worker.
+
+    Process-parallel builds keep one :class:`BuildCheckpoint` per worker
+    (``checkpoint-00.json``, ``checkpoint-01.json``, …) next to that
+    worker's manifest log, so each worker's cross-session counters
+    survive killing any subset of workers independently.
+    """
+    if worker is None:
+        return CHECKPOINT_FILENAME
+    if worker < 0:
+        raise ValueError("worker must be >= 0")
+    return f"checkpoint-{worker:02d}.json"
+
+
+def numbered_sidecar_ids(directory: str | os.PathLike[str], pattern: str) -> list[int]:
+    """Worker ids embedded in ``<stem>-<NN>.<ext>`` sidecar file names.
+
+    The single parser behind every worker-scoped file family of a
+    parallel build (``checkpoint-<NN>.json``, ``manifest-<NN>.log``), so
+    the id-naming scheme cannot drift between them.
+    """
+    ids = []
+    for path in Path(directory).glob(pattern):
+        suffix = path.stem.rsplit("-", 1)[-1]
+        if suffix.isdigit():
+            ids.append(int(suffix))
+    return sorted(ids)
+
+
+def worker_checkpoint_ids(directory: str | os.PathLike[str]) -> list[int]:
+    """Worker ids that have a per-worker checkpoint in ``directory``."""
+    return numbered_sidecar_ids(directory, "checkpoint-*.json")
 
 
 def _normalize(value):
@@ -57,8 +95,10 @@ def config_fingerprint(config, generator_config=None) -> dict:
     """A JSON-comparable fingerprint of everything that shapes the stream.
 
     Covers the full :class:`~repro.config.PipelineConfig` (minus
-    ``workers``, which is proven not to change corpus contents) and the
-    synthetic-instance generator configuration. A custom pre-built
+    ``workers`` and ``processes``, which are proven not to change corpus
+    contents — parallel builds finalize byte-identical directories, so a
+    build may be resumed with a different thread or process count) and
+    the synthetic-instance generator configuration. A custom pre-built
     ``instance`` object cannot be fingerprinted — ``generator`` is
     recorded as ``None`` then, which the builder treats as
     *unverifiable*: stores carrying such a fingerprint are never resumed
@@ -66,6 +106,7 @@ def config_fingerprint(config, generator_config=None) -> dict:
     """
     payload = dataclasses.asdict(config)
     payload.pop("workers", None)
+    payload.pop("processes", None)
     fingerprint = {"config": payload, "generator": None}
     if generator_config is not None:
         if dataclasses.is_dataclass(generator_config):
@@ -115,9 +156,11 @@ class BuildCheckpoint:
     counters: dict = field(default_factory=dict)
 
     @classmethod
-    def load(cls, directory: str | os.PathLike[str]) -> "BuildCheckpoint | None":
-        """The checkpoint stored in ``directory``, or ``None``."""
-        path = Path(directory) / CHECKPOINT_FILENAME
+    def load(
+        cls, directory: str | os.PathLike[str], worker: int | None = None
+    ) -> "BuildCheckpoint | None":
+        """The (optionally worker-scoped) checkpoint in ``directory``."""
+        path = Path(directory) / checkpoint_filename(worker)
         if not path.exists():
             return None
         with open(path, "r", encoding="utf-8") as handle:
@@ -128,10 +171,10 @@ class BuildCheckpoint:
             counters=payload.get("counters", {}),
         )
 
-    def save(self, directory: str | os.PathLike[str]) -> None:
+    def save(self, directory: str | os.PathLike[str], worker: int | None = None) -> None:
         """Atomically write the checkpoint next to the manifest."""
         atomic_write_json(
-            Path(directory) / CHECKPOINT_FILENAME,
+            Path(directory) / checkpoint_filename(worker),
             {
                 "fingerprint": self.fingerprint,
                 "sessions": self.sessions,
@@ -149,8 +192,14 @@ class BuildCheckpoint:
             )
 
     @staticmethod
-    def clear(directory: str | os.PathLike[str]) -> None:
+    def clear(directory: str | os.PathLike[str], worker: int | None = None) -> None:
         """Remove the checkpoint (called when a build completes)."""
-        path = Path(directory) / CHECKPOINT_FILENAME
+        path = Path(directory) / checkpoint_filename(worker)
         if path.exists():
             path.unlink()
+
+    @staticmethod
+    def clear_workers(directory: str | os.PathLike[str]) -> None:
+        """Remove every per-worker checkpoint (parallel build finalize)."""
+        for worker in worker_checkpoint_ids(directory):
+            BuildCheckpoint.clear(directory, worker=worker)

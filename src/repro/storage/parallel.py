@@ -1,0 +1,1503 @@
+"""Process-parallel corpus builds: shard-per-worker, merge-on-commit.
+
+The GitTables construction flow is embarrassingly parallel per source
+file — search, download, parse, filter, annotate, curate — but the
+single-process :class:`~repro.storage.sharded.ShardedCorpusWriter`
+serializes the commit path. This module lifts a store-targeted build to
+``N`` worker *processes* while keeping every single-writer durability
+invariant:
+
+* **Disjoint shard ranges.** Worker ``k`` appends only to its own
+  ``shard-<k>-<seq>.jsonl`` files and records commits in its own
+  ``manifest-<k>.log`` (one O(batch) delta record per commit, fsynced —
+  the worker's durable commit point). Workers never share a file, so no
+  cross-process locking exists anywhere on the write path.
+* **Merge on commit boundaries.** The coordinator folds completed
+  worker commit records — in deterministic (worker id, commit seq)
+  order — into the canonical ``manifest.json`` so a mid-build directory
+  is readable by :class:`~repro.storage.sharded.ShardedJsonlStore` at
+  any time. The mid-build manifest carries a ``"parallel"`` marker; the
+  worker logs stay authoritative for resume.
+* **Byte-identical finalize.** When the in-order curated prefix of the
+  source-URL stream covers ``target_tables``, the coordinator rewrites
+  the worker shards into canonical serial-order ``shard_00000.jsonl``…
+  files (staged as ``*.tmp`` siblings, renamed into place), publishes
+  the canonical manifest atomically, and deletes all worker-scoped
+  files. The finished directory is **byte-identical** to a serial build
+  of the same configuration — regardless of process count, commit
+  cadence, or how many times the build was killed and resumed.
+* **Crash resume.** Killing any subset of workers (or the coordinator)
+  at any point loses at most the uncommitted buffers: each worker log's
+  torn tail is truncated on reopen and its shard tails healed exactly
+  like the single-writer path; the coordinator re-derives completed
+  work from the logs, re-dispatches the rest, and the process count may
+  differ between sessions (it is excluded from the config fingerprint).
+
+Work distribution
+-----------------
+
+The coordinator enumerates the deterministic source-URL stream — topics
+in selection order, per-topic search results in API order, URLs
+de-duplicated first-topic-wins, exactly the serial
+:class:`~repro.pipeline.stages.ExtractStage` order — assigning each URL
+a global **stream index**. Topic searches and URL processing are both
+dispatched to workers; each worker runs its own
+:class:`~repro.github.client.GitHubClient` (its own rate budget, as a
+production deployment would use one API token per worker) and a private
+:class:`~repro.pipeline.stages.PipelineComponents` set built from the
+pickled config after the fork/spawn. Worker commit records carry the
+stream indices they resolved (``"done"``), including URLs dropped by
+parsing or filtering, so a resumed coordinator knows precisely which
+prefix of the stream is complete. The build stops as soon as the
+resolved in-order prefix contains ``target_tables`` curated tables —
+the same early-stop semantics as the serial streaming runner, modulo a
+bounded overshoot of at most the in-flight waves (surplus tables are
+dropped at finalize, which keeps the final bytes identical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue as queue_module
+import signal
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import CorpusError
+from ._io import fsync_dir
+from .checkpoint import (
+    BuildCheckpoint,
+    config_fingerprint,
+    numbered_sidecar_ids,
+    worker_checkpoint_ids,
+)
+from .sharded import (
+    MANIFEST_LOG_FILENAME,
+    ShardedCorpusWriter,
+    ShardedJsonlStore,
+    _accumulate_stats,
+    _apply_delta,
+    _empty_stats,
+    _iter_log_records,
+    _read_manifest,
+    _replay_manifest_log,
+    _shard_filename,
+    _write_manifest,
+    build_manifest,
+    is_sharded_dir,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.pipeline import CorpusBuilder, PipelineResult
+
+__all__ = [
+    "FaultSpec",
+    "WorkerShardWriter",
+    "ParallelCorpusBuilder",
+    "build_mp_context",
+    "has_parallel_state",
+    "merge_worker_manifests",
+    "worker_log_filename",
+    "worker_shard_filename",
+]
+
+
+def build_mp_context():
+    """The multiprocessing context parallel builds run under.
+
+    ``fork`` where the platform offers it (workers inherit the synthetic
+    GitHub instance copy-on-write), ``spawn`` otherwise (worker state is
+    rebuilt from the pickled config). The test harness uses this same
+    helper, so the crash/concurrency tests always exercise the context
+    production builds actually run with.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+#: Fallback glob matching any worker's shard file.
+WORKER_SHARD_GLOB = "shard-??-*.jsonl"
+#: Glob matching any worker's manifest delta log.
+WORKER_LOG_GLOB = "manifest-??.log"
+
+
+def worker_shard_filename(worker: int, seq: int) -> str:
+    """Worker ``worker``'s ``seq``-th shard file (``shard-<worker>-<seq>.jsonl``)."""
+    return f"shard-{worker:02d}-{seq:05d}.jsonl"
+
+
+def worker_log_filename(worker: int) -> str:
+    """Worker ``worker``'s manifest delta log (``manifest-<worker>.log``)."""
+    return f"manifest-{worker:02d}.log"
+
+
+def _worker_log_ids(directory: Path) -> list[int]:
+    return numbered_sidecar_ids(directory, WORKER_LOG_GLOB)
+
+
+def _acquire_log_lock(directory: Path, worker: int, timeout: float):
+    """Exclusively ``flock`` one worker's log; returns the holding handle.
+
+    Blocks (polling) until the current holder — typically an orphaned
+    worker of a killed coordinator draining its last batch — exits and
+    the kernel releases the lock, or ``timeout`` elapses (another build
+    session is genuinely alive: refuse to run concurrently). Returns
+    ``None`` on platforms without ``fcntl`` (locking is best-effort
+    there).
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    import errno
+
+    handle = open(directory / worker_log_filename(worker), "ab")
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return handle
+        except OSError as error:
+            if error.errno not in (errno.EAGAIN, errno.EWOULDBLOCK, errno.EACCES):
+                # flock unsupported here (e.g. some network filesystems):
+                # degrade to the same best-effort mode as no-fcntl
+                # platforms instead of misreporting a live session.
+                handle.close()  # pragma: no cover - filesystem-dependent
+                return None  # pragma: no cover - filesystem-dependent
+            if time.monotonic() >= deadline:
+                handle.close()
+                raise CorpusError(
+                    f"worker {worker}'s manifest log in {directory} is locked "
+                    "by another live process; a previous build session is "
+                    "still running against this directory"
+                )
+            time.sleep(0.05)
+
+
+def has_parallel_state(directory: str | os.PathLike[str]) -> bool:
+    """Whether ``directory`` holds in-flight process-parallel build state.
+
+    True when any worker log/checkpoint exists or the manifest carries
+    the mid-build ``"parallel"`` marker. Such a directory must be
+    resumed through :class:`ParallelCorpusBuilder` (with *any* process
+    count, including 1) — the single-writer path does not know how to
+    append to worker-scoped shards.
+    """
+    directory = Path(directory)
+    if _worker_log_ids(directory) or worker_checkpoint_ids(directory):
+        return True
+    if is_sharded_dir(directory):
+        try:
+            return "parallel" in _read_manifest(directory)
+        except CorpusError:
+            return False
+    return False
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic crash injection for the test harness.
+
+    ``worker`` selects which worker process self-SIGKILLs (``None``
+    targets the coordinator), ``commit_n`` the 1-based commit ordinal
+    *within the faulted session*, and ``point`` when exactly to die:
+
+    * ``"before-shard-append"`` — commit started, nothing written yet;
+    * ``"before-log-append"`` — shard bytes flushed, no commit record;
+    * ``"torn-log-append"`` — half the commit record's bytes written
+      (a torn log tail that resume must truncate away);
+    * ``"after-log-append"`` — commit durable, checkpoint not yet saved.
+
+    Coordinator points (``worker=None``, ``commit_n`` ignored):
+
+    * ``"before-manifest-publish"`` — canonical shards rewritten and
+      renamed, canonical manifest not yet published (mid-compaction);
+    * ``"before-cleanup"`` — canonical manifest published, worker-scoped
+      files not yet deleted.
+
+    Only the crash/concurrency tests construct these; production builds
+    never pass one.
+    """
+
+    worker: int | None
+    commit_n: int = 1
+    point: str = "before-log-append"
+
+    def fire(self) -> None:
+        """Die exactly like a SIGKILLed process (no cleanup, no atexit)."""
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class WorkerShardWriter(ShardedCorpusWriter):
+    """One build worker's append-only writer over its private shard range.
+
+    Durability state is the worker's ``manifest-<k>.log`` alone — the
+    worker never touches ``manifest.json`` (the coordinator owns it).
+    Opening replays the log's valid prefix, truncates a torn tail, and
+    heals this worker's shard files exactly like the single-writer path
+    (tails truncated to committed byte counts, orphan rollover shards of
+    *this worker only* deleted). ``commit(done=...)`` additionally
+    records the global stream indices the commit resolves — including
+    URLs whose tables were dropped by parsing or filtering — which is
+    what makes a multi-process resume able to reconstruct precisely
+    which slice of the source stream is finished.
+    """
+
+    #: How long to wait for a previous holder of a worker scope (an
+    #: orphaned worker of a killed coordinator, finishing its last
+    #: batch) to release the log lock before giving up.
+    LOCK_TIMEOUT_SECONDS = 10.0
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        worker: int,
+        shard_size: int,
+        name: str = "gittables",
+        fault: FaultSpec | None = None,
+    ) -> None:
+        if worker < 0:
+            raise ValueError("worker must be >= 0")
+        self.worker = worker
+        self.fault = fault if fault is not None and fault.worker == worker else None
+        #: Global stream indices resolved by committed records.
+        self.done_indices: set[int] = set()
+        self._commit_index = 0
+        self._pending_done: list[int] = []
+        self._pending_url_indices: dict[str, int] = {}
+        self._lock_handle = None
+        self._acquire_scope_lock(Path(directory))
+        super().__init__(directory, shard_size=shard_size, name=name)
+
+    def _acquire_scope_lock(self, directory: Path) -> None:
+        """Exclusively lock this worker's log for the writer's lifetime.
+
+        Guards the one multi-writer race the architecture permits: a
+        coordinator SIGKILLed mid-build leaves workers that only notice
+        the dead parent on their next queue poll, so a promptly resumed
+        session could otherwise open the same worker scope while the
+        orphan finishes its current batch. ``flock`` is advisory,
+        per-inode, and released by the kernel the instant the holder
+        dies — exactly the crash semantics the rest of the design
+        assumes. Best-effort on platforms without ``fcntl``.
+        """
+        directory.mkdir(parents=True, exist_ok=True)
+        self._lock_handle = _acquire_log_lock(
+            directory, self.worker, self.LOCK_TIMEOUT_SECONDS
+        )
+        # The lock acquisition may have created the log file; make its
+        # dirent durable before any record can reference this worker.
+        fsync_dir(directory)
+
+    def close(self) -> None:
+        """Release the worker-scope lock (process exit does this too)."""
+        if self._lock_handle is not None:
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    # -- durability scope ---------------------------------------------------
+
+    def shard_filename(self, index: int) -> str:
+        return worker_shard_filename(self.worker, index)
+
+    def _log_path(self) -> Path:
+        return self.directory / worker_log_filename(self.worker)
+
+    def _owned_shard_paths(self):
+        return self.directory.glob(f"shard-{self.worker:02d}-*.jsonl")
+
+    def _has_existing_state(self) -> bool:
+        return self._log_path().exists()
+
+    def _load_existing_state(self) -> None:
+        """Rebuild committed state by replaying this worker's log."""
+        state = {"shards": [], "tables": {}, "stats": _empty_stats()}
+        valid_bytes = 0
+        for record, raw_length in _iter_log_records(self._log_path()):
+            _apply_delta(state, record)
+            self.done_indices.update(record.get("done", ()))
+            valid_bytes += raw_length
+        self._truncate_log(valid_bytes)
+        self._shards = state["shards"]
+        self._tables = state["tables"]
+        self._stats = state["stats"]
+
+    # -- commit path --------------------------------------------------------
+
+    def commit(self, done=None, indices: dict[str, int] | None = None) -> int:  # type: ignore[override]
+        """Flush pending tables and durably record the resolved indices.
+
+        ``done`` lists every global stream index this commit resolves;
+        ``indices`` maps source URLs to their stream index so each
+        stored table's log entry can pin the table to its position in
+        the serial stream (what the coordinator orders the canonical
+        rewrite by).
+        """
+        self._commit_index += 1
+        self._pending_done = sorted(done) if done else []
+        self._pending_url_indices = dict(indices) if indices else {}
+        try:
+            committed = super().commit()
+        finally:
+            pending = self._pending_done
+            self._pending_done = []
+            self._pending_url_indices = {}
+        self.done_indices.update(pending)
+        return committed
+
+    def _record_empty_commit(self) -> None:
+        # A batch whose tables were all dropped still advances the
+        # resume frontier: record the resolved indices, nothing else.
+        if self._pending_done:
+            self._fault_point("before-log-append")
+            self._append_delta({}, {}, _empty_stats())
+            self._fault_point("after-log-append")
+
+    def _record_commit(self, touched: dict, new_tables: dict, stats_delta: dict) -> None:
+        # Workers only ever append; manifest.json belongs to the
+        # coordinator, so there is no compaction on this side.
+        self._append_delta(touched, new_tables, stats_delta)
+
+    def _delta_record(self, touched: dict, new_tables: dict, stats_delta: dict) -> dict:
+        # Pin each stored table to its stream index (mutating the shared
+        # location dicts keeps the in-memory state and any replay of
+        # this record consistent).
+        for entry in new_tables.values():
+            index = self._pending_url_indices.get(entry.get("source_url"))
+            if index is not None:
+                entry["index"] = index
+        record = super()._delta_record(touched, new_tables, stats_delta)
+        record["done"] = self._pending_done
+        return record
+
+    def finalize(self) -> int:
+        raise CorpusError(
+            "worker writers never finalize; the build coordinator merges "
+            "worker logs into the canonical manifest"
+        )
+
+    # -- crash injection ----------------------------------------------------
+
+    def _fault_point(self, point: str) -> None:
+        fault = self.fault
+        if fault is not None and fault.commit_n == self._commit_index and fault.point == point:
+            fault.fire()
+
+    def _write_record_bytes(self, handle, payload: bytes) -> None:
+        fault = self.fault
+        if (
+            fault is not None
+            and fault.commit_n == self._commit_index
+            and fault.point == "torn-log-append"
+        ):
+            handle.write(payload[: max(1, len(payload) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            fault.fire()
+        super()._write_record_bytes(handle, payload)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkUnit:
+    """One source URL to download and process, pinned to a stream index."""
+
+    index: int
+    url: str
+    repository: str
+    path: str
+    topic: str
+    size_bytes: int
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker process needs, shippable through fork or pickle."""
+
+    directory: str
+    worker: int
+    config: object
+    generator_config: object | None
+    instance: object | None
+    batch_size: int
+    shard_size: int
+    real_time_factor: float
+    fingerprint: dict
+    parent_pid: int
+    fault: FaultSpec | None
+
+
+def _search_topic(extractor, topic: str):
+    """Collect one topic's URL metadata (the searchable half of extraction)."""
+    from ..core.extraction import ExtractionReport
+
+    report = ExtractionReport()
+    items = extractor.collect_urls(topic, report=report)
+    payload = [
+        {
+            "url": item.url,
+            "repository": item.repository,
+            "path": item.path,
+            "size_bytes": item.size_bytes,
+        }
+        for item in items.values()
+    ]
+    return payload, report
+
+
+def _download_unit(client, unit: _WorkUnit):
+    """Download one unit's content (mirrors ``CSVExtractor.extract_topic``)."""
+    from ..core.extraction import ExtractedFile
+
+    repository = client.instance.repository(unit.repository)
+    content = client.raw_content(unit.url)
+    return ExtractedFile(
+        url=unit.url,
+        repository=unit.repository,
+        path=unit.path,
+        topic=unit.topic,
+        content=content,
+        license=repository.license if repository else None,
+        size_bytes=unit.size_bytes,
+    )
+
+
+def _worker_main(spec: _WorkerSpec, task_queue, result_queue) -> None:
+    """Worker process entry point: search and process tasks until told to stop.
+
+    Tasks arrive as ``("search", topic)`` or ``("process", wave_id,
+    [work units])``; ``None`` is the stop sentinel. Every processed
+    batch is committed (shard append + fsync, delta record + fsync)
+    before the next is touched, and the per-worker
+    :class:`~repro.storage.checkpoint.BuildCheckpoint` is refreshed
+    after each commit, so SIGKILL at any instant loses at most one
+    uncommitted batch of *corpus data*. Report counters share the
+    serial build's slightly weaker window: a kill between the commit
+    and the checkpoint save loses that one batch's counters (the
+    corpus bytes are unaffected — resume never re-does committed
+    work, so the counters stay a lower bound). If the coordinator
+    disappears (parent pid changes), the worker exits on its own
+    rather than leak.
+    """
+    import traceback
+
+    from ..core.extraction import CSVExtractor
+    from ..github.client import GitHubClient
+    from ..github.instance import build_instance
+    from ..pipeline.report import combine_counters
+    from ..pipeline.runner import Pipeline
+    from ..pipeline.stage import iter_chunks
+    from ..pipeline.stages import PipelineComponents, processing_stages
+
+    def leave() -> None:
+        # Never let process exit block on flushing acks nobody will
+        # read: a dead coordinator leaves the result pipe undrained,
+        # and the queue's feeder-thread join would hang this process
+        # forever (holding its scope lock and inherited fds with it).
+        result_queue.cancel_join_thread()
+
+    try:
+        components = PipelineComponents.from_config(spec.config)
+        instance = spec.instance
+        if instance is None:
+            instance = build_instance(spec.generator_config)
+        client = GitHubClient(instance, real_time_factor=spec.real_time_factor)
+        extractor = CSVExtractor(client, spec.config.extraction)
+        writer = WorkerShardWriter(
+            spec.directory, spec.worker, shard_size=spec.shard_size, fault=spec.fault
+        )
+        checkpoint = BuildCheckpoint.load(spec.directory, worker=spec.worker)
+        base_counters = dict(checkpoint.counters) if checkpoint is not None else {}
+        session_counters: dict = {"sessions": 1}
+    except Exception:  # pragma: no cover - init failures surface as errors
+        result_queue.put(("error", spec.worker, traceback.format_exc()))
+        return leave()
+
+    while True:
+        try:
+            task = task_queue.get(timeout=0.5)
+        except queue_module.Empty:
+            if os.getppid() != spec.parent_pid:
+                return leave()  # orphaned by a dead coordinator
+            continue
+        if task is None:
+            return leave()
+        if os.getppid() != spec.parent_pid:
+            return leave()  # coordinator died between dispatch and pickup
+        try:
+            if task[0] == "search":
+                topic = task[1]
+                requests_before = client.request_count
+                wait_before = client.total_wait_seconds
+                payload, report = _search_topic(extractor, topic)
+                result_queue.put(
+                    (
+                        "searched",
+                        spec.worker,
+                        topic,
+                        payload,
+                        {
+                            "api_requests": client.request_count - requests_before,
+                            "wait_seconds": client.total_wait_seconds - wait_before,
+                            "initial_count": report.initial_counts.get(topic, 0),
+                            "segmented_queries": report.segmented_queries.get(topic, 0),
+                        },
+                    )
+                )
+                continue
+            wave_id, units = task[1], task[2]
+            for batch in iter_chunks(units, spec.batch_size):
+                if os.getppid() != spec.parent_pid:
+                    # Orphaned mid-wave: stop at the batch boundary so
+                    # the scope lock frees for a resumed session fast
+                    # (everything committed so far is durable).
+                    return leave()
+                download_started = time.perf_counter()
+                files = [_download_unit(client, unit) for unit in batch]
+                download_seconds = time.perf_counter() - download_started
+                # config.workers composes with processes: each worker
+                # process honours the thread-pool setting for its
+                # batch-capable stages, exactly like the serial graph
+                # (chunks sized so one batch spreads across the pool).
+                threads = max(1, int(spec.config.workers))
+                outcome = Pipeline(
+                    processing_stages(
+                        components,
+                        workers=threads,
+                        chunk_size=max(1, -(-spec.batch_size // threads)),
+                    ),
+                    batch_size=spec.batch_size,
+                    name="gittables-build-worker",
+                ).run(files, config=spec.config)
+                writer.extend(outcome.items)
+                writer.commit(
+                    done=[unit.index for unit in batch],
+                    indices={unit.url: unit.index for unit in batch},
+                )
+                batch_counters = outcome.report.counters()
+                batch_counters["sessions"] = 0
+                # Downloads are extraction work done worker-side; count
+                # them under the stage name the serial graph uses.
+                batch_counters["stages"] = {
+                    "extraction": {
+                        "items_in": len(batch),
+                        "items_out": len(files),
+                        "cumulative_seconds": download_seconds,
+                    },
+                    **batch_counters["stages"],
+                }
+                session_counters = combine_counters(session_counters, batch_counters)
+                merged = combine_counters(base_counters, session_counters)
+                BuildCheckpoint(
+                    fingerprint=spec.fingerprint,
+                    sessions=merged["sessions"],
+                    counters=merged,
+                ).save(spec.directory, worker=spec.worker)
+            result_queue.put(("done", spec.worker, wave_id, len(units)))
+        except Exception:
+            result_queue.put(("error", spec.worker, traceback.format_exc()))
+            return leave()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _StoreState:
+    """Committed state re-derived from a build directory on open."""
+
+    #: Serial-era canonical portion: table id -> {shard, line, source_url}.
+    canonical_tables: dict = field(default_factory=dict)
+    #: Serial-era canonical shard entries (manifest order).
+    canonical_shards: list = field(default_factory=list)
+    #: Statistics of the canonical portion alone (not worker tables).
+    canonical_stats: dict = field(default_factory=_empty_stats)
+    #: worker id -> replayed worker manifest state.
+    worker_states: dict = field(default_factory=dict)
+    #: worker id -> resolved stream indices.
+    worker_done: dict = field(default_factory=dict)
+    #: worker id -> byte offset of the log's valid committed prefix.
+    worker_log_offsets: dict = field(default_factory=dict)
+    #: Whether manifest.json exists without the mid-build marker.
+    manifest_is_canonical: bool = False
+    #: The canonical manifest's table count (0 when absent).
+    manifest_table_count: int = 0
+    #: The shard size recorded by an existing manifest (None when absent).
+    manifest_shard_size: int | None = None
+
+    @property
+    def committed_count(self) -> int:
+        return len(self.canonical_tables) + sum(
+            len(state["tables"]) for state in self.worker_states.values()
+        )
+
+
+def _read_store_state(directory: Path) -> _StoreState:
+    """Re-derive all committed state: canonical manifest + worker logs.
+
+    Worker logs are authoritative for worker-scoped state (the merged
+    mid-build manifest is a convenience view); the canonical portion of
+    a manifest — entries referencing serial-named ``shard_*.jsonl``
+    files — is authoritative for work a *serial* session committed
+    before the build went parallel.
+
+    Each worker log is snapshotted under its scope lock: if a previous
+    coordinator was SIGKILLed, its orphaned workers may still be
+    draining one last batch, and reading before they exit would miss
+    their final commits (leading the new session to re-dispatch — and
+    double-store — those URLs). Waiting on the lock serializes the
+    snapshot behind the orphans' exit.
+    """
+    state = _StoreState()
+    if is_sharded_dir(directory):
+        manifest = _read_manifest(directory)
+        _replay_manifest_log(directory, manifest)
+        state.manifest_is_canonical = "parallel" not in manifest
+        state.manifest_table_count = len(manifest.get("tables", {}))
+        state.manifest_shard_size = int(manifest.get("shard_size", 0)) or None
+        if state.manifest_is_canonical:
+            # A serial-era manifest's stats describe exactly the
+            # canonical tables being adopted.
+            state.canonical_stats = manifest.get("stats", _empty_stats())
+        else:
+            # A mid-build merged manifest's stats span worker tables
+            # too; the canonical slice rides in the parallel marker.
+            state.canonical_stats = manifest["parallel"].get(
+                "canonical_stats", _empty_stats()
+            )
+        shards = manifest.get("shards", [])
+        canonical_indices = {
+            index
+            for index, entry in enumerate(shards)
+            if entry["file"].startswith("shard_")
+        }
+        remap = {old: new for new, old in enumerate(sorted(canonical_indices))}
+        state.canonical_shards = [shards[index] for index in sorted(canonical_indices)]
+        for table_id, entry in manifest.get("tables", {}).items():
+            if entry["shard"] in canonical_indices:
+                moved = dict(entry)
+                moved["shard"] = remap[entry["shard"]]
+                state.canonical_tables[table_id] = moved
+    for worker in _worker_log_ids(directory):
+        lock = _acquire_log_lock(
+            directory, worker, WorkerShardWriter.LOCK_TIMEOUT_SECONDS
+        )
+        try:
+            worker_state = {"shards": [], "tables": {}, "stats": _empty_stats()}
+            done: set[int] = set()
+            offset = 0
+            for record, raw_length in _iter_log_records(
+                directory / worker_log_filename(worker)
+            ):
+                _apply_delta(worker_state, record)
+                done.update(record.get("done", ()))
+                offset += raw_length
+        finally:
+            if lock is not None:
+                lock.close()
+        state.worker_states[worker] = worker_state
+        state.worker_done[worker] = done
+        state.worker_log_offsets[worker] = offset
+    return state
+
+
+def _fold_stats(into: dict, source: dict) -> None:
+    """Sum one stats dict into another (totals plus counter families)."""
+    for family in ("total_rows", "total_columns"):
+        into[family] += source.get(family, 0)
+    for family in ("topics", "repositories"):
+        counts = into[family]
+        for key, value in source.get(family, {}).items():
+            counts[key] = counts.get(key, 0) + value
+
+
+def merge_worker_manifests(
+    state: _StoreState,
+    name: str = "gittables",
+    shard_size: int = 0,
+    processes: int | None = None,
+) -> dict:
+    """The merged mid-build manifest of a store's committed state.
+
+    A pure function of the replayed state: canonical (serial-era) shards
+    come first, then each worker's shards in deterministic (worker id,
+    shard seq) order, with table locations remapped into the merged
+    shard list and statistics summed in the same order — so *any*
+    interleaving of worker commits that leaves the same records in the
+    logs merges to the identical manifest. The ``"parallel"`` marker
+    tells readers this is a mid-build view and resuming coordinators
+    that the worker logs — not this manifest — are authoritative.
+    """
+    shards: list = list(state.canonical_shards)
+    tables: dict = {}
+    stats = _empty_stats()
+    for table_id, entry in state.canonical_tables.items():
+        tables[table_id] = entry
+    _fold_stats(stats, state.canonical_stats)
+    for worker in sorted(state.worker_states):
+        worker_state = state.worker_states[worker]
+        base = len(shards)
+        shards.extend(worker_state["shards"])
+        for table_id, entry in worker_state["tables"].items():
+            moved = dict(entry)
+            moved["shard"] = base + entry["shard"]
+            tables[table_id] = moved
+        _fold_stats(stats, worker_state["stats"])
+    manifest = build_manifest(name, shard_size, shards, tables, stats)
+    manifest["parallel"] = {
+        "processes": processes,
+        "canonical_stats": state.canonical_stats,
+    }
+    return manifest
+
+
+def _heal_canonical_shards(directory: Path, state: _StoreState) -> None:
+    """Truncate torn canonical shard tails left by a crashed serial session.
+
+    Mirrors ``ShardedCorpusWriter._heal_shards`` for the canonical
+    portion a parallel resume adopts: listed shards are truncated back
+    to their committed byte counts; canonical-named shards the manifest
+    does not list (crashed rollover) are deleted. Worker shards are
+    healed by their own writers.
+    """
+    listed = {entry["file"]: entry for entry in state.canonical_shards}
+    for path in directory.glob("shard_*.jsonl"):
+        if path.name not in listed:
+            path.unlink()
+    for entry in state.canonical_shards:
+        path = directory / entry["file"]
+        if not path.exists():
+            raise CorpusError(f"missing shard file {path}")
+        size = path.stat().st_size
+        if size < entry["bytes"]:
+            raise CorpusError(
+                f"shard file {path} is shorter ({size}B) than the manifest "
+                f"records ({entry['bytes']}B); the corpus is corrupt"
+            )
+        if size > entry["bytes"]:
+            with open(path, "r+b") as handle:
+                handle.truncate(entry["bytes"])
+
+
+class _ShardLineCache:
+    """Committed line bytes of build shards, a few parsed files at a time."""
+
+    def __init__(self, directory: Path, capacity: int = 4) -> None:
+        self.directory = directory
+        self.capacity = capacity
+        self._cache: OrderedDict[str, list[bytes]] = OrderedDict()
+
+    def line(self, entry: dict, line_index: int) -> bytes:
+        filename = entry["file"]
+        lines = self._cache.get(filename)
+        if lines is None:
+            with open(self.directory / filename, "rb") as handle:
+                data = handle.read(entry["bytes"])
+            lines = data.splitlines(keepends=True)
+            self._cache[filename] = lines
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(filename)
+        return lines[line_index]
+
+
+class ParallelCorpusBuilder:
+    """Coordinates a multi-process corpus build over one store directory.
+
+    Wraps a configured :class:`~repro.core.pipeline.CorpusBuilder` and
+    executes its store build across ``processes`` worker processes (see
+    the module docstring for the architecture). Not constructed directly
+    in normal use — ``CorpusBuilder.build(store_dir=..., processes=N)``
+    and ``GitTables.build(..., processes=N)`` route here, including for
+    ``processes=1`` resumes of a directory that holds parallel state.
+
+    ``fault`` injects a deterministic crash for the test harness;
+    ``mp_context`` overrides the multiprocessing start method (``fork``
+    where available, else ``spawn`` — worker state is rebuilt from the
+    pickled config either way).
+    """
+
+    #: How many stream URLs one dispatched wave hands a worker.
+    WAVE_UNITS = 64
+
+    def __init__(
+        self,
+        builder: "CorpusBuilder",
+        processes: int,
+        mp_context=None,
+        fault: FaultSpec | None = None,
+    ) -> None:
+        if processes < 1:
+            raise CorpusError("processes must be >= 1")
+        if processes > 99:
+            raise CorpusError("processes must be <= 99 (worker ids are two digits)")
+        self.builder = builder
+        self.processes = processes
+        self.fault = fault
+        self.mp = mp_context if mp_context is not None else build_mp_context()
+
+    # -- the build ----------------------------------------------------------
+
+    def build(
+        self, store_dir: str | os.PathLike[str], shard_size: int
+    ) -> "PipelineResult":
+        from ..wordnet.topics import select_topics
+
+        builder = self.builder
+        config = builder.config
+        directory = Path(store_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
+        fingerprint = config_fingerprint(config, builder.generator_config)
+
+        state = _read_store_state(directory)
+        builder.ensure_build_meta(store_dir, fingerprint, state.committed_count)
+        checkpoint = BuildCheckpoint.load(directory)
+        if checkpoint is not None:
+            checkpoint.require_compatible(fingerprint, store_dir)
+
+        if state.manifest_is_canonical and state.manifest_table_count >= config.target_tables:
+            # A completed build (possibly killed between publishing the
+            # canonical manifest and sweeping worker files): reuse it.
+            # Cleaning the leftovers makes the directory byte-identical
+            # to one whose finalize ran uninterrupted.
+            self._cleanup_worker_files(directory)
+            BuildCheckpoint.clear(directory)
+            return builder.reuse_result(store_dir, topic_selection.topics)
+
+        # Resumes keep the shard size the directory was started with
+        # (same behaviour as the single-writer resume path).
+        if state.manifest_shard_size is not None:
+            shard_size = state.manifest_shard_size
+        if checkpoint is None:
+            checkpoint = BuildCheckpoint(fingerprint=fingerprint)
+        base_counters = dict(checkpoint.counters)
+        checkpoint.sessions += 1
+        checkpoint.save(directory)
+        _heal_canonical_shards(directory, state)
+
+        run = _CoordinatorRun(
+            self, directory, shard_size, topic_selection.topics, fingerprint, state
+        )
+        # Seed the merged manifest before any work is dispatched: like
+        # the serial writer's first-commit manifest, it pins the
+        # directory's shard_size (and marks it parallel) so a build
+        # killed before the first throttled merge still resumes with
+        # the layout it was started with.
+        run.merge_manifest(force=True)
+        try:
+            run.execute()
+        finally:
+            run.shutdown_workers()
+        run.finalize()
+        worker_counters = [
+            BuildCheckpoint.load(directory, worker=worker).counters
+            for worker in worker_checkpoint_ids(directory)
+        ]
+        self._fault_point("before-cleanup")
+        self._cleanup_worker_files(directory)
+        BuildCheckpoint.clear(directory)
+        fsync_dir(directory)
+        return self._assemble_result(
+            store_dir,
+            topic_selection.topics,
+            base_counters,
+            checkpoint.sessions,
+            run,
+            worker_counters,
+        )
+
+    def _fault_point(self, point: str) -> None:
+        fault = self.fault
+        if fault is not None and fault.worker is None and fault.point == point:
+            fault.fire()
+
+    @staticmethod
+    def _cleanup_worker_files(directory: Path) -> None:
+        """Delete every worker-scoped file plus finalize staging leftovers."""
+        BuildCheckpoint.clear_workers(directory)
+        for pattern in (WORKER_SHARD_GLOB, WORKER_LOG_GLOB, "*.jsonl.tmp"):
+            for path in directory.glob(pattern):
+                path.unlink()
+
+    def _assemble_result(
+        self,
+        store_dir,
+        topics: tuple[str, ...],
+        base_counters: dict,
+        sessions: int,
+        run: "_CoordinatorRun",
+        worker_counters: list[dict],
+    ) -> "PipelineResult":
+        """Merge worker counters into one cross-process PipelineReport.
+
+        Stage counters sum the work of every worker across every
+        session (each worker's checkpoint already reconciles its own
+        sessions); ``sessions`` counts coordinator build invocations —
+        including any serial sessions the directory saw before going
+        parallel, whose counters arrive through ``base_counters``.
+        """
+        from ..core.corpus import GitTablesCorpus
+        from ..core.curation import CurationReport
+        from ..pipeline.report import PipelineReport, combine_counters
+
+        merged = dict(base_counters)
+        merged["sessions"] = 0
+        for counters in worker_counters:
+            local = dict(counters)
+            local["sessions"] = 0
+            merged = combine_counters(merged, local)
+        report = PipelineReport(pipeline_name="gittables-build")
+        report.merge_counters(merged)
+        report.sessions = sessions
+        corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+        report.items_collected = len(corpus)
+        report.stopped_early = len(corpus) >= self.builder.config.target_tables
+        report.stage_reports["extraction"] = run.extraction_report()
+        report.stage_reports["curation"] = CurationReport.from_corpus(corpus)
+        return self.builder._result(corpus, report, topics)
+
+
+class _CoordinatorRun:
+    """One coordinator session: dispatch, merge-on-commit, finalize."""
+
+    def __init__(
+        self,
+        parent: ParallelCorpusBuilder,
+        directory: Path,
+        shard_size: int,
+        topics: tuple[str, ...],
+        fingerprint: dict,
+        state: _StoreState,
+    ) -> None:
+        self.parent = parent
+        self.builder = parent.builder
+        self.config = self.builder.config
+        self.directory = directory
+        self.shard_size = shard_size
+        self.topics = list(topics)
+        self.fingerprint = fingerprint
+        self.state = state
+
+        # --- source-URL stream enumeration --------------------------------
+        #: Emitted stream units, index-aligned (stream[i].index == i).
+        self.stream: list[_WorkUnit] = []
+        self.seen_urls: set[str] = set()
+        #: topic -> search payload, for topics searched out of order.
+        self.searched: dict[str, list] = {}
+        self.search_meta: dict[str, dict] = {}
+        self.next_topic = 0  # next topic to hand out for searching
+        self.next_emit = 0  # next topic (in order) awaiting emission
+        self.duplicate_urls = 0
+
+        # --- resolution state ----------------------------------------------
+        #: stream index -> ("canonical"|worker id, shard index, line index)
+        self.stored: dict[int, tuple] = {}
+        self.resolved: set[int] = set()
+        for worker, done in state.worker_done.items():
+            self.resolved.update(done)
+        #: source_url -> stored location awaiting a stream index. Tables
+        #: a *serial* session committed carry no index (the serial
+        #: writer does not know it); they are mapped as enumeration
+        #: reaches their URL. Worker-committed tables carry their index
+        #: in the log and are mapped immediately.
+        self.pending_url_locations: dict[str, tuple] = {}
+        for table_id, entry in state.canonical_tables.items():
+            self.pending_url_locations[entry["source_url"]] = (
+                "canonical",
+                entry["shard"],
+                entry["line"],
+            )
+        for worker, worker_state in state.worker_states.items():
+            for table_id, entry in worker_state["tables"].items():
+                location = (worker, entry["shard"], entry["line"])
+                if "index" in entry:
+                    self.stored[entry["index"]] = location
+                else:  # pragma: no cover - defensive for foreign logs
+                    self.pending_url_locations[entry["source_url"]] = location
+
+        # --- dispatch bookkeeping ------------------------------------------
+        #: Indices handed to a worker this session and not yet resolved
+        #: (resolution removes them, so ``len(dispatched)`` is the
+        #: in-flight count).
+        self.dispatched: set[int] = set()
+        self._wave_cursor = 0
+        self._frontier_index = 0
+        self._frontier_curated = 0
+        self.procs: list = []
+        self.task_queues: list = []
+        self.result_queue = None
+        self.idle: list[int] = []
+        self.outstanding: dict[int, tuple] = {}
+        self.next_wave_id = 0
+        self._log_offsets: dict[int, int] = dict(state.worker_log_offsets)
+        self._harvests_since_merge = 0
+        self.api_requests = 0
+        self.wait_seconds = 0.0
+
+    @property
+    def urls_unmapped(self) -> int:
+        """Stored tables whose stream index is not yet known."""
+        return len(self.pending_url_locations)
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def spawn_workers(self) -> None:
+        parent = self.parent
+        self.result_queue = parent.mp.Queue()
+        use_fork = parent.mp.get_start_method() == "fork"
+        for worker in range(parent.processes):
+            spec = _WorkerSpec(
+                directory=str(self.directory),
+                worker=worker,
+                config=self.config,
+                generator_config=self.builder.generator_config,
+                instance=(
+                    self.builder.instance
+                    if use_fork or self.builder.generator_config is None
+                    else None
+                ),
+                batch_size=self.builder.batch_size,
+                shard_size=self.shard_size,
+                real_time_factor=self.builder.real_time_factor,
+                fingerprint=self.fingerprint,
+                parent_pid=os.getpid(),
+                fault=parent.fault if parent.fault and parent.fault.worker == worker else None,
+            )
+            task_queue = parent.mp.Queue()
+            proc = parent.mp.Process(
+                target=_worker_main,
+                args=(spec, task_queue, self.result_queue),
+                daemon=True,
+                name=f"gittables-build-w{worker:02d}",
+            )
+            proc.start()
+            self.task_queues.append(task_queue)
+            self.procs.append(proc)
+            self.idle.append(worker)
+
+    def shutdown_workers(self) -> None:
+        """Stop workers: sentinel first, then terminate stragglers.
+
+        A worker only reads the sentinel between waves, so one that is
+        still draining a surplus wave (dispatched just before the
+        target was met) needs to finish it — its commits and checkpoint
+        save must land before the coordinator reads worker counters.
+        The budget is generous; SIGTERM is strictly a last resort for
+        hung workers (it is crash-safe — committed state survives, at
+        most the final batch's counters go unreported).
+        """
+        for task_queue in self.task_queues:
+            try:
+                task_queue.put_nowait(None)
+            except Exception:  # pragma: no cover - full/closed queue
+                pass
+        deadline = time.monotonic() + 60.0
+        for proc in self.procs:
+            while proc.is_alive() and time.monotonic() < deadline:
+                # Keep draining surplus acks so no worker can block on
+                # a full result pipe while flushing its final messages.
+                try:
+                    while True:
+                        self.result_queue.get_nowait()
+                except queue_module.Empty:
+                    pass
+                proc.join(timeout=0.2)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for task_queue in self.task_queues:
+            task_queue.cancel_join_thread()
+        if self.result_queue is not None:
+            self.result_queue.cancel_join_thread()
+
+    # -- stream enumeration -------------------------------------------------
+
+    def _emit_ready_topics(self) -> None:
+        """Fold completed topic searches into the stream, in topic order."""
+        while self.next_emit < len(self.topics):
+            topic = self.topics[self.next_emit]
+            payload = self.searched.get(topic)
+            if payload is None:
+                return
+            for item in payload:
+                if item["url"] in self.seen_urls:
+                    self.duplicate_urls += 1
+                    continue
+                self.seen_urls.add(item["url"])
+                index = len(self.stream)
+                self.stream.append(
+                    _WorkUnit(
+                        index=index,
+                        url=item["url"],
+                        repository=item["repository"],
+                        path=item["path"],
+                        topic=topic,
+                        size_bytes=item["size_bytes"],
+                    )
+                )
+                location = self.pending_url_locations.pop(item["url"], None)
+                if location is not None:
+                    self.stored[index] = location
+                    self.resolved.add(index)
+                    self.dispatched.discard(index)
+            self.next_emit += 1
+
+    # -- progress accounting ------------------------------------------------
+
+    def frontier(self) -> tuple[int, int]:
+        """``(first unresolved index, curated tables before it)``.
+
+        Advanced incrementally from the last call: an index, once
+        resolved, never unresolves, and a resolved index's stored
+        location is recorded in the same harvest step, so the walk
+        never needs to restart from zero (keeps the dispatch loop
+        linear in stream length overall).
+        """
+        index, curated = self._frontier_index, self._frontier_curated
+        total = len(self.stream)
+        while curated < self.config.target_tables and (
+            index < total or index in self.resolved
+        ):
+            if index not in self.resolved:
+                break
+            if index in self.stored:
+                curated += 1
+            index += 1
+        self._frontier_index, self._frontier_curated = index, curated
+        return index, curated
+
+    def target_met(self) -> bool:
+        _, curated = self.frontier()
+        return curated >= self.config.target_tables
+
+    def exhausted(self) -> bool:
+        """No more URLs anywhere: topics done, everything resolved."""
+        return (
+            self.next_emit >= len(self.topics)
+            and not self.outstanding
+            and self.frontier()[0] >= len(self.stream)
+        )
+
+    # -- merge-on-commit ----------------------------------------------------
+
+    def harvest_worker_log(self, worker: int) -> None:
+        """Fold a worker's new commit records into coordinator state.
+
+        Reads forward from the byte offset of the last record already
+        folded in (``_read_store_state`` primes the offsets at session
+        start), so every commit record is applied exactly once, in the
+        worker's commit-seq order.
+        """
+        path = self.directory / worker_log_filename(worker)
+        worker_state = self.state.worker_states.setdefault(
+            worker, {"shards": [], "tables": {}, "stats": _empty_stats()}
+        )
+        offset = self._log_offsets.get(worker, 0)
+        for record, raw_length in _iter_log_records(path, offset=offset):
+            _apply_delta(worker_state, record)
+            # Stored locations must land before the indices count as
+            # resolved, or a frontier walk in between would misread a
+            # stored index as dropped.
+            for table_id, entry in record.get("tables", {}).items():
+                if "index" in entry:
+                    self.stored[entry["index"]] = (worker, entry["shard"], entry["line"])
+            for index in record.get("done", ()):
+                self.resolved.add(index)
+                self.dispatched.discard(index)
+            offset += raw_length
+        self._log_offsets[worker] = offset
+
+    #: Completed-wave harvests folded in between merged-manifest
+    #: publications. The merged view is a reader convenience (worker
+    #: logs stay authoritative for resume), so publishing it — an
+    #: O(total tables) rewrite — is throttled the same way the serial
+    #: writer throttles full-manifest compaction behind its delta log.
+    MERGE_EVERY = 8
+
+    def merge_manifest(self, force: bool = False) -> None:
+        """Publish the mid-build merged view as the canonical manifest."""
+        if not force and self._harvests_since_merge < self.MERGE_EVERY:
+            return
+        self._harvests_since_merge = 0
+        manifest = merge_worker_manifests(
+            self.state,
+            name=self.builder_name(),
+            shard_size=self.shard_size,
+            processes=self.parent.processes,
+        )
+        _write_manifest(self.directory, manifest)
+
+    def builder_name(self) -> str:
+        return "gittables"
+
+    # -- dispatch loop ------------------------------------------------------
+
+    def execute(self) -> None:
+        if self.target_met() and self.urls_unmapped == 0:
+            return  # resumed after the last wave; nothing to dispatch
+        self.spawn_workers()
+        while True:
+            self._emit_ready_topics()
+            if self.urls_unmapped == 0 and (self.target_met() or self.exhausted()):
+                # Leave a current merged view behind for readers (and
+                # for the finalize fault-injection window).
+                self.merge_manifest(force=True)
+                return
+            if self.urls_unmapped > 0 and self.next_emit >= len(self.topics):
+                raise CorpusError(
+                    f"corpus at {self.directory} holds tables whose source URLs "
+                    "do not appear in this configuration's extraction stream; "
+                    "the directory does not match the configuration"
+                )
+            self._dispatch()
+            self._collect()
+
+    def _dispatch(self) -> None:
+        """Hand search and process tasks to idle workers."""
+        while self.idle:
+            # Processing beats searching when enough URLs are buffered:
+            # waves resolve the frontier the target check needs.
+            wave = self._next_wave()
+            if wave:
+                worker = self.idle.pop(0)
+                wave_id = self.next_wave_id
+                self.next_wave_id += 1
+                self.outstanding[worker] = ("process", wave_id)
+                self.dispatched.update(unit.index for unit in wave)
+                self.task_queues[worker].put(("process", wave_id, wave))
+                continue
+            if self.next_topic < len(self.topics):
+                worker = self.idle.pop(0)
+                topic = self.topics[self.next_topic]
+                self.next_topic += 1
+                self.outstanding[worker] = ("search", topic)
+                self.task_queues[worker].put(("search", topic))
+                continue
+            return
+
+    def _next_wave(self) -> list:
+        """The next slice of unresolved, undispatched stream URLs."""
+        remaining = self._remaining_estimate()
+        limit = min(remaining - len(self.dispatched), ParallelCorpusBuilder.WAVE_UNITS)
+        if limit <= 0:
+            return []
+        while self._wave_cursor < len(self.stream) and (
+            self.stream[self._wave_cursor].index in self.resolved
+            or self.stream[self._wave_cursor].index in self.dispatched
+        ):
+            self._wave_cursor += 1
+        wave: list = []
+        for position in range(self._wave_cursor, len(self.stream)):
+            if len(wave) >= limit:
+                break
+            unit = self.stream[position]
+            if unit.index in self.resolved or unit.index in self.dispatched:
+                continue
+            wave.append(unit)
+        return wave
+
+    def _remaining_estimate(self) -> int:
+        """How many URLs past the frontier are worth processing.
+
+        The curated-per-URL rate observed so far (conservative default
+        before enough evidence) sizes how far past the frontier the
+        build reaches for the missing tables; the 1.2 slack keeps a
+        second round of dispatching rare while bounding overshoot.
+        """
+        _, curated = self.frontier()
+        missing = self.config.target_tables - curated
+        if missing <= 0:
+            return 0
+        resolved_count = len(self.resolved)
+        stored_count = len(self.stored) + len(self.pending_url_locations)
+        rate = (stored_count / resolved_count) if resolved_count >= 64 else 0.25
+        rate = max(rate, 0.05)
+        return max(self.builder.batch_size, int(missing / rate * 1.2))
+
+    def _collect(self) -> None:
+        """Wait for at least one worker message; merge as commits land."""
+        while True:
+            try:
+                message = self.result_queue.get(timeout=0.25)
+                break
+            except queue_module.Empty:
+                self._check_liveness()
+                if not self.outstanding:
+                    return  # nothing in flight; go dispatch more
+        kind = message[0]
+        if kind == "error":
+            _, worker, trace = message
+            self.outstanding.pop(worker, None)
+            raise CorpusError(f"build worker {worker} failed:\n{trace}")
+        if kind == "searched":
+            _, worker, topic, payload, meta = message
+            self.searched[topic] = payload
+            self.search_meta[topic] = meta
+            self.api_requests += meta["api_requests"]
+            self.wait_seconds += meta["wait_seconds"]
+            self.outstanding.pop(worker, None)
+            self.idle.append(worker)
+            return
+        if kind == "done":
+            _, worker, _wave_id, _unit_count = message
+            self.outstanding.pop(worker, None)
+            self.idle.append(worker)
+            # Fold this worker's commit records (in log order — i.e.
+            # commit-seq order) into coordinator state; the merged
+            # manifest is published every MERGE_EVERY harvests.
+            self.harvest_worker_log(worker)
+            self._harvests_since_merge += 1
+            self.merge_manifest()
+            return
+
+    def _check_liveness(self) -> None:
+        for worker, task in list(self.outstanding.items()):
+            if not self.procs[worker].is_alive():
+                raise CorpusError(
+                    f"build worker {worker} died while running {task[0]!r}; "
+                    "resume the build to heal and continue"
+                )
+
+    # -- finalize -----------------------------------------------------------
+
+    def final_sequence(self) -> Iterator[tuple]:
+        """Stored table locations of the final corpus, in stream order."""
+        curated = 0
+        index = 0
+        total = len(self.stream)
+        while curated < self.config.target_tables and (
+            index < total or index in self.resolved
+        ):
+            if index not in self.resolved:
+                raise CorpusError(
+                    f"stream index {index} is unresolved; the build did not "
+                    "cover a full prefix of the source stream"
+                )
+            location = self.stored.get(index)
+            if location is not None:
+                curated += 1
+                yield location
+            index += 1
+
+    def finalize(self) -> dict:
+        """Rewrite worker shards into the canonical serial-order layout.
+
+        Canonical shard files are staged as ``.tmp`` siblings (so the
+        worker shards — the data source — are never touched), renamed
+        into place once all are written and fsynced, and then the
+        canonical manifest is published atomically: *that* rename is the
+        commit point. A crash anywhere before it leaves the worker logs
+        authoritative; a crash after it leaves only idempotent cleanup.
+        Every byte written here is a deterministic function of the
+        final table sequence, so re-running finalize after a crash
+        (possibly with a different process count) produces the same
+        files.
+        """
+        sources: dict = {"canonical": self.state.canonical_shards}
+        for worker, worker_state in self.state.worker_states.items():
+            sources[worker] = worker_state["shards"]
+        cache = _ShardLineCache(self.directory)
+        shards: list = []
+        tables: dict = {}
+        stats = _empty_stats()
+        current_lines: list[bytes] = []
+        staged: list[tuple[Path, Path]] = []
+
+        def flush_shard() -> None:
+            if not current_lines:
+                return
+            filename = _shard_filename(len(shards))
+            payload = b"".join(current_lines)
+            tmp_path = self.directory / (filename + ".tmp")
+            with open(tmp_path, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            staged.append((tmp_path, self.directory / filename))
+            shards.append(
+                {"file": filename, "count": len(current_lines), "bytes": len(payload)}
+            )
+            current_lines.clear()
+
+        for source, shard_index, line_index in self.final_sequence():
+            line = cache.line(sources[source][shard_index], line_index)
+            payload = json.loads(line.decode("utf-8"))
+            table_id = payload["table_id"]
+            tables[table_id] = {
+                "shard": len(shards),
+                "line": len(current_lines),
+                "source_url": payload["source_url"],
+            }
+            _accumulate_stats(
+                stats,
+                len(payload["rows"]),
+                len(payload["header"]),
+                payload["topic"],
+                payload["repository"],
+            )
+            current_lines.append(line)
+            if len(current_lines) >= self.shard_size:
+                flush_shard()
+        flush_shard()
+
+        for tmp_path, final_path in staged:
+            os.replace(tmp_path, final_path)
+        fsync_dir(self.directory)
+        # The genuinely delicate compaction window: canonical shards
+        # are in place (over the top of any adopted serial-era prefix —
+        # identical bytes there, since the final sequence extends it),
+        # but the manifest still describes the merged worker view.
+        self.parent._fault_point("before-manifest-publish")
+        # Stale canonical shards beyond the final count (earlier crashed
+        # finalize, or a serial-era layout) must go before the manifest
+        # stops referencing them.
+        keep = {entry["file"] for entry in shards}
+        for path in self.directory.glob("shard_*.jsonl"):
+            if path.name not in keep:
+                path.unlink()
+        manifest = build_manifest(self.builder_name(), self.shard_size, shards, tables, stats)
+        _write_manifest(self.directory, manifest)
+        log_path = self.directory / MANIFEST_LOG_FILENAME
+        if log_path.exists():  # serial-era delta log, now folded in
+            log_path.unlink()
+        return manifest
+
+    # -- reporting ----------------------------------------------------------
+
+    def extraction_report(self):
+        """A legacy-style extraction report for the coordinator session.
+
+        Parallel extraction is distributed, so this aggregates what the
+        coordinator observed: searched topics, per-worker API requests
+        and simulated waits, stream size and dedup counts. Downloads
+        performed by workers are visible in the merged pipeline counters
+        under the ``extraction`` stage.
+        """
+        from ..core.extraction import ExtractionReport
+
+        report = ExtractionReport()
+        for topic in self.topics[: self.next_emit]:
+            report.topics.append(topic)
+            meta = self.search_meta.get(topic)
+            if meta is not None:
+                report.initial_counts[topic] = meta["initial_count"]
+                report.segmented_queries[topic] = meta["segmented_queries"]
+        report.total_urls = len(self.stream) + self.duplicate_urls
+        report.duplicate_urls = self.duplicate_urls
+        report.files_downloaded = len(self.resolved)
+        report.api_requests = self.api_requests
+        report.simulated_wait_seconds = self.wait_seconds
+        return report

@@ -69,6 +69,7 @@ __all__ = [
     "SHARDED_FORMAT",
     "DEFAULT_SHARD_SIZE",
     "DEFAULT_COMPACT_EVERY",
+    "build_manifest",
     "is_sharded_dir",
     "ShardedJsonlStore",
     "ShardedCorpusWriter",
@@ -122,6 +123,27 @@ def _write_manifest(directory: Path, manifest: dict) -> None:
     atomic_write_json(directory / MANIFEST_FILENAME, manifest)
 
 
+def build_manifest(
+    name: str, shard_size: int, shards: list, tables: dict, stats: dict
+) -> dict:
+    """The canonical manifest payload (single source of the key layout).
+
+    Both the single-process writer and the parallel finalize rewrite
+    build their ``manifest.json`` through here, so the two paths cannot
+    drift apart byte-wise.
+    """
+    return {
+        "format": SHARDED_FORMAT,
+        "version": 1,
+        "name": name,
+        "shard_size": shard_size,
+        "table_count": len(tables),
+        "shards": shards,
+        "tables": tables,
+        "stats": stats,
+    }
+
+
 def _read_manifest(directory: Path) -> dict:
     manifest_path = directory / MANIFEST_FILENAME
     if not manifest_path.exists():
@@ -137,6 +159,47 @@ def _read_manifest(directory: Path) -> dict:
 
 def _empty_stats() -> dict:
     return {"total_rows": 0, "total_columns": 0, "topics": {}, "repositories": {}}
+
+
+def _accumulate_stats(stats: dict, rows: int, columns: int, topic: str, repository: str) -> None:
+    """Fold one table into a manifest stats dict (single source of truth).
+
+    Every code path that derives manifest statistics — the serial
+    writer, per-worker delta records, and the parallel finalize rewrite
+    — goes through here, so dict key insertion order (and therefore the
+    manifest's bytes) depends only on the order tables are folded in.
+    """
+    stats["total_rows"] += rows
+    stats["total_columns"] += columns
+    stats["topics"][topic] = stats["topics"].get(topic, 0) + 1
+    stats["repositories"][repository] = stats["repositories"].get(repository, 0) + 1
+
+
+def _iter_log_records(path: Path, offset: int = 0):
+    """Yield ``(record, raw_line_length)`` for the valid prefix of a log.
+
+    A torn final line — no trailing newline, undecodable bytes, or
+    invalid JSON from a crash mid-append — ends the valid prefix.
+    ``offset`` skips bytes already consumed (it must sit on a record
+    boundary), which is how the parallel coordinator tails worker logs
+    incrementally without re-reading them. Shared by the canonical
+    ``manifest.log`` replay and the per-worker ``manifest-<worker>.log``
+    replay of parallel builds, so the torn-tail rules live in one place.
+    """
+    if not path.exists():
+        return
+    with open(path, "rb") as handle:
+        if offset:
+            handle.seek(offset)
+        data = handle.read()
+    for raw in data.splitlines(keepends=True):
+        if not raw.endswith(b"\n"):
+            return
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return
+        yield record, len(raw)
 
 
 def _apply_delta(manifest: dict, record: dict) -> None:
@@ -178,18 +241,9 @@ def _replay_manifest_log(directory: Path, manifest: dict) -> tuple[int, int]:
     statistics).
     """
     path = directory / MANIFEST_LOG_FILENAME
-    if not path.exists():
-        return 0, 0
-    data = path.read_bytes()
     records = 0
     valid_bytes = 0
-    for raw in data.splitlines(keepends=True):
-        if not raw.endswith(b"\n"):
-            break
-        try:
-            record = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            break
+    for record, raw_length in _iter_log_records(path):
         tables = record.get("tables", {})
         already_compacted = any(
             table_id in manifest.get("tables", {}) for table_id in tables
@@ -197,7 +251,7 @@ def _replay_manifest_log(directory: Path, manifest: dict) -> tuple[int, int]:
         if not already_compacted:
             _apply_delta(manifest, record)
         records += 1
-        valid_bytes += len(raw)
+        valid_bytes += raw_length
     return records, valid_bytes
 
 
@@ -361,31 +415,59 @@ class ShardedCorpusWriter:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.compact_every = compact_every
-        if is_sharded_dir(self.directory):
-            manifest = _read_manifest(self.directory)
-            self._log_records, valid_bytes = _replay_manifest_log(self.directory, manifest)
-            self._truncate_log(valid_bytes)
-            self.name = manifest.get("name", name)
-            self.shard_size = int(manifest.get("shard_size", shard_size))
-            self._shards = [dict(entry) for entry in manifest.get("shards", [])]
-            self._tables = {
-                table_id: dict(entry) for table_id, entry in manifest.get("tables", {}).items()
-            }
-            self._stats = manifest.get("stats", _empty_stats())
+        self._shards: list[dict] = []
+        self._tables: dict[str, dict] = {}
+        self._stats = _empty_stats()
+        self._log_records = 0
+        self.name = name
+        self.shard_size = shard_size
+        if self._has_existing_state():
+            self._load_existing_state()
             self._heal_shards()
-        else:
-            self.name = name
-            self.shard_size = shard_size
-            self._shards: list[dict] = []
-            self._tables: dict[str, dict] = {}
-            self._stats = _empty_stats()
-            self._log_records = 0
         self._pending: deque = deque()
         self._pending_ids: set[str] = set()
 
+    # -- durability-scope hooks (overridden by per-worker writers) ---------
+
+    def shard_filename(self, index: int) -> str:
+        """Name of this writer's ``index``-th shard file."""
+        return _shard_filename(index)
+
+    def _log_path(self) -> Path:
+        """This writer's manifest delta log."""
+        return self.directory / MANIFEST_LOG_FILENAME
+
+    def _owned_shard_paths(self):
+        """Every on-disk shard file within this writer's naming scope.
+
+        The scope is what :meth:`_heal_shards` may delete orphans from;
+        a per-worker writer narrows it to its own ``shard-<worker>-*``
+        files so healing one worker never touches another's shards.
+        """
+        return self.directory.glob("shard_*.jsonl")
+
+    def _has_existing_state(self) -> bool:
+        return is_sharded_dir(self.directory)
+
+    def _load_existing_state(self) -> None:
+        """Resume committed state (manifest plus uncompacted log tail)."""
+        manifest = _read_manifest(self.directory)
+        self._log_records, valid_bytes = _replay_manifest_log(self.directory, manifest)
+        self._truncate_log(valid_bytes)
+        self.name = manifest.get("name", self.name)
+        self.shard_size = int(manifest.get("shard_size", self.shard_size))
+        self._shards = [dict(entry) for entry in manifest.get("shards", [])]
+        self._tables = {
+            table_id: dict(entry) for table_id, entry in manifest.get("tables", {}).items()
+        }
+        self._stats = manifest.get("stats", _empty_stats())
+
+    def _fault_point(self, point: str) -> None:
+        """Crash-injection hook (no-op outside the test harness)."""
+
     def _truncate_log(self, valid_bytes: int) -> None:
         """Drop a torn tail record left in the log by a crashed append."""
-        path = self.directory / MANIFEST_LOG_FILENAME
+        path = self._log_path()
         if path.exists() and path.stat().st_size > valid_bytes:
             with open(path, "r+b") as handle:
                 handle.truncate(valid_bytes)
@@ -400,7 +482,7 @@ class ShardedCorpusWriter:
         directory stays byte-identical to a one-shot build's.
         """
         listed = {entry["file"] for entry in self._shards}
-        for path in self.directory.glob("shard_*.jsonl"):
+        for path in self._owned_shard_paths():
             if path.name not in listed:
                 path.unlink()
         for entry in self._shards:
@@ -499,9 +581,9 @@ class ShardedCorpusWriter:
         A commit with nothing pending writes nothing (it only creates
         the base manifest if the directory has none yet).
         """
+        self._fault_point("before-shard-append")
         if not self._pending:
-            if not (self.directory / MANIFEST_FILENAME).exists():
-                self._compact()
+            self._record_empty_commit()
             return 0
         committed = len(self._pending)
         touched: dict[int, dict] = {}
@@ -509,7 +591,7 @@ class ShardedCorpusWriter:
         stats_delta = _empty_stats()
         while self._pending:
             if not self._shards or self._shards[-1]["count"] >= self.shard_size:
-                filename = _shard_filename(len(self._shards))
+                filename = self.shard_filename(len(self._shards))
                 # A fresh shard truncates any stale file left by a crash
                 # that rolled over without reaching the commit record.
                 with open(self.directory / filename, "wb"):
@@ -525,6 +607,25 @@ class ShardedCorpusWriter:
             self._append_group(entry, group, new_tables, stats_delta)
             touched[len(self._shards) - 1] = entry
         self._pending_ids.clear()
+        self._fault_point("before-log-append")
+        self._record_commit(touched, new_tables, stats_delta)
+        self._fault_point("after-log-append")
+        return committed
+
+    def _record_empty_commit(self) -> None:
+        """A commit with nothing pending only seeds the base manifest."""
+        if not (self.directory / MANIFEST_FILENAME).exists():
+            self._compact()
+
+    def _record_commit(self, touched: dict, new_tables: dict, stats_delta: dict) -> None:
+        """Durably record one flushed commit (the writer's commit point).
+
+        The base policy appends one delta record, compacting into a full
+        manifest rewrite every ``compact_every`` commits (and when no
+        manifest exists yet). Per-worker writers override this: they
+        *only* append to their own log — the coordinator owns
+        ``manifest.json``.
+        """
         if (
             not (self.directory / MANIFEST_FILENAME).exists()
             or self._log_records + 1 >= self.compact_every
@@ -532,7 +633,6 @@ class ShardedCorpusWriter:
             self._compact()
         else:
             self._append_delta(touched, new_tables, stats_delta)
-        return committed
 
     def _append_group(
         self, entry: dict, group: list, new_tables: dict, stats_delta: dict
@@ -544,7 +644,6 @@ class ShardedCorpusWriter:
             handle.write(b"".join(encoded))
             handle.flush()
             os.fsync(handle.fileno())
-        stats = self._stats
         for annotated, payload in zip(group, encoded):
             table = annotated.table
             location = {
@@ -556,24 +655,14 @@ class ShardedCorpusWriter:
             new_tables[annotated.table_id] = location
             entry["count"] += 1
             entry["bytes"] += len(payload)
-            stats["total_rows"] += table.num_rows
-            stats["total_columns"] += table.num_columns
-            stats["topics"][annotated.topic] = stats["topics"].get(annotated.topic, 0) + 1
-            stats["repositories"][annotated.repository] = (
-                stats["repositories"].get(annotated.repository, 0) + 1
-            )
-            stats_delta["total_rows"] += table.num_rows
-            stats_delta["total_columns"] += table.num_columns
-            stats_delta["topics"][annotated.topic] = (
-                stats_delta["topics"].get(annotated.topic, 0) + 1
-            )
-            stats_delta["repositories"][annotated.repository] = (
-                stats_delta["repositories"].get(annotated.repository, 0) + 1
-            )
+            for stats in (self._stats, stats_delta):
+                _accumulate_stats(
+                    stats, table.num_rows, table.num_columns, annotated.topic, annotated.repository
+                )
 
-    def _append_delta(self, touched: dict, new_tables: dict, stats_delta: dict) -> None:
-        """Durably append one commit's delta record to the manifest log."""
-        record = {
+    def _delta_record(self, touched: dict, new_tables: dict, stats_delta: dict) -> dict:
+        """The canonical delta record describing one commit."""
+        return {
             "shards": [
                 {"index": index, **{key: entry[key] for key in ("file", "count", "bytes")}}
                 for index, entry in sorted(touched.items())
@@ -581,16 +670,24 @@ class ShardedCorpusWriter:
             "tables": new_tables,
             "stats": stats_delta,
         }
+
+    def _append_delta(self, touched: dict, new_tables: dict, stats_delta: dict) -> None:
+        """Durably append one commit's delta record to the manifest log."""
+        record = self._delta_record(touched, new_tables, stats_delta)
         line = json.dumps(record, ensure_ascii=False, separators=(",", ":")).encode("utf-8")
-        path = self.directory / MANIFEST_LOG_FILENAME
+        path = self._log_path()
         existed = path.exists()
         with open(path, "ab") as handle:
-            handle.write(line + b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            self._write_record_bytes(handle, line + b"\n")
         if not existed:
             fsync_dir(self.directory)
         self._log_records += 1
+
+    def _write_record_bytes(self, handle, payload: bytes) -> None:
+        """Write one record's bytes (hookable for torn-write injection)."""
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
 
     def _compact(self) -> None:
         """Fold all committed state into manifest.json and drop the log.
@@ -601,7 +698,7 @@ class ShardedCorpusWriter:
         the manifest).
         """
         self._write_manifest()
-        log_path = self.directory / MANIFEST_LOG_FILENAME
+        log_path = self._log_path()
         if log_path.exists():
             log_path.unlink()
             fsync_dir(self.directory)
@@ -622,17 +719,10 @@ class ShardedCorpusWriter:
         return committed
 
     def _write_manifest(self) -> None:
-        manifest = {
-            "format": SHARDED_FORMAT,
-            "version": 1,
-            "name": self.name,
-            "shard_size": self.shard_size,
-            "table_count": len(self._tables),
-            "shards": self._shards,
-            "tables": self._tables,
-            "stats": self._stats,
-        }
-        _write_manifest(self.directory, manifest)
+        _write_manifest(
+            self.directory,
+            build_manifest(self.name, self.shard_size, self._shards, self._tables, self._stats),
+        )
 
     def as_reader(self, cache_shards: int = 2) -> ShardedJsonlStore:
         """Finalize (commit + compact) and reopen as a lazy reader."""

@@ -3,6 +3,14 @@
 Expensive artefacts (the small GitTables corpus, the VizNet contrast
 corpus, the T2Dv2 benchmark) are session-scoped and shared through the
 experiment context so the whole suite builds them exactly once.
+
+Also home of the crash-injection helpers for the process-parallel build
+harness: :func:`kill_at` builds a
+:class:`~repro.storage.parallel.FaultSpec` that SIGKILLs a chosen
+worker (or the coordinator) at a precise commit point, and
+:func:`run_parallel_build_subprocess` runs a whole parallel build in a
+child process so coordinator-side kills don't take the test runner
+down with them.
 """
 
 from __future__ import annotations
@@ -10,10 +18,78 @@ from __future__ import annotations
 import pytest
 
 from repro.config import PipelineConfig
+from repro.core.pipeline import CorpusBuilder
 from repro.dataframe.table import Table
 from repro.experiments.context import get_context
 from repro.github.content import GeneratorConfig
 from repro.github.instance import build_instance
+from repro.storage.parallel import FaultSpec, ParallelCorpusBuilder, build_mp_context
+
+
+def kill_at(commit_n: int, worker: int | None = 0, point: str = "before-log-append") -> FaultSpec:
+    """A fault injector: SIGKILL ``worker`` at its ``commit_n``-th commit.
+
+    ``point`` selects the precise instant within the commit (see
+    :class:`~repro.storage.parallel.FaultSpec`); ``worker=None`` targets
+    the coordinator's finalize points instead.
+    """
+    return FaultSpec(worker=worker, commit_n=commit_n, point=point)
+
+
+def _parallel_build_entry(store_dir, config, generator_config, processes, fault, batch_size, shard_size):
+    builder = CorpusBuilder(config=config, generator_config=generator_config, batch_size=batch_size)
+    ParallelCorpusBuilder(builder, processes=processes, fault=fault).build(
+        store_dir, shard_size=shard_size
+    )
+
+
+def run_parallel_build_subprocess(
+    store_dir,
+    config,
+    generator_config,
+    processes: int,
+    fault: FaultSpec | None = None,
+    batch_size: int = 8,
+    shard_size: int = 8,
+    timeout: float = 180.0,
+):
+    """Run one parallel build in a child process and return the Process.
+
+    Coordinator-targeted :class:`FaultSpec`s SIGKILL the process running
+    the build, so tests drive those scenarios through this wrapper: the
+    child dies (exitcode ``-SIGKILL``) and the pytest process survives
+    to assert on the wreckage and resume the build.
+    """
+    ctx = build_mp_context()
+    process = ctx.Process(
+        target=_parallel_build_entry,
+        args=(str(store_dir), config, generator_config, processes, fault, batch_size, shard_size),
+    )
+    process.start()
+    process.join(timeout=timeout)
+    if process.is_alive():  # pragma: no cover - hung build
+        process.terminate()
+        process.join(timeout=10.0)
+        raise AssertionError("parallel build subprocess did not finish in time")
+    return process
+
+
+@pytest.fixture()
+def fault_injector():
+    """The :func:`kill_at` fault-spec factory, as a fixture."""
+    return kill_at
+
+
+@pytest.fixture()
+def parallel_build_subprocess():
+    """The :func:`run_parallel_build_subprocess` wrapper, as a fixture."""
+    return run_parallel_build_subprocess
+
+
+@pytest.fixture()
+def parallel_build_entry():
+    """The raw child-process build entry point (for custom kill timing)."""
+    return _parallel_build_entry
 
 
 @pytest.fixture(scope="session")

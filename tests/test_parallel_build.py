@@ -1,0 +1,547 @@
+"""Crash/concurrency harness for process-parallel corpus builds.
+
+The contract under test (see :mod:`repro.storage.parallel`): a
+``processes=N`` build finalizes a directory **byte-identical** to a
+serial build of the same configuration, and stays resumable to that
+same byte-identical directory after SIGKILLing any worker at any commit
+point, killing the coordinator during finalize/compaction, or switching
+the process count between sessions.
+
+The fault injector (``fault_injector`` fixture, built on
+:class:`repro.storage.parallel.FaultSpec`) and the subprocess build
+runner live in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api import GitTables
+from repro.config import ExtractionConfig, PipelineConfig
+from repro.core.corpus import AnnotatedTable, GitTablesCorpus
+from repro.core.pipeline import CorpusBuilder, build_corpus
+from repro.dataframe.table import Table
+from repro.errors import CorpusError, PipelineConfigError
+from repro.github.content import GeneratorConfig
+from repro.storage import BuildCheckpoint, ShardedJsonlStore
+from repro.storage._io import directory_file_bytes as _dir_bytes
+from repro.storage.checkpoint import worker_checkpoint_ids
+from repro.storage.parallel import (
+    ParallelCorpusBuilder,
+    WorkerShardWriter,
+    build_mp_context,
+    has_parallel_state,
+    worker_log_filename,
+    worker_shard_filename,
+)
+
+BATCH = 8
+SHARDS = 8
+
+
+@pytest.fixture(scope="module")
+def par_config():
+    return PipelineConfig(
+        extraction=ExtractionConfig(topic_count=8), target_tables=40, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def par_generator():
+    return GeneratorConfig(n_repositories=100, mean_rows=25, seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tmp_path_factory, par_config, par_generator):
+    """A one-shot single-process build: the byte-level ground truth."""
+    store = tmp_path_factory.mktemp("serial-ref") / "store"
+    result = build_corpus(
+        par_config,
+        generator_config=par_generator,
+        batch_size=BATCH,
+        store_dir=store,
+        shard_size=SHARDS,
+    )
+    return store, result
+
+
+
+
+def _parallel_build(store_dir, config, generator, processes, fault=None):
+    builder = CorpusBuilder(config=config, generator_config=generator, batch_size=BATCH)
+    return ParallelCorpusBuilder(builder, processes=processes, fault=fault).build(
+        store_dir, shard_size=SHARDS
+    )
+
+
+class TestByteIdentity:
+    def test_four_process_build_matches_serial_bytes(
+        self, tmp_path, par_config, par_generator, serial_reference
+    ):
+        """The headline acceptance: 4 processes, same bytes as serial."""
+        reference_dir, reference = serial_reference
+        store = tmp_path / "store"
+        result = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=4,
+        )
+        assert result.table_count == par_config.target_tables
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+        # No worker-scoped residue, no checkpoints.
+        assert BuildCheckpoint.load(store) is None
+        assert worker_checkpoint_ids(store) == []
+        assert not has_parallel_state(store)
+        # The corpora read back equal, table for table.
+        assert [a.to_dict() for a in result.corpus] == [
+            a.to_dict() for a in reference.corpus
+        ]
+
+    def test_parallel_report_accounts_for_all_work(
+        self, tmp_path, par_config, par_generator
+    ):
+        store = tmp_path / "store"
+        result = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=3,
+        )
+        report = result.pipeline_report
+        assert report.sessions == 1
+        assert report.items_collected == par_config.target_tables
+        # Workers annotate only filter survivors, and at least every
+        # table that made the corpus.
+        assert report.stage("annotation").items_in >= par_config.target_tables
+        assert report.stage("parsing").items_in >= report.stage("annotation").items_in
+        assert report.stage("extraction").items_out == report.stage("parsing").items_in
+        # Legacy curation stats are rebuilt from corpus metadata.
+        assert result.curation_report.tables_processed == par_config.target_tables
+        assert result.extraction_report.api_requests > 0
+
+    def test_processes_config_field_is_honoured(
+        self, tmp_path, par_generator, par_config, serial_reference
+    ):
+        reference_dir, _ = serial_reference
+        config = par_config.replace(processes=2)
+        store = tmp_path / "store"
+        build_corpus(
+            config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+        )
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+
+    def test_invalid_process_counts_rejected(self):
+        with pytest.raises(PipelineConfigError):
+            PipelineConfig(processes=0)
+        builder = CorpusBuilder(config=PipelineConfig.small())
+        with pytest.raises(CorpusError):
+            ParallelCorpusBuilder(builder, processes=0)
+        with pytest.raises(CorpusError):
+            ParallelCorpusBuilder(builder, processes=100)
+
+
+class TestWorkerCrashInjection:
+    """SIGKILL a worker mid-commit; resume must reach the serial bytes."""
+
+    @pytest.mark.parametrize(
+        "point",
+        ["before-shard-append", "before-log-append", "torn-log-append", "after-log-append"],
+    )
+    def test_kill_worker_mid_commit_then_resume(
+        self, tmp_path, par_config, par_generator, serial_reference, fault_injector, point
+    ):
+        reference_dir, _ = serial_reference
+        store = tmp_path / "store"
+        fault = fault_injector(commit_n=2, worker=1, point=point)
+        with pytest.raises(CorpusError, match="worker 1 died"):
+            _parallel_build(store, par_config, par_generator, processes=3, fault=fault)
+        # The wreckage is a resumable parallel directory.
+        assert has_parallel_state(store)
+        assert BuildCheckpoint.load(store) is not None
+        # Resume under a *different* process count; same final bytes.
+        result = _parallel_build(store, par_config, par_generator, processes=2)
+        assert result.table_count == par_config.target_tables
+        assert result.pipeline_report.sessions == 2
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+
+    def test_torn_log_tail_is_truncated_on_worker_resume(
+        self, tmp_path, par_config, par_generator, fault_injector
+    ):
+        store = tmp_path / "store"
+        fault = fault_injector(commit_n=2, worker=0, point="torn-log-append")
+        with pytest.raises(CorpusError):
+            _parallel_build(store, par_config, par_generator, processes=2, fault=fault)
+        log_path = store / worker_log_filename(0)
+        torn_size = log_path.stat().st_size
+        data = log_path.read_bytes()
+        assert not data.endswith(b"\n")  # the tear is really on disk
+        writer = WorkerShardWriter(store, worker=0, shard_size=SHARDS)
+        assert log_path.stat().st_size < torn_size
+        assert log_path.read_bytes().endswith(b"\n")
+        # Only complete records survived the replay.
+        assert writer.committed_count == len(writer._tables)
+
+    def test_mid_build_directory_is_readable(
+        self, tmp_path, par_config, par_generator, fault_injector, parallel_build_subprocess
+    ):
+        """The merged mid-build manifest serves lazy readers."""
+        store = tmp_path / "store"
+        process = parallel_build_subprocess(
+            store,
+            par_config,
+            par_generator,
+            processes=3,
+            fault=fault_injector(commit_n=1, worker=None, point="before-manifest-publish"),
+        )
+        assert process.exitcode == -signal.SIGKILL
+        manifest = json.loads((store / "manifest.json").read_text())
+        assert "parallel" in manifest
+        corpus = GitTablesCorpus.load(store)
+        assert isinstance(corpus.store, ShardedJsonlStore)
+        assert len(corpus) > 0
+        listed = {annotated.table_id for annotated in corpus}
+        assert set(manifest["tables"]) == listed
+
+
+class TestCoordinatorCrashInjection:
+    """Kill the build during finalize (compaction) and mid-dispatch."""
+
+    @pytest.mark.parametrize("point", ["before-manifest-publish", "before-cleanup"])
+    def test_kill_during_finalize_then_resume(
+        self,
+        tmp_path,
+        par_config,
+        par_generator,
+        serial_reference,
+        fault_injector,
+        parallel_build_subprocess,
+        point,
+    ):
+        reference_dir, _ = serial_reference
+        store = tmp_path / "store"
+        process = parallel_build_subprocess(
+            store,
+            par_config,
+            par_generator,
+            processes=3,
+            fault=fault_injector(commit_n=1, worker=None, point=point),
+        )
+        assert process.exitcode == -signal.SIGKILL
+        result = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=2,
+        )
+        assert result.table_count == par_config.target_tables
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+
+    def test_kill_coordinator_mid_build_then_resume(
+        self, tmp_path, par_config, par_generator, serial_reference, parallel_build_entry
+    ):
+        """SIGKILL the whole coordinator while workers are running."""
+        reference_dir, _ = serial_reference
+        store = tmp_path / "store"
+        ctx = build_mp_context()
+        process = ctx.Process(
+            target=parallel_build_entry,
+            args=(str(store), par_config, par_generator, 3, None, BATCH, SHARDS),
+        )
+        process.start()
+        deadline = time.monotonic() + 60.0
+        # Wait for evidence of committed parallel work, then kill.
+        while time.monotonic() < deadline:
+            if any(store.glob("manifest-*.log")):
+                break
+            if process.exitcode is not None:  # pragma: no cover - too fast
+                break
+            time.sleep(0.01)
+        if process.exitcode is None:
+            os.kill(process.pid, signal.SIGKILL)
+        process.join(timeout=10.0)
+        # Orphaned workers notice the dead coordinator and exit on
+        # their own (and until they do, their scope locks keep a
+        # resumed session from touching their files); give them a
+        # moment so the resume below does not have to wait on locks.
+        time.sleep(3.0)
+        result = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=3,
+        )
+        assert result.table_count == par_config.target_tables
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+
+
+class TestCrossModeResume:
+    """Process counts (including 1) are interchangeable across sessions."""
+
+    def test_parallel_partial_resumed_serially(
+        self, tmp_path, par_config, par_generator, serial_reference, fault_injector
+    ):
+        reference_dir, _ = serial_reference
+        store = tmp_path / "store"
+        with pytest.raises(CorpusError):
+            _parallel_build(
+                store,
+                par_config,
+                par_generator,
+                processes=3,
+                fault=fault_injector(commit_n=1, worker=0, point="after-log-append"),
+            )
+        # processes=1 on a parallel-state directory routes through the
+        # coordinator and still finalizes the canonical layout.
+        result = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=1,
+        )
+        assert result.table_count == par_config.target_tables
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+
+    def test_serial_partial_resumed_in_parallel(
+        self, tmp_path, monkeypatch, par_config, par_generator, serial_reference
+    ):
+        from repro.storage import ShardedCorpusWriter
+
+        reference_dir, _ = serial_reference
+        store = tmp_path / "store"
+        original_commit = ShardedCorpusWriter.commit
+        calls = {"n": 0}
+
+        def killed_commit(self):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise KeyboardInterrupt("simulated kill")
+            return original_commit(self)
+
+        monkeypatch.setattr(ShardedCorpusWriter, "commit", killed_commit)
+        with pytest.raises(KeyboardInterrupt):
+            build_corpus(
+                par_config,
+                generator_config=par_generator,
+                batch_size=BATCH,
+                store_dir=store,
+                shard_size=SHARDS,
+            )
+        monkeypatch.undo()
+        partial = GitTablesCorpus.load(store)
+        assert 0 < len(partial) < par_config.target_tables
+
+        result = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=3,
+        )
+        assert result.table_count == par_config.target_tables
+        assert _dir_bytes(store) == _dir_bytes(reference_dir)
+
+    def test_completed_store_reused_under_any_process_count(
+        self, tmp_path, par_config, par_generator
+    ):
+        store = tmp_path / "store"
+        build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=2,
+        )
+        manifest_mtime = (store / "manifest.json").stat().st_mtime_ns
+        again = build_corpus(
+            par_config,
+            generator_config=par_generator,
+            batch_size=BATCH,
+            store_dir=store,
+            shard_size=SHARDS,
+            processes=4,
+        )
+        assert again.table_count == par_config.target_tables
+        assert (store / "manifest.json").stat().st_mtime_ns == manifest_mtime
+        assert again.curation_report.tables_processed == par_config.target_tables
+
+    def test_resume_with_real_config_drift_rejected(
+        self, tmp_path, par_config, par_generator, fault_injector
+    ):
+        store = tmp_path / "store"
+        with pytest.raises(CorpusError):
+            _parallel_build(
+                store,
+                par_config,
+                par_generator,
+                processes=2,
+                fault=fault_injector(commit_n=1, worker=0, point="after-log-append"),
+            )
+        drifted = par_config.replace(seed=par_config.seed + 1)
+        with pytest.raises(CorpusError, match="different pipeline"):
+            build_corpus(
+                drifted,
+                generator_config=par_generator,
+                batch_size=BATCH,
+                store_dir=store,
+                shard_size=SHARDS,
+                processes=2,
+            )
+
+
+class TestArtifactsAfterParallelBuilds:
+    """A crashed-then-resumed corpus serves identical artifact-backed results."""
+
+    def test_resumed_corpus_serves_identical_results_through_artifacts(
+        self, tmp_path, par_config, par_generator, serial_reference, fault_injector
+    ):
+        reference_dir, _ = serial_reference
+        store = tmp_path / "store"
+        with pytest.raises(CorpusError):
+            _parallel_build(
+                store,
+                par_config,
+                par_generator,
+                processes=3,
+                fault=fault_injector(commit_n=2, worker=1, point="before-log-append"),
+            )
+        _parallel_build(store, par_config, par_generator, processes=2)
+
+        query = "status and total price per order"
+        prefix = ["order_id", "order_date"]
+
+        # First artifact-backed session builds and publishes the indexes
+        # under the merged manifest's content fingerprint.
+        warm = GitTables.load(store, use_artifacts=True)
+        warm_search = warm.search(query, k=5)
+        warm_completion = warm.complete_schema(prefix, k=5)
+        assert (store / "artifacts").exists()
+        fingerprint = ShardedJsonlStore(store).content_fingerprint()
+        assert fingerprint == ShardedJsonlStore(reference_dir).content_fingerprint()
+
+        # A fresh session mmaps the published artifacts; results must be
+        # bit-identical to both the artifact-free path and a session
+        # over the serial reference corpus.
+        cold = GitTables.load(store, use_artifacts=True)
+        plain = GitTables.load(store, use_artifacts=False)
+        serial = GitTables.load(reference_dir, use_artifacts=False)
+        for session in (cold, plain, serial):
+            assert session.search(query, k=5) == warm_search
+            assert session.complete_schema(prefix, k=5) == warm_completion
+
+
+def _mini_table(index: int) -> AnnotatedTable:
+    from repro.core.annotation import TableAnnotations
+
+    table = Table(
+        ["id", "status"],
+        [["1", "OPEN"], ["2", "CLOSED"]],
+        table_id=f"w{index:03d}",
+    )
+    return AnnotatedTable(
+        table=table,
+        annotations=TableAnnotations(table_id=table.table_id),
+        topic="order" if index % 2 else "organism",
+        repository="octo/data",
+        source_url=f"https://github.com/octo/data/blob/main/t{index}.csv",
+        license_key="mit",
+    )
+
+
+class TestWorkerShardWriter:
+    """Unit-level durability checks for the per-worker writer."""
+
+    def test_commit_touches_only_worker_scoped_files(self, tmp_path):
+        writer = WorkerShardWriter(tmp_path, worker=3, shard_size=2)
+        tables = [_mini_table(i) for i in range(3)]
+        writer.extend(tables)
+        writer.commit(
+            done=[0, 1, 2, 3],
+            indices={table.source_url: i for i, table in enumerate(tables)},
+        )
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            worker_log_filename(3),
+            worker_shard_filename(3, 0),
+            worker_shard_filename(3, 1),
+        ]
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_resume_replays_log_and_done_indices(self, tmp_path):
+        writer = WorkerShardWriter(tmp_path, worker=0, shard_size=2)
+        writer.extend([_mini_table(0), _mini_table(1)])
+        writer.commit(done=[0, 1], indices={_mini_table(0).source_url: 0})
+        writer.commit(done=[5, 9])  # dropped-only batch: log record, no tables
+        writer.close()
+        resumed = WorkerShardWriter(tmp_path, worker=0, shard_size=2)
+        assert resumed.committed_count == 2
+        assert resumed.done_indices == {0, 1, 5, 9}
+        assert resumed.get("w000").table_id == "w000"
+
+    def test_resume_heals_own_tail_and_orphans_only(self, tmp_path):
+        writer = WorkerShardWriter(tmp_path, worker=0, shard_size=4)
+        writer.extend([_mini_table(0)])
+        writer.commit(done=[0])
+        shard = tmp_path / worker_shard_filename(0, 0)
+        committed = shard.stat().st_size
+        with open(shard, "ab") as handle:
+            handle.write(b'{"torn": tr')  # uncommitted tail
+        (tmp_path / worker_shard_filename(0, 7)).write_bytes(b"{}\n")  # own orphan
+        other = tmp_path / worker_shard_filename(1, 0)
+        other.write_bytes(b"{}\n")  # another worker's file: untouchable
+        writer.close()
+        WorkerShardWriter(tmp_path, worker=0, shard_size=4)
+        assert shard.stat().st_size == committed
+        assert not (tmp_path / worker_shard_filename(0, 7)).exists()
+        assert other.exists()
+
+    def test_worker_writer_never_finalizes(self, tmp_path):
+        writer = WorkerShardWriter(tmp_path, worker=0, shard_size=4)
+        with pytest.raises(CorpusError):
+            writer.finalize()
+
+    def test_scope_lock_excludes_concurrent_writers(self, tmp_path, monkeypatch):
+        """Two live writers can never share a worker scope (flock)."""
+        monkeypatch.setattr(WorkerShardWriter, "LOCK_TIMEOUT_SECONDS", 0.2)
+        writer = WorkerShardWriter(tmp_path, worker=0, shard_size=4)
+        with pytest.raises(CorpusError, match="locked"):
+            WorkerShardWriter(tmp_path, worker=0, shard_size=4)
+        WorkerShardWriter(tmp_path, worker=1, shard_size=4).close()  # other scopes free
+        writer.close()
+        WorkerShardWriter(tmp_path, worker=0, shard_size=4).close()  # released
+
+    def test_table_entries_carry_stream_indices(self, tmp_path):
+        writer = WorkerShardWriter(tmp_path, worker=2, shard_size=4)
+        tables = [_mini_table(0), _mini_table(1)]
+        writer.extend(tables)
+        writer.commit(
+            done=[10, 11, 12],
+            indices={tables[0].source_url: 10, tables[1].source_url: 12},
+        )
+        record = json.loads(
+            (tmp_path / worker_log_filename(2)).read_text().splitlines()[0]
+        )
+        assert record["done"] == [10, 11, 12]
+        assert record["tables"]["w000"]["index"] == 10
+        assert record["tables"]["w001"]["index"] == 12

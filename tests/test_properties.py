@@ -1,5 +1,8 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import json
+from pathlib import Path
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -257,3 +260,177 @@ class TestTableInvariants:
         for position, column in enumerate(table.columns):
             assert list(column.values) == [row[position] for row in rows]
         assert table.num_cells == table.num_rows * table.num_columns
+
+
+class TestManifestLogMergeProperties:
+    """Per-worker delta-log merging (process-parallel builds).
+
+    Workers append commit records to disjoint ``manifest-<k>.log`` files;
+    the coordinator merges them in deterministic (worker id, commit seq)
+    order. The properties: *any* interleaving of worker commits merges
+    to the identical manifest; the merged statistics equal a serial
+    accumulation over the same tables; every table location in the
+    merged manifest resolves to the right bytes; and a torn final record
+    in one worker's log is invisible to every other worker.
+    """
+
+    SHARD_SIZE = 3
+
+    @staticmethod
+    def _table(index: int):
+        from repro.core.annotation import TableAnnotations
+        from repro.core.corpus import AnnotatedTable
+
+        table = Table(
+            ["id", "status", "note"][: 2 + index % 2],
+            [["1", "OPEN", "x"][: 2 + index % 2]] * (1 + index % 3),
+            table_id=f"t{index:03d}",
+        )
+        return AnnotatedTable(
+            table=table,
+            annotations=TableAnnotations(table_id=table.table_id),
+            topic=("order", "organism", "vehicle")[index % 3],
+            repository=f"octo/repo{index % 2}",
+            source_url=f"https://github.com/octo/data/blob/main/t{index}.csv",
+            license_key="mit",
+        )
+
+    def _plan(self, data, n_workers: int, n_tables: int):
+        """Draw per-worker commit chunks plus a legal interleaving."""
+        owners = [
+            data.draw(st.integers(min_value=0, max_value=n_workers - 1))
+            for _ in range(n_tables)
+        ]
+        per_worker: dict[int, list[int]] = {w: [] for w in range(n_workers)}
+        for index, owner in enumerate(owners):
+            per_worker[owner].append(index)
+        commits: dict[int, list[list[int]]] = {}
+        for worker, indices in per_worker.items():
+            chunks: list[list[int]] = []
+            cursor = 0
+            while cursor < len(indices):
+                size = data.draw(st.integers(min_value=1, max_value=4))
+                chunks.append(indices[cursor : cursor + size])
+                cursor += size
+            commits[worker] = chunks
+        return commits
+
+    def _draw_interleaving(self, data, commits):
+        remaining = {worker: list(chunks) for worker, chunks in commits.items()}
+        order: list[tuple[int, list[int]]] = []
+        while any(remaining.values()):
+            ready = sorted(worker for worker, chunks in remaining.items() if chunks)
+            worker = data.draw(st.sampled_from(ready))
+            order.append((worker, remaining[worker].pop(0)))
+        return order
+
+    def _execute(self, directory, order):
+        from repro.storage.parallel import WorkerShardWriter
+
+        writers: dict[int, WorkerShardWriter] = {}
+        for worker, chunk in order:
+            writer = writers.get(worker)
+            if writer is None:
+                writer = writers[worker] = WorkerShardWriter(
+                    directory, worker=worker, shard_size=self.SHARD_SIZE
+                )
+            tables = [self._table(index) for index in chunk]
+            writer.extend(tables)
+            writer.commit(
+                done=chunk, indices={t.source_url: i for t, i in zip(tables, chunk)}
+            )
+        for writer in writers.values():
+            writer.close()
+
+    def _merged(self, directory):
+        from repro.storage.parallel import _read_store_state, merge_worker_manifests
+
+        state = _read_store_state(Path(directory))
+        return merge_worker_manifests(state, shard_size=self.SHARD_SIZE)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_merge_is_invariant_under_commit_interleaving(self, data, tmp_path_factory):
+        n_workers = data.draw(st.integers(min_value=1, max_value=3))
+        n_tables = data.draw(st.integers(min_value=0, max_value=14))
+        commits = self._plan(data, n_workers, n_tables)
+        manifests = []
+        for _attempt in range(2):
+            directory = tmp_path_factory.mktemp("merge")
+            order = self._draw_interleaving(data, commits)
+            self._execute(directory, order)
+            manifests.append(self._merged(directory))
+        # Identical bytes-in-the-making, ordering included.
+        assert json.dumps(manifests[0], sort_keys=False) == json.dumps(
+            manifests[1], sort_keys=False
+        )
+        merged = manifests[0]
+        assert set(merged["tables"]) == {f"t{i:03d}" for i in range(n_tables)}
+        # Statistics equal a serial accumulation over the same tables.
+        expected = {"total_rows": 0, "total_columns": 0, "topics": {}, "repositories": {}}
+        for index in range(n_tables):
+            annotated = self._table(index)
+            expected["total_rows"] += annotated.table.num_rows
+            expected["total_columns"] += annotated.table.num_columns
+            expected["topics"][annotated.topic] = (
+                expected["topics"].get(annotated.topic, 0) + 1
+            )
+            expected["repositories"][annotated.repository] = (
+                expected["repositories"].get(annotated.repository, 0) + 1
+            )
+        assert merged["stats"] == expected
+        # Shard states are consistent: counts sum to the table count and
+        # byte counts match the files on disk.
+        assert sum(entry["count"] for entry in merged["shards"]) == n_tables
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_merged_locations_resolve_to_the_right_tables(self, data, tmp_path_factory):
+        from repro.storage import ShardedJsonlStore
+        from repro.storage.sharded import _write_manifest
+
+        n_workers = data.draw(st.integers(min_value=1, max_value=3))
+        n_tables = data.draw(st.integers(min_value=1, max_value=12))
+        commits = self._plan(data, n_workers, n_tables)
+        directory = tmp_path_factory.mktemp("resolve")
+        self._execute(directory, self._draw_interleaving(data, commits))
+        merged = self._merged(directory)
+        _write_manifest(directory, merged)
+        store = ShardedJsonlStore(directory)
+        for index in range(n_tables):
+            annotated = store.get(f"t{index:03d}")
+            assert annotated is not None
+            assert annotated.to_dict() == self._table(index).to_dict()
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_torn_final_record_only_affects_its_worker(self, data, tmp_path_factory):
+        from repro.storage.parallel import _read_store_state, worker_log_filename
+
+        n_workers = data.draw(st.integers(min_value=2, max_value=3))
+        n_tables = data.draw(st.integers(min_value=2, max_value=12))
+        commits = self._plan(data, n_workers, n_tables)
+        directory = tmp_path_factory.mktemp("torn")
+        self._execute(directory, self._draw_interleaving(data, commits))
+        intact = _read_store_state(Path(directory))
+        victims = [worker for worker, chunks in commits.items() if chunks]
+        if not victims:
+            return
+        victim = data.draw(st.sampled_from(sorted(victims)))
+        log_path = Path(directory) / worker_log_filename(victim)
+        lines = log_path.read_bytes().splitlines(keepends=True)
+        cut = data.draw(st.integers(min_value=1, max_value=max(1, len(lines[-1]) - 1)))
+        log_path.write_bytes(b"".join(lines[:-1]) + lines[-1][:cut])
+        torn = _read_store_state(Path(directory))
+        # Every other worker's state is untouched...
+        for worker in torn.worker_states:
+            if worker != victim:
+                assert torn.worker_states[worker] == intact.worker_states[worker]
+                assert torn.worker_done[worker] == intact.worker_done[worker]
+        # ...and the victim lost exactly its final record.
+        lost = commits[victim][-1]
+        assert torn.worker_done[victim] == intact.worker_done[victim] - set(lost)
+        surviving = set(torn.worker_states[victim]["tables"])
+        assert surviving == set(intact.worker_states[victim]["tables"]) - {
+            f"t{i:03d}" for i in lost
+        }

@@ -8,7 +8,6 @@ cross-session PipelineReport reconciliation.
 
 import json
 import os
-from pathlib import Path
 
 import pytest
 
@@ -27,6 +26,7 @@ from repro.storage import (
     ShardedJsonlStore,
     is_sharded_dir,
 )
+from repro.storage._io import directory_file_bytes
 
 
 def _annotated(table_id: str, topic: str = "id", repo: str = "octo/data") -> AnnotatedTable:
@@ -51,11 +51,7 @@ def _corpus(n: int, name: str = "mini") -> GitTablesCorpus:
 
 
 def _dir_bytes(directory) -> dict[str, bytes]:
-    return {
-        name: (Path(directory) / name).read_bytes()
-        for name in sorted(os.listdir(directory))
-        if not name.startswith(".")
-    }
+    return directory_file_bytes(directory)
 
 
 class TestShardedRoundTrip:
@@ -712,3 +708,22 @@ class TestCheckpointUnit:
         base = PipelineConfig(target_tables=10, seed=5)
         assert config_fingerprint(base) == config_fingerprint(base.replace(workers=4))
         assert config_fingerprint(base) != config_fingerprint(base.replace(seed=6))
+
+    def test_fingerprint_ignores_processes(self):
+        """Regression: ``processes`` is content-neutral, exactly like
+        ``workers`` — a build killed under one process count must be
+        resumable under another, while real config drift still raises."""
+        from repro.storage import config_fingerprint
+
+        base = PipelineConfig(target_tables=10, seed=5)
+        assert config_fingerprint(base) == config_fingerprint(base.replace(processes=4))
+        assert config_fingerprint(base.replace(processes=2)) == config_fingerprint(
+            base.replace(processes=8, workers=3)
+        )
+        assert config_fingerprint(base.replace(processes=2)) != config_fingerprint(
+            base.replace(processes=2, target_tables=11)
+        )
+        # The excluded knobs never leak into the stored payload.
+        payload = config_fingerprint(base)["config"]
+        assert "processes" not in payload
+        assert "workers" not in payload
