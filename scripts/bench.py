@@ -22,15 +22,21 @@ Suites:
   GitHub-API pacing; enforces the ≥2x wall-clock speedup and
   byte-identical-directory acceptance criteria and writes
   ``BENCH_parallel_build.json``.
+* ``serving`` — micro-batched multi-worker query serving vs a 1-worker
+  unbatched request loop over the same store; enforces the ≥3x QPS
+  speedup / byte-identical-response acceptance criteria and writes
+  ``BENCH_serving.json``.
 * ``all`` — every suite.
 
-The pytest harness equivalents (all carry the ``slow`` marker, which
-the default run deselects, so ``-m slow`` is required)::
+``--help`` lists every suite with its gate. The pytest harness
+equivalents (all carry the ``slow`` marker, which the default run
+deselects, so ``-m slow`` is required)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_corpus_io.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_index_io.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel_build.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_serving.py -s -m slow
 """
 
 from __future__ import annotations
@@ -66,6 +72,12 @@ from benchmarks.test_bench_parallel_build import (  # noqa: E402
     MIN_SPEEDUP as PARALLEL_MIN_SPEEDUP,
     N_TABLES as PARALLEL_N_TABLES,
     run_parallel_build_benchmark,
+)
+from benchmarks.test_bench_serving import (  # noqa: E402
+    MIN_SPEEDUP as SERVING_MIN_SPEEDUP,
+    N_TABLES as SERVING_N_TABLES,
+    WORKERS as SERVING_WORKERS,
+    run_serving_benchmark,
 )
 
 
@@ -173,13 +185,89 @@ def run_parallel_build_suite(tables: int, output: Path) -> int:
     return 0
 
 
+def run_serving_suite(tables: int, output: Path) -> int:
+    result = run_serving_benchmark(n_tables=tables)
+    _write_baseline(output, "serving", result)
+    latency = result["latency_ms"]
+    print(
+        f"{result['n_requests']} searches over {result['n_tables']} tables: "
+        f"1-worker unbatched {result['baseline_qps']:.0f} QPS | "
+        f"{result['workers']}-worker micro-batched {result['served_qps']:.0f} QPS | "
+        f"speedup {result['speedup']:.2f}x"
+    )
+    print(
+        f"mean batch {result['mean_batch_size']:.1f} "
+        f"(histogram {result['batch_size_histogram']}) | "
+        f"paced latency p50 {latency['p50']:.1f}ms "
+        f"p95 {latency['p95']:.1f}ms p99 {latency['p99']:.1f}ms"
+    )
+    if not result["results_equal"]:
+        print("FAIL: served responses differ from single-shot calls", file=sys.stderr)
+        return 1
+    if result["worker_crashes"]:
+        print("FAIL: workers crashed during the benchmark", file=sys.stderr)
+        return 1
+    if result["speedup"] < SERVING_MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.2f}x below {SERVING_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+#: Suite registry: name → (runner, default table count, baseline file,
+#: one-line description shown by ``--help``).
+SUITES = {
+    "annotation": (
+        run_annotation_suite,
+        N_TABLES,
+        "BENCH_annotation.json",
+        f"per-column vs batched annotation throughput (>={MIN_SPEEDUP}x gate)",
+    ),
+    "corpus_io": (
+        run_corpus_io_suite,
+        IO_N_TABLES,
+        "BENCH_corpus_io.json",
+        "sharded store build / atomic save / lazy reload I/O",
+    ),
+    "index_io": (
+        run_index_io_suite,
+        INDEX_N_TABLES,
+        "BENCH_index_io.json",
+        f"cold start with vs without mmap'd index artifacts (>={INDEX_MIN_SPEEDUP}x gate)",
+    ),
+    "parallel_build": (
+        run_parallel_build_suite,
+        PARALLEL_N_TABLES,
+        "BENCH_parallel_build.json",
+        f"serial vs multi-process corpus build (>={PARALLEL_MIN_SPEEDUP}x gate)",
+    ),
+    "serving": (
+        run_serving_suite,
+        SERVING_N_TABLES,
+        "BENCH_serving.json",
+        f"{SERVING_WORKERS}-worker micro-batched serving vs 1-worker unbatched "
+        f"loop (>={SERVING_MIN_SPEEDUP}x QPS gate)",
+    ),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    suite_lines = "\n".join(
+        f"  {name:<15} {description}"
+        for name, (_, _, _, description) in SUITES.items()
+    )
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=f"suites:\n{suite_lines}\n  {'all':<15} every suite",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument(
         "--suite",
-        choices=("annotation", "corpus_io", "index_io", "parallel_build", "all"),
+        choices=(*SUITES, "all"),
         default="annotation",
-        help="which benchmark suite to run",
+        help="which benchmark suite to run (listed below)",
     )
     parser.add_argument("--tables", type=int, default=None, help="override corpus size")
     parser.add_argument(
@@ -191,22 +279,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     status = 0
-    if args.suite in ("annotation", "all"):
-        output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_annotation.json"
-        status |= run_annotation_suite(args.tables or N_TABLES, output)
-    if args.suite in ("corpus_io", "all"):
-        output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_corpus_io.json"
-        status |= run_corpus_io_suite(args.tables or IO_N_TABLES, output)
-    if args.suite in ("index_io", "all"):
-        output = args.output if args.output and args.suite != "all" else REPO_ROOT / "BENCH_index_io.json"
-        status |= run_index_io_suite(args.tables or INDEX_N_TABLES, output)
-    if args.suite in ("parallel_build", "all"):
+    for name in SUITES if args.suite == "all" else (args.suite,):
+        runner, default_tables, baseline_name, _ = SUITES[name]
         output = (
             args.output
             if args.output and args.suite != "all"
-            else REPO_ROOT / "BENCH_parallel_build.json"
+            else REPO_ROOT / baseline_name
         )
-        status |= run_parallel_build_suite(args.tables or PARALLEL_N_TABLES, output)
+        status |= runner(args.tables or default_tables, output)
     return status
 
 

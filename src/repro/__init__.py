@@ -43,12 +43,19 @@ drivers regenerating every paper table and figure in ``experiments``.
 """
 
 from .api import GitTables
-from .config import AnnotationConfig, CurationConfig, ExtractionConfig, PipelineConfig
+from .config import (
+    AnnotationConfig,
+    CurationConfig,
+    ExtractionConfig,
+    PipelineConfig,
+    ServingConfig,
+)
 from .core.corpus import AnnotatedTable, GitTablesCorpus
 from .core.pipeline import CorpusBuilder, PipelineResult, build_corpus
 from .core.stats import AnnotationStatistics, CorpusStatistics
 from .dataframe import Table, parse_csv
 from .pipeline import Pipeline, PipelineReport, Stage, StageContext
+from .serving import QueryService
 from .storage import CorpusStore, InMemoryStore, ShardedCorpusWriter, ShardedJsonlStore
 
 __all__ = [
@@ -67,6 +74,8 @@ __all__ = [
     "PipelineConfig",
     "PipelineReport",
     "PipelineResult",
+    "QueryService",
+    "ServingConfig",
     "ShardedCorpusWriter",
     "ShardedJsonlStore",
     "Stage",

@@ -385,6 +385,49 @@ class GitTables:
             for ontology in ("dbpedia", "schema_org")
         ]
 
+    # -- serving -----------------------------------------------------------
+
+    def serve(self, config: "ServingConfig | None" = None, **overrides):
+        """Start a concurrent query service over this session.
+
+        Returns a started
+        :class:`~repro.serving.service.QueryService`: a micro-batcher
+        coalesces concurrent ``search`` / ``complete_schema`` /
+        ``detect_types`` requests into the existing batch kernels, and
+        (with ``workers > 0``) a pool of worker processes answers them,
+        each mmap'ing the store's persisted index artifacts instead of
+        re-embedding the corpus. Results are bit-identical to the same
+        single-shot calls on this session. ``overrides`` are
+        :class:`~repro.config.ServingConfig` fields (``workers=0`` runs
+        in-process — the only mode for sessions without a store
+        directory). Close the service when done (it is a context
+        manager)::
+
+            with gt.serve(workers=4) as service:
+                service.search("population by country", k=5)
+
+        Store-backed sessions warm (and persist) the search and
+        completion artifacts up front so every worker starts with an
+        mmap, not an embed.
+        """
+        from .config import ServingConfig
+        from .serving.service import QueryService
+
+        if config is None:
+            config = ServingConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        directory = None
+        store_directory = getattr(self._corpus.store, "directory", None)
+        if store_directory is not None and is_sharded_dir(store_directory):
+            directory = store_directory
+        if config.workers > 0 and directory is not None:
+            # Resolve-or-publish the served indexes before any worker
+            # spawns: each worker then warms from the mmap'd artifacts.
+            _ = self.search_engine
+            _ = self.completer
+        return QueryService(session=self, config=config, directory=directory)
+
     def shift_report(
         self, other: GitTablesCorpus | "GitTables", **options
     ) -> DomainShiftResult:

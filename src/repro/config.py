@@ -118,6 +118,72 @@ class AnnotationConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Settings for the concurrent query service (:meth:`GitTables.serve`).
+
+    The service fronts one loaded session with a micro-batcher (requests
+    arriving within one window are coalesced into the existing batch
+    kernels) and, with ``workers > 0``, a pool of worker processes that
+    each mmap the store's persisted index artifacts.
+    """
+
+    #: Worker processes serving batches. 0 runs batches in-process (no
+    #: extra processes; still micro-batched), which is also the only
+    #: mode available to sessions without a sharded store directory.
+    workers: int = 2
+    #: Most requests one dispatched batch may carry.
+    max_batch: int = 64
+    #: How long the batcher holds a window open for more requests after
+    #: the first arrives (milliseconds; 0 = dispatch whatever is queued).
+    max_wait_ms: float = 2.0
+    #: Admission limit: requests in flight (admitted, unresolved) beyond
+    #: this are rejected with :class:`~repro.errors.ServiceOverloaded`.
+    max_queue: int = 1024
+    #: Default per-request deadline (seconds) when a submit call gives none.
+    default_timeout_s: float = 30.0
+    #: Crashed-worker respawns tolerated over the service's lifetime
+    #: before in-flight requests on a dead worker fail with
+    #: :class:`~repro.errors.WorkerCrashed`.
+    max_respawns: int = 3
+    #: How long :meth:`close` waits for in-flight batches to resolve.
+    drain_timeout_s: float = 30.0
+    #: Per-endpoint reservoir size for latency percentiles.
+    latency_samples: int = 4096
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.workers < 0:
+            raise PipelineConfigError("workers must be >= 0")
+        if self.workers > 99:
+            raise PipelineConfigError("workers must be <= 99 (worker ids are two digits)")
+        if self.max_batch < 1:
+            raise PipelineConfigError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise PipelineConfigError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise PipelineConfigError("max_queue must be >= 1")
+        if self.default_timeout_s <= 0:
+            raise PipelineConfigError("default_timeout_s must be positive")
+        if self.max_respawns < 0:
+            raise PipelineConfigError("max_respawns must be >= 0")
+        if self.drain_timeout_s <= 0:
+            raise PipelineConfigError("drain_timeout_s must be positive")
+        if self.latency_samples < 1:
+            raise PipelineConfigError("latency_samples must be >= 1")
+
+    def replace(self, **overrides: object) -> "ServingConfig":
+        """A copy with the given fields replaced (and re-validated)."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def in_process(cls, **overrides: object) -> "ServingConfig":
+        """A workers=0 configuration (micro-batched, no worker processes)."""
+        return cls(workers=0).replace(**overrides)
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """Bundle of all stage configurations plus global determinism settings."""
 

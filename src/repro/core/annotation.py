@@ -310,6 +310,22 @@ class SemanticAnnotator(_ColumnNameAnnotator):
             try_publish(publish_index, artifacts, artifact_name, fingerprint, index)
         return index
 
+    def publish_artifact(self, artifacts: IndexArtifactStore) -> bool:
+        """Persist this annotator's ontology label index (no-op if current).
+
+        Used by store-targeted builds to publish the coordinator's
+        already-built index before worker processes spawn, so every
+        worker resolves it with one mmap. Returns whether a valid
+        artifact exists afterwards (publishing is best-effort: a
+        read-only directory degrades to per-process builds).
+        """
+        labels = self.ontology.labels()
+        fingerprint = self._index_fingerprint(labels)
+        artifact_name = f"ontology-{self.ontology.name}"
+        if load_index(artifacts, artifact_name, fingerprint) is not None:
+            return True
+        return try_publish(publish_index, artifacts, artifact_name, fingerprint, self._index)
+
     def resolve_normalized(
         self, names: Sequence[str]
     ) -> dict[str, tuple[str, float] | None]:
@@ -368,6 +384,13 @@ class AnnotationPipeline:
             )
             for name, ontology in self._ontologies.items()
         }
+
+    def publish_artifacts(self, artifacts: IndexArtifactStore | None) -> None:
+        """Persist every semantic annotator's ontology index (best-effort)."""
+        if artifacts is None:
+            return
+        for annotator in self.semantic.values():
+            annotator.publish_artifact(artifacts)
 
     def annotate(self, table: Table) -> TableAnnotations:
         """Annotate ``table`` with both methods against every ontology."""

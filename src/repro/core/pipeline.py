@@ -47,6 +47,7 @@ from ..storage.checkpoint import (
     require_compatible_build,
     save_build_meta,
 )
+from ..storage.artifacts import IndexArtifactStore
 from ..storage.sharded import DEFAULT_SHARD_SIZE, ShardedCorpusWriter, ShardedJsonlStore
 from ..wordnet.topics import select_topics
 from .corpus import GitTablesCorpus
@@ -294,6 +295,10 @@ class CorpusBuilder:
         writer = ShardedCorpusWriter(store_dir, shard_size=shard_size)
         fingerprint = config_fingerprint(config, self.generator_config)
         self.ensure_build_meta(store_dir, fingerprint, writer.committed_count)
+        # Persist the ontology label indexes next to the corpus: later
+        # sessions (and parallel build workers) of this directory then
+        # mmap them instead of re-embedding every ontology label.
+        self.annotator.publish_artifacts(IndexArtifactStore.for_corpus_dir(store_dir))
 
         checkpoint = BuildCheckpoint.load(store_dir)
         if checkpoint is None:

@@ -66,3 +66,23 @@ class CorpusError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver is misconfigured."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent query service."""
+
+
+class ServiceOverloaded(ServingError):
+    """Raised when a request is rejected because the queue is full."""
+
+
+class DeadlineExceeded(ServingError):
+    """Raised when a request's deadline expires before its result lands."""
+
+
+class ServiceClosed(ServingError):
+    """Raised for requests submitted to (or stranded in) a closed service."""
+
+
+class WorkerCrashed(ServingError):
+    """Raised when a request's worker died and the retry budget is spent."""

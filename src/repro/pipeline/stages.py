@@ -82,12 +82,20 @@ class PipelineComponents:
     curator: ContentCurator
 
     @classmethod
-    def from_config(cls, config: PipelineConfig) -> "PipelineComponents":
-        """Construct fresh components for one process from the config."""
+    def from_config(cls, config: PipelineConfig, artifacts=None) -> "PipelineComponents":
+        """Construct fresh components for one process from the config.
+
+        ``artifacts`` (an
+        :class:`~repro.storage.artifacts.IndexArtifactStore`) lets the
+        annotation pipeline resolve its ontology label indexes from
+        mmap'd fingerprint-guarded artifacts instead of re-embedding
+        every label — what keeps N-process builds from paying the
+        embedding cost N times.
+        """
         return cls(
             parser=ParsingStage(),
             table_filter=TableFilter(config.curation),
-            annotator=AnnotationPipeline(config.annotation),
+            annotator=AnnotationPipeline(config.annotation, artifacts=artifacts),
             curator=ContentCurator(config.curation, seed=config.seed),
         )
 

@@ -1,0 +1,23 @@
+"""Concurrent query serving over a built GitTables corpus.
+
+The read-path counterpart to the process-parallel build: a
+micro-batcher coalesces concurrent ``search`` / ``complete_schema`` /
+``detect_types`` requests into the existing batch kernels, a pool of
+worker processes mmaps the store's persisted index artifacts, and a
+metrics surface reports QPS, batch sizes, queue depth and latency
+percentiles. Entry point: :meth:`GitTables.serve`.
+"""
+
+from .batcher import MicroBatcher, Request
+from .metrics import ServiceMetrics
+from .service import QueryService
+from .workers import LocalExecutor, WorkerPool
+
+__all__ = [
+    "LocalExecutor",
+    "MicroBatcher",
+    "QueryService",
+    "Request",
+    "ServiceMetrics",
+    "WorkerPool",
+]

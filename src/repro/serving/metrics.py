@@ -1,0 +1,173 @@
+"""Thread-safe counters and latency reservoirs for the query service.
+
+One :class:`ServiceMetrics` instance per service, shared by the
+admission path (submitter threads), the micro-batcher and the result
+collector. Everything is folded into plain counters/deques under one
+lock so :meth:`ServiceMetrics.snapshot` can render a complete picture —
+per-endpoint QPS, batch-size histogram, queue depth and latency
+percentiles — without stopping the service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["ServiceMetrics"]
+
+#: Latency percentiles reported by snapshots.
+PERCENTILES = (50, 95, 99)
+
+
+def _percentile(ordered: list[float], q: int) -> float:
+    """The ``q``-th percentile of a sorted sample (nearest-rank)."""
+    if not ordered:
+        return 0.0
+    index = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _histogram_bucket(size: int) -> int:
+    """The power-of-two bucket (upper bound) a batch size falls in."""
+    return 1 << max(0, size - 1).bit_length()
+
+
+class _EndpointStats:
+    """Mutable per-endpoint counters (guarded by the owning metrics lock)."""
+
+    def __init__(self, latency_samples: int) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.deadline_expired = 0
+        self.failed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        #: batch-size bucket (power-of-two upper bound) -> dispatch count.
+        self.batch_histogram: dict[int, int] = {}
+        self.latencies: deque[float] = deque(maxlen=latency_samples)
+        self.first_submitted_at: float | None = None
+        self.last_resolved_at: float | None = None
+
+
+class ServiceMetrics:
+    """Counters, gauges and reservoirs behind ``QueryService.metrics()``."""
+
+    def __init__(self, latency_samples: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._latency_samples = latency_samples
+        self._endpoints: dict[str, _EndpointStats] = {}
+        self._queue_depth = 0
+        self._max_queue_depth = 0
+        self._worker_crashes = 0
+        self._worker_respawns = 0
+        self._started_at = time.monotonic()
+
+    def _endpoint(self, endpoint: str) -> _EndpointStats:
+        stats = self._endpoints.get(endpoint)
+        if stats is None:
+            stats = self._endpoints[endpoint] = _EndpointStats(self._latency_samples)
+        return stats
+
+    # -- recording ---------------------------------------------------------
+
+    def record_submitted(self, endpoint: str, queue_depth: int) -> None:
+        with self._lock:
+            stats = self._endpoint(endpoint)
+            stats.submitted += 1
+            if stats.first_submitted_at is None:
+                stats.first_submitted_at = time.monotonic()
+            self._queue_depth = queue_depth
+            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+
+    def record_rejected(self, endpoint: str) -> None:
+        with self._lock:
+            self._endpoint(endpoint).rejected += 1
+
+    def record_batch(self, endpoint: str, size: int) -> None:
+        with self._lock:
+            stats = self._endpoint(endpoint)
+            stats.batches += 1
+            stats.batched_requests += size
+            bucket = _histogram_bucket(size)
+            stats.batch_histogram[bucket] = stats.batch_histogram.get(bucket, 0) + 1
+
+    def _resolved(self, endpoint: str, queue_depth: int) -> _EndpointStats:
+        stats = self._endpoint(endpoint)
+        stats.last_resolved_at = time.monotonic()
+        self._queue_depth = queue_depth
+        return stats
+
+    def record_completed(self, endpoint: str, latency_s: float, queue_depth: int) -> None:
+        with self._lock:
+            stats = self._resolved(endpoint, queue_depth)
+            stats.completed += 1
+            stats.latencies.append(latency_s)
+
+    def record_deadline_expired(self, endpoint: str, queue_depth: int) -> None:
+        with self._lock:
+            self._resolved(endpoint, queue_depth).deadline_expired += 1
+
+    def record_failed(self, endpoint: str, queue_depth: int) -> None:
+        with self._lock:
+            self._resolved(endpoint, queue_depth).failed += 1
+
+    def record_worker_crash(self, respawned: bool) -> None:
+        with self._lock:
+            self._worker_crashes += 1
+            if respawned:
+                self._worker_respawns += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self, queue_limit: int | None = None, workers: dict | None = None) -> dict:
+        """A point-in-time picture of the whole service, as plain data."""
+        with self._lock:
+            endpoints: dict[str, dict] = {}
+            for name in sorted(self._endpoints):
+                stats = self._endpoints[name]
+                ordered = sorted(stats.latencies)
+                window = None
+                if stats.first_submitted_at is not None and stats.last_resolved_at is not None:
+                    window = max(stats.last_resolved_at - stats.first_submitted_at, 1e-9)
+                endpoints[name] = {
+                    "submitted": stats.submitted,
+                    "completed": stats.completed,
+                    "rejected": stats.rejected,
+                    "deadline_expired": stats.deadline_expired,
+                    "failed": stats.failed,
+                    "qps": (stats.completed / window) if window else 0.0,
+                    "batches": stats.batches,
+                    "mean_batch_size": (
+                        stats.batched_requests / stats.batches if stats.batches else 0.0
+                    ),
+                    "batch_size_histogram": {
+                        str(bucket): stats.batch_histogram[bucket]
+                        for bucket in sorted(stats.batch_histogram)
+                    },
+                    "latency_ms": {
+                        **{
+                            f"p{q}": _percentile(ordered, q) * 1000.0
+                            for q in PERCENTILES
+                        },
+                        "mean": (sum(ordered) / len(ordered) * 1000.0) if ordered else 0.0,
+                        "max": (ordered[-1] * 1000.0) if ordered else 0.0,
+                        "samples": len(ordered),
+                    },
+                }
+            snapshot = {
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "queue": {
+                    "depth": self._queue_depth,
+                    "max_depth": self._max_queue_depth,
+                    "limit": queue_limit,
+                },
+                "workers": {
+                    **(workers or {}),
+                    "crashes": self._worker_crashes,
+                    "respawns": self._worker_respawns,
+                },
+                "endpoints": endpoints,
+            }
+        return snapshot

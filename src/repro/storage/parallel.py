@@ -69,6 +69,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..errors import CorpusError
 from ._io import fsync_dir
+from .artifacts import IndexArtifactStore
 from .checkpoint import (
     BuildCheckpoint,
     config_fingerprint,
@@ -88,6 +89,7 @@ from .sharded import (
     _shard_filename,
     _write_manifest,
     build_manifest,
+    heal_shard_files,
     is_sharded_dir,
 )
 
@@ -506,7 +508,9 @@ def _worker_main(spec: _WorkerSpec, task_queue, result_queue) -> None:
         result_queue.cancel_join_thread()
 
     try:
-        components = PipelineComponents.from_config(spec.config)
+        components = PipelineComponents.from_config(
+            spec.config, artifacts=IndexArtifactStore.for_corpus_dir(spec.directory)
+        )
         instance = spec.instance
         if instance is None:
             instance = build_instance(spec.generator_config)
@@ -765,29 +769,15 @@ def merge_worker_manifests(
 def _heal_canonical_shards(directory: Path, state: _StoreState) -> None:
     """Truncate torn canonical shard tails left by a crashed serial session.
 
-    Mirrors ``ShardedCorpusWriter._heal_shards`` for the canonical
-    portion a parallel resume adopts: listed shards are truncated back
-    to their committed byte counts; canonical-named shards the manifest
-    does not list (crashed rollover) are deleted. Worker shards are
-    healed by their own writers.
+    Applies :func:`~repro.storage.sharded.heal_shard_files` to the
+    canonical portion a parallel resume adopts — the same routine (and
+    therefore exactly the same semantics) as the single-writer resume
+    path, scoped to canonical-named ``shard_*.jsonl`` files. Worker
+    shards are healed by their own writers.
     """
-    listed = {entry["file"]: entry for entry in state.canonical_shards}
-    for path in directory.glob("shard_*.jsonl"):
-        if path.name not in listed:
-            path.unlink()
-    for entry in state.canonical_shards:
-        path = directory / entry["file"]
-        if not path.exists():
-            raise CorpusError(f"missing shard file {path}")
-        size = path.stat().st_size
-        if size < entry["bytes"]:
-            raise CorpusError(
-                f"shard file {path} is shorter ({size}B) than the manifest "
-                f"records ({entry['bytes']}B); the corpus is corrupt"
-            )
-        if size > entry["bytes"]:
-            with open(path, "r+b") as handle:
-                handle.truncate(entry["bytes"])
+    heal_shard_files(
+        directory, state.canonical_shards, directory.glob("shard_*.jsonl")
+    )
 
 
 class _ShardLineCache:
@@ -887,6 +877,10 @@ class ParallelCorpusBuilder:
         checkpoint.sessions += 1
         checkpoint.save(directory)
         _heal_canonical_shards(directory, state)
+        # Publish the coordinator's (eagerly built) ontology label
+        # indexes before any worker spawns: every worker then resolves
+        # them with one mmap instead of re-embedding per process.
+        builder.annotator.publish_artifacts(IndexArtifactStore.for_corpus_dir(directory))
 
         run = _CoordinatorRun(
             self, directory, shard_size, topic_selection.topics, fingerprint, state

@@ -70,6 +70,7 @@ __all__ = [
     "DEFAULT_SHARD_SIZE",
     "DEFAULT_COMPACT_EVERY",
     "build_manifest",
+    "heal_shard_files",
     "is_sharded_dir",
     "ShardedJsonlStore",
     "ShardedCorpusWriter",
@@ -379,6 +380,41 @@ class ShardedJsonlStore:
         )
 
 
+def heal_shard_files(directory: Path, entries: list[dict], owned_paths) -> None:
+    """Restore shard files to exactly the committed state ``entries`` record.
+
+    The one shard-healing routine every resume path shares — the
+    single-writer :class:`ShardedCorpusWriter`, the per-worker writers
+    of a parallel build, and the coordinator adopting a serial-era
+    canonical portion. ``entries`` are manifest/log shard records
+    (``{"file", "bytes", ...}``); ``owned_paths`` is the iterable of
+    on-disk shard paths within the caller's naming scope, which bounds
+    what may be deleted (healing one worker's scope never touches
+    another's files). Listed shards are truncated back to their
+    committed byte counts (dropping a torn uncommitted tail); owned
+    shards that are not listed — a crashed rollover — are deleted; a
+    listed shard that is missing or shorter than its committed bytes is
+    genuine corruption and raises :class:`~repro.errors.CorpusError`.
+    """
+    listed = {entry["file"] for entry in entries}
+    for path in owned_paths:
+        if path.name not in listed:
+            path.unlink()
+    for entry in entries:
+        path = directory / entry["file"]
+        if not path.exists():
+            raise CorpusError(f"missing shard file {path}")
+        size = path.stat().st_size
+        if size < entry["bytes"]:
+            raise CorpusError(
+                f"shard file {path} is shorter ({size}B) than the manifest "
+                f"records ({entry['bytes']}B); the corpus is corrupt"
+            )
+        if size > entry["bytes"]:
+            with open(path, "r+b") as handle:
+                handle.truncate(entry["bytes"])
+
+
 class ShardedCorpusWriter:
     """Append-only sharded store used as the corpus-construction sink.
 
@@ -481,23 +517,7 @@ class ShardedCorpusWriter:
         the manifest rewrite — are deleted, so a resumed build's
         directory stays byte-identical to a one-shot build's.
         """
-        listed = {entry["file"] for entry in self._shards}
-        for path in self._owned_shard_paths():
-            if path.name not in listed:
-                path.unlink()
-        for entry in self._shards:
-            path = self.directory / entry["file"]
-            if not path.exists():
-                raise CorpusError(f"missing shard file {path}")
-            size = path.stat().st_size
-            if size < entry["bytes"]:
-                raise CorpusError(
-                    f"shard file {path} is shorter ({size}B) than the manifest "
-                    f"records ({entry['bytes']}B); the corpus is corrupt"
-                )
-            if size > entry["bytes"]:
-                with open(path, "r+b") as handle:
-                    handle.truncate(entry["bytes"])
+        heal_shard_files(self.directory, self._shards, self._owned_shard_paths())
 
     # -- container protocol ------------------------------------------------
 

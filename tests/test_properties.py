@@ -233,6 +233,50 @@ class TestQueryBatchProperties:
             assert scores == sorted(scores, reverse=True)
 
 
+_SERVING_STATE: dict = {}
+
+
+def _serving_state(corpus):
+    """One session + in-process service shared across hypothesis examples."""
+    if "service" not in _SERVING_STATE:
+        from repro import GitTables
+
+        session = GitTables.from_corpus(corpus)
+        _SERVING_STATE["session"] = session
+        _SERVING_STATE["service"] = session.serve(workers=0, max_wait_ms=5.0)
+    return _SERVING_STATE["session"], _SERVING_STATE["service"]
+
+
+class TestServingBitIdentityProperties:
+    """Micro-batched serving must be bit-identical to single-shot calls.
+
+    The batcher may coalesce the submitted queries into any window
+    split; whatever the grouping, each response must equal the result
+    of calling the session directly with the same arguments.
+    """
+
+    @given(
+        queries=st.lists(_word, min_size=1, max_size=6),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batched_search_equals_single_shot(self, gittables_corpus, queries, k):
+        session, service = _serving_state(gittables_corpus)
+        futures = [service.submit_search(query, k=k) for query in queries]
+        results = [future.result(timeout=60) for future in futures]
+        assert results == [session.search(query, k=k) for query in queries]
+
+    @given(
+        prefix=st.lists(_header_name, min_size=1, max_size=4),
+        k=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_batched_completion_equals_single_shot(self, gittables_corpus, prefix, k):
+        session, service = _serving_state(gittables_corpus)
+        served = service.complete_schema(prefix, k=k)
+        assert served == session.complete_schema(prefix, k=k)
+
+
 class TestSeedingProperties:
     @given(st.text(max_size=20), st.text(max_size=20))
     @settings(max_examples=50, deadline=None)

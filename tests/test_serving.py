@@ -1,0 +1,278 @@
+"""Tests for the concurrent query serving layer (``repro.serving``).
+
+Covers the ISSUE-6 edge cases: empty corpora, single-request windows
+(no batching regression), bit-identity of coalesced results, deadline
+expiry mid-batch, overload rejection, close semantics, and a worker
+SIGKILL mid-request with transparent respawn (reusing the PR-5 fault
+idiom of killing a live worker pid and asserting recovery).
+
+The in-process tests (``workers=0``) run the exact same batcher and
+endpoint groups as the pool, minus the process hop, so they pin the
+coalescing semantics cheaply; the pool tests exercise the mmap'd
+worker path over a real saved store.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import signal
+import time
+
+import pytest
+
+from repro import GitTables, GitTablesCorpus, ServingConfig
+from repro.config import PipelineConfigError
+from repro.errors import (
+    DeadlineExceeded,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServingError,
+)
+
+DETECT_OPTIONS = {"columns_per_type": 8, "epochs": 2, "n_splits": 2}
+
+
+@pytest.fixture(scope="module")
+def store_session(gittables_corpus, tmp_path_factory):
+    """The small corpus saved to a sharded store, reloaded for serving."""
+    directory = tmp_path_factory.mktemp("serving_store") / "corpus"
+    GitTables.from_corpus(gittables_corpus).save(directory)
+    return GitTables.load(directory)
+
+
+class TestServingConfig:
+    def test_defaults_validate(self):
+        config = ServingConfig()
+        assert config.workers == 2
+        assert config.max_batch == 64
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"workers": -1},
+            {"workers": 100},
+            {"max_batch": 0},
+            {"max_wait_ms": -0.1},
+            {"max_queue": 0},
+            {"default_timeout_s": 0.0},
+            {"max_respawns": -1},
+            {"drain_timeout_s": 0.0},
+            {"latency_samples": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(PipelineConfigError):
+            ServingConfig(**overrides)
+
+    def test_replace_and_in_process(self):
+        config = ServingConfig().replace(max_batch=8)
+        assert config.max_batch == 8
+        assert ServingConfig.in_process().workers == 0
+
+
+class TestInProcessService:
+    def test_empty_corpus_serves_empty_results(self):
+        session = GitTables.from_corpus(GitTablesCorpus())
+        with session.serve(workers=0) as service:
+            assert service.search("anything", k=5) == []
+            assert service.complete_schema(["alpha", "beta"], k=5) == []
+
+    def test_single_request_window_matches_single_shot(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        with session.serve(workers=0, max_wait_ms=0.0) as service:
+            served = service.search("employee salary", k=5)
+        assert served == session.search("employee salary", k=5)
+        snapshot = service.metrics()
+        stats = snapshot["endpoints"]["search"]
+        assert stats["completed"] == 1
+        assert stats["batch_size_histogram"] == {"1": 1}
+        assert stats["mean_batch_size"] == 1.0
+
+    def test_concurrent_searches_are_bit_identical(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        queries = [f"table about topic {index}" for index in range(12)]
+        expected = [session.search(query, k=4) for query in queries]
+        with session.serve(workers=0, max_wait_ms=20.0) as service:
+            futures = [service.submit_search(query, k=4) for query in queries]
+            results = [future.result(timeout=60) for future in futures]
+        assert results == expected
+        snapshot = service.metrics()
+        stats = snapshot["endpoints"]["search"]
+        assert stats["completed"] == len(queries)
+        # The coalescer must have merged at least some of the burst.
+        assert stats["batches"] < len(queries)
+
+    def test_mixed_endpoints_share_a_window(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        expected_search = session.search("orders", k=3)
+        expected_completion = session.complete_schema(["name", "email"], k=3)
+        with session.serve(workers=0, max_wait_ms=20.0) as service:
+            search_future = service.submit_search("orders", k=3)
+            completion_future = service.submit_complete_schema(["name", "email"], k=3)
+            assert search_future.result(timeout=60) == expected_search
+            assert completion_future.result(timeout=60) == expected_completion
+
+    def test_detect_types_requests_share_one_run(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        expected = session.detect_types(**DETECT_OPTIONS)
+        with session.serve(workers=0, max_wait_ms=50.0) as service:
+            futures = [
+                service.submit_detect_types(**DETECT_OPTIONS) for _ in range(3)
+            ]
+            results = [future.result(timeout=120) for future in futures]
+        assert all(result == expected for result in results)
+        stats = service.metrics()["endpoints"]["detect_types"]
+        assert stats["completed"] == 3
+
+    def test_invalid_payloads_rejected_at_submit(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        with session.serve(workers=0) as service:
+            with pytest.raises(ServingError):
+                service.submit_search("", k=3)
+            with pytest.raises(ServingError):
+                service.submit_search("ok", k=0)
+            with pytest.raises(ServingError):
+                service.submit_complete_schema([], k=3)
+            with pytest.raises(ServingError):
+                service.submit_detect_types(eval_corpus=GitTablesCorpus())
+        # Rejected payloads never entered the pipeline.
+        assert service.metrics()["endpoints"] == {}
+
+    def test_overloaded_queue_rejects_new_requests(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        with session.serve(workers=0, max_queue=1, max_wait_ms=500.0) as service:
+            # The first request holds the window open for up to 500ms;
+            # the second submit exceeds the queue bound immediately.
+            held = service.submit_search("first", k=2)
+            with pytest.raises(ServiceOverloaded):
+                service.submit_search("second", k=2)
+            assert held.result(timeout=60) == session.search("first", k=2)
+        snapshot = service.metrics()
+        assert snapshot["endpoints"]["search"]["rejected"] == 1
+
+    def test_closed_service_rejects_submissions(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        service = session.serve(workers=0)
+        service.close()
+        assert service.closed
+        with pytest.raises(ServiceClosed):
+            service.submit_search("anything", k=2)
+        # close() is idempotent.
+        service.close()
+
+
+class TestWorkerPoolService:
+    def test_pool_requires_store_directory(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        with pytest.raises(ServingError):
+            session.serve(workers=1)
+
+    def test_pool_results_match_single_shot(self, store_session):
+        queries = [f"table about topic {index}" for index in range(10)]
+        prefixes = [["name", "email"], ["order", "price"]]
+        expected_search = [store_session.search(query, k=4) for query in queries]
+        expected_completion = [
+            store_session.complete_schema(prefix, k=4) for prefix in prefixes
+        ]
+        with store_session.serve(workers=2, max_wait_ms=20.0) as service:
+            assert len(service.worker_pids()) == 2
+            search_futures = [service.submit_search(q, k=4) for q in queries]
+            completion_futures = [
+                service.submit_complete_schema(p, k=4) for p in prefixes
+            ]
+            searched = [f.result(timeout=120) for f in search_futures]
+            completed = [f.result(timeout=120) for f in completion_futures]
+        assert searched == expected_search
+        assert completed == expected_completion
+        snapshot = service.metrics()
+        assert snapshot["workers"]["configured"] == 2
+        assert snapshot["workers"]["crashes"] == 0
+
+    def test_deadline_expiry_mid_batch(self, store_session):
+        with store_session.serve(workers=1, max_wait_ms=0.0) as service:
+            future = service.submit_search("anything", k=3, timeout=1e-6)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=120)
+            # A later request with a sane deadline still succeeds: the
+            # expired request poisoned neither the batch nor the worker.
+            assert service.search("anything", k=3) == store_session.search(
+                "anything", k=3
+            )
+        snapshot = service.metrics()
+        assert snapshot["endpoints"]["search"]["deadline_expired"] == 1
+
+    def test_worker_sigkill_mid_request_is_transparent(self, store_session):
+        # Ten distinct detect runs (distinct option keys, so no memo
+        # sharing) give the lone worker ~2s of sequential work; the kill
+        # lands while some are in flight and some are still queued.
+        option_sets = [
+            {"columns_per_type": 8, "epochs": epochs, "n_splits": 2}
+            for epochs in range(2, 12)
+        ]
+        expected = [store_session.detect_types(**options) for options in option_sets]
+        with store_session.serve(workers=1, max_wait_ms=0.0) as service:
+            pids = service.worker_pids()
+            assert len(pids) == 1
+            futures = [
+                service.submit_detect_types(timeout=300, **options)
+                for options in option_sets
+            ]
+            # Let the first batches reach the worker before killing it.
+            time.sleep(0.5)
+            os.kill(pids[0], signal.SIGKILL)
+            results = [future.result(timeout=300) for future in futures]
+            assert results == expected
+            # The crash is detected on a collector tick and the counters
+            # flip before the replacement handle is registered; poll the
+            # whole recovered state within a bounded window rather than
+            # asserting on the first snapshot.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                snapshot = service.metrics()
+                workers = snapshot["workers"]
+                if (
+                    workers["crashes"] >= 1
+                    and workers["respawns"] >= 1
+                    and workers["alive"] == 1
+                ):
+                    break
+                time.sleep(0.1)
+            assert snapshot["workers"]["crashes"] >= 1
+            assert snapshot["workers"]["respawns"] >= 1
+            assert snapshot["workers"]["alive"] == 1
+
+    def test_blocking_wait_converts_timeout(self, store_session):
+        with store_session.serve(workers=0, max_wait_ms=0.0) as service:
+            with pytest.raises(DeadlineExceeded):
+                service.detect_types(timeout=1e-6, **DETECT_OPTIONS)
+
+
+class TestServiceMetricsSnapshot:
+    def test_snapshot_shape(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        with session.serve(workers=0, max_wait_ms=5.0) as service:
+            service.search("snapshot probe", k=2)
+            snapshot = service.metrics()
+        assert snapshot["queue"]["limit"] == ServingConfig().max_queue
+        assert snapshot["queue"]["depth"] == 0
+        assert snapshot["queue"]["max_depth"] >= 1
+        stats = snapshot["endpoints"]["search"]
+        latency = stats["latency_ms"]
+        assert latency["samples"] == 1
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+        assert stats["qps"] > 0.0
+
+    def test_concurrent_submitters_all_resolve(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        queries = [f"threaded query {index}" for index in range(8)]
+        expected = {query: session.search(query, k=3) for query in queries}
+        with session.serve(workers=0, max_wait_ms=10.0) as service:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+                results = dict(
+                    zip(
+                        queries,
+                        pool.map(lambda q: service.search(q, k=3), queries),
+                    )
+                )
+        assert results == expected
