@@ -26,8 +26,13 @@ Suites:
   unbatched request loop over the same store; enforces the ≥3x QPS
   speedup / byte-identical-response acceptance criteria and writes
   ``BENCH_serving.json``.
+* ``ann`` — flat exact batch search vs the partitioned probe-then-
+  rerank tier over a 50k-row clustered corpus; enforces the ≥5x
+  throughput / recall@10 ≥ 0.95 / shared-hit bit-identity acceptance
+  criteria and writes ``BENCH_ann.json``.
 * ``all`` — every suite.
 
+``--list`` prints the suite registry without running anything;
 ``--help`` lists every suite with its gate. The pytest harness
 equivalents (all carry the ``slow`` marker, which the default run
 deselects, so ``-m slow`` is required)::
@@ -37,6 +42,7 @@ deselects, so ``-m slow`` is required)::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_index_io.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel_build.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_serving.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_ann.py -s -m slow
 """
 
 from __future__ import annotations
@@ -78,6 +84,12 @@ from benchmarks.test_bench_serving import (  # noqa: E402
     N_TABLES as SERVING_N_TABLES,
     WORKERS as SERVING_WORKERS,
     run_serving_benchmark,
+)
+from benchmarks.test_bench_ann import (  # noqa: E402
+    MIN_RECALL as ANN_MIN_RECALL,
+    MIN_SPEEDUP as ANN_MIN_SPEEDUP,
+    N_ROWS as ANN_N_ROWS,
+    run_ann_benchmark,
 )
 
 
@@ -216,6 +228,43 @@ def run_serving_suite(tables: int, output: Path) -> int:
     return 0
 
 
+def run_ann_suite(rows: int, output: Path) -> int:
+    result = run_ann_benchmark(n_rows=rows)
+    _write_baseline(output, "ann", result)
+    print(
+        f"{result['n_queries']} queries x {result['n_rows']} rows "
+        f"({result['n_partitions']} partitions, nprobe {result['nprobe']}): "
+        f"flat {result['flat_seconds']:.3f}s | "
+        f"partitioned {result['ann_seconds']:.3f}s | "
+        f"speedup {result['speedup']:.1f}x | "
+        f"build {result['build_seconds']:.2f}s"
+    )
+    print(
+        f"recall@{result['top_k']} {result['recall_at_k']:.4f} "
+        f"(holdout {result['holdout_recall']:.4f}) | "
+        f"mean candidate fraction {result['mean_candidate_fraction']:.4f}"
+    )
+    if not result["shared_hits_identical"]:
+        print("FAIL: shared hits scored differently across tiers", file=sys.stderr)
+        return 1
+    if not result["full_probe_equals_flat"]:
+        print("FAIL: full probe differs from the flat tier", file=sys.stderr)
+        return 1
+    if result["recall_at_k"] < ANN_MIN_RECALL:
+        print(
+            f"FAIL: recall {result['recall_at_k']:.4f} below {ANN_MIN_RECALL}",
+            file=sys.stderr,
+        )
+        return 1
+    if result["speedup"] < ANN_MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below {ANN_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: Suite registry: name → (runner, default table count, baseline file,
 #: one-line description shown by ``--help``).
 SUITES = {
@@ -250,6 +299,13 @@ SUITES = {
         f"{SERVING_WORKERS}-worker micro-batched serving vs 1-worker unbatched "
         f"loop (>={SERVING_MIN_SPEEDUP}x QPS gate)",
     ),
+    "ann": (
+        run_ann_suite,
+        ANN_N_ROWS,
+        "BENCH_ann.json",
+        f"flat vs partitioned probe-then-rerank batch search "
+        f"(>={ANN_MIN_SPEEDUP}x at recall@10 >= {ANN_MIN_RECALL} gate)",
+    ),
 }
 
 
@@ -269,14 +325,29 @@ def main(argv: list[str] | None = None) -> int:
         default="annotation",
         help="which benchmark suite to run (listed below)",
     )
-    parser.add_argument("--tables", type=int, default=None, help="override corpus size")
+    parser.add_argument(
+        "--tables",
+        type=int,
+        default=None,
+        help="override corpus size (tables; rows for the ann suite)",
+    )
     parser.add_argument(
         "--output",
         type=Path,
         default=None,
         help="where to write the JSON baseline (single-suite runs only)",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the suite registry (name, default size, baseline, gate) and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (_, default_size, baseline_name, description) in SUITES.items():
+            print(f"{name:<15} size={default_size:<7} {baseline_name:<26} {description}")
+        return 0
 
     status = 0
     for name in SUITES if args.suite == "all" else (args.suite,):

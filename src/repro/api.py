@@ -48,7 +48,7 @@ from .applications.schema_completion import (
     SchemaCompletion,
 )
 from .applications.type_detection import TypeDetectionExperiment, TypeDetectionResult
-from .config import PipelineConfig
+from .config import DEFAULT_INDEX_CONFIG, IndexConfig, PipelineConfig
 from .core.corpus import GitTablesCorpus
 from .core.pipeline import DEFAULT_BATCH_SIZE, CorpusBuilder, PipelineResult
 from .storage.artifacts import IndexArtifactStore
@@ -75,10 +75,14 @@ class GitTables:
         config: PipelineConfig | None = None,
         encoder: SentenceEncoder | None = None,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> None:
         self._corpus = corpus
         self._result = result
         self.config = config
+        #: Scale gate + knobs for the approximate nearest-neighbour tier
+        #: shared by every index this session builds.
+        self._index_config = index_config if index_config is not None else DEFAULT_INDEX_CONFIG
         #: One embedding model (with its internal text cache) shared by
         #: search and schema completion.
         self._encoder = encoder or SentenceEncoder()
@@ -102,6 +106,7 @@ class GitTables:
         store_dir: str | os.PathLike[str] | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         processes: int | None = None,
+        index_config: IndexConfig | None = None,
     ) -> "GitTables":
         """Run the streaming construction pipeline and wrap the result.
 
@@ -127,7 +132,11 @@ class GitTables:
             IndexArtifactStore.for_corpus_dir(store_dir) if store_dir is not None else None
         )
         return cls(
-            corpus=result.corpus, result=result, config=builder.config, artifacts=artifacts
+            corpus=result.corpus,
+            result=result,
+            config=builder.config,
+            artifacts=artifacts,
+            index_config=index_config,
         )
 
     @classmethod
@@ -136,9 +145,10 @@ class GitTables:
         corpus: GitTablesCorpus,
         config: PipelineConfig | None = None,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> "GitTables":
         """Wrap an already-built corpus."""
-        return cls(corpus=corpus, config=config, artifacts=artifacts)
+        return cls(corpus=corpus, config=config, artifacts=artifacts, index_config=index_config)
 
     @classmethod
     def from_result(
@@ -146,9 +156,16 @@ class GitTables:
         result: PipelineResult,
         config: PipelineConfig | None = None,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> "GitTables":
         """Wrap a :class:`PipelineResult` from a previous construction run."""
-        return cls(corpus=result.corpus, result=result, config=config, artifacts=artifacts)
+        return cls(
+            corpus=result.corpus,
+            result=result,
+            config=config,
+            artifacts=artifacts,
+            index_config=index_config,
+        )
 
     @classmethod
     def load(
@@ -156,6 +173,7 @@ class GitTables:
         directory: str | os.PathLike[str],
         cache_shards: int = 2,
         use_artifacts: bool = True,
+        index_config: IndexConfig | None = None,
     ) -> "GitTables":
         """Load a corpus previously persisted with :meth:`save`.
 
@@ -176,7 +194,7 @@ class GitTables:
         artifacts = None
         if use_artifacts and is_sharded_dir(directory):
             artifacts = IndexArtifactStore.for_corpus_dir(directory)
-        return cls(corpus=corpus, artifacts=artifacts)
+        return cls(corpus=corpus, artifacts=artifacts, index_config=index_config)
 
     # -- corpus access -----------------------------------------------------
 
@@ -263,7 +281,10 @@ class GitTables:
         """
         if self._search_engine is None:
             self._search_engine = TableSearchEngine(
-                self._corpus, encoder=self._encoder, artifacts=self._artifacts
+                self._corpus,
+                encoder=self._encoder,
+                artifacts=self._artifacts,
+                index_config=self._index_config,
             )
         return self._search_engine
 
@@ -272,7 +293,10 @@ class GitTables:
         """The schema-completion index, built once (or mmap'd, see above)."""
         if self._completer is None:
             self._completer = NearestCompletion(
-                self._corpus, encoder=self._encoder, artifacts=self._artifacts
+                self._corpus,
+                encoder=self._encoder,
+                artifacts=self._artifacts,
+                index_config=self._index_config,
             )
         return self._completer
 
@@ -287,6 +311,24 @@ class GitTables:
                 artifacts=self._artifacts,
             )
         return self._kg_benchmarks[key]
+
+    @property
+    def index_config(self) -> IndexConfig:
+        """The ANN-tier configuration this session builds indexes with."""
+        return self._index_config
+
+    def index_stats(self) -> dict:
+        """Per-engine index-tier instrumentation for already-built engines.
+
+        Engines not built yet are absent — this never triggers a build,
+        so it is safe on the serving hot path.
+        """
+        stats: dict = {}
+        if self._search_engine is not None:
+            stats["search"] = self._search_engine.index_stats()
+        if self._completer is not None:
+            stats["completion"] = self._completer.index_stats()
+        return stats
 
     def warm(self) -> "GitTables":
         """Resolve every lazily-built index now (mmap'd when artifacts hold
@@ -417,6 +459,11 @@ class GitTables:
             config = ServingConfig()
         if overrides:
             config = config.replace(**overrides)
+        if config.index is None:
+            # Workers must build (or mmap) their indexes with the same
+            # ANN-tier settings this session uses, or served results
+            # would diverge from single-shot calls on the session.
+            config = config.replace(index=self._index_config)
         directory = None
         store_directory = getattr(self._corpus.store, "directory", None)
         if store_directory is not None and is_sharded_dir(store_directory):

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..config import DEFAULT_INDEX_CONFIG, IndexConfig
 from ..core.corpus import GitTablesCorpus
+from ..embeddings.ann import PartitionedIndex, build_index
 from ..embeddings.persist import embedder_fingerprint, load_index, publish_index
 from ..embeddings.sentence import SentenceEncoder
-from ..embeddings.similarity import NearestNeighbourIndex
 from ..storage.artifacts import IndexArtifactStore, corpus_content_fingerprint, try_publish
 
 __all__ = ["SearchResult", "TableSearchEngine", "SEARCH_ARTIFACT"]
@@ -54,9 +55,11 @@ class TableSearchEngine:
         corpus: GitTablesCorpus,
         encoder: SentenceEncoder | None = None,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> None:
         self.encoder = encoder or SentenceEncoder()
         self.artifacts = artifacts
+        self.index_config = index_config if index_config is not None else DEFAULT_INDEX_CONFIG
         self._corpus_fingerprint = (
             corpus_content_fingerprint(corpus) if artifacts is not None else None
         )
@@ -71,12 +74,20 @@ class TableSearchEngine:
     # -- construction ------------------------------------------------------
 
     def _fingerprint(self, corpus_fingerprint: str | None = None) -> dict:
-        """The artifact guard: everything that shapes the index matrix."""
-        return {
+        """The artifact guard: everything that shapes the index matrix.
+
+        The ANN section joins the guard only when the tier activates for
+        this corpus size — small corpora keep their pre-existing flat
+        fingerprints (and artifacts) untouched.
+        """
+        fingerprint = {
             "kind": "table-search",
             "encoder": embedder_fingerprint(self.encoder),
             "corpus": corpus_fingerprint or self._corpus_fingerprint,
         }
+        if self.index_config.tier_active(self._corpus_size):
+            fingerprint["ann"] = self.index_config.build_fingerprint()
+        return fingerprint
 
     def _load_from_artifacts(self) -> bool:
         """Resolve the index from a valid persisted artifact, if any."""
@@ -89,6 +100,10 @@ class TableSearchEngine:
         schemas = payload.get("schemas")
         if schemas is None or len(schemas) != len(index.labels):
             return False
+        if isinstance(index, PartitionedIndex):
+            # nprobe is a query-time knob: the current config wins over
+            # whatever value the artifact was published with.
+            index.nprobe = self.index_config.nprobe
         self._table_ids = list(index.labels)
         self._schemas = [tuple(schema) for schema in schemas]
         self._index = index
@@ -106,9 +121,13 @@ class TableSearchEngine:
             self._table_ids.append(table_id)
             self._schemas.append(schema)
         # One batched pass over the whole corpus; each row is
-        # bit-identical to embed_schema of that schema alone.
+        # bit-identical to embed_schema of that schema alone. The gate
+        # between the flat and partitioned tiers uses the *corpus* size —
+        # the same count the artifact fingerprint encodes.
         matrix = self.encoder.embed_schemas(self._schemas)
-        self._index = NearestNeighbourIndex(self._table_ids, matrix)
+        self._index = build_index(
+            self._table_ids, matrix, self.index_config, n_rows=self._corpus_size
+        )
 
     def publish_artifacts(
         self, artifacts: IndexArtifactStore, corpus_fingerprint: str | None = None
@@ -134,6 +153,10 @@ class TableSearchEngine:
 
     def __len__(self) -> int:
         return len(self._table_ids)
+
+    def index_stats(self) -> dict:
+        """The underlying index's instrumentation snapshot."""
+        return self._index.stats()
 
     def search_batch(self, queries: list[str], k: int = 10) -> list[list[SearchResult]]:
         """Ranked results for many text queries with one batched query."""

@@ -15,7 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import DEFAULT_INDEX_CONFIG, IndexConfig
 from ..core.corpus import GitTablesCorpus
+from ..embeddings.ann import PartitionedIndex
 from ..embeddings.persist import embedder_fingerprint
 from ..embeddings.sentence import SentenceEncoder
 from ..embeddings.similarity import cosine_similarity
@@ -72,10 +74,14 @@ class NearestCompletion:
         encoder: SentenceEncoder | None = None,
         min_schema_length: int = 4,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> None:
         self.encoder = encoder or SentenceEncoder()
         self.min_schema_length = min_schema_length
         self.artifacts = artifacts
+        self.index_config = index_config if index_config is not None else DEFAULT_INDEX_CONFIG
+        self._coarse: PartitionedIndex | None = None
+        self._coarse_built = False
         self._corpus_fingerprint = (
             corpus_content_fingerprint(corpus) if artifacts is not None else None
         )
@@ -162,6 +168,42 @@ class NearestCompletion:
     def __len__(self) -> int:
         return len(self._schemas)
 
+    def _coarse_index(self) -> PartitionedIndex | None:
+        """The coarse candidate tier over per-schema head embeddings.
+
+        Each qualifying schema is summarised by the mean of its first
+        ``min_schema_length`` attribute embeddings; a partitioned index
+        over those summaries lets :meth:`complete` probe for candidate
+        schemas instead of scoring the whole corpus. Built lazily,
+        in-memory only — the persisted flat attribute-matrix artifact is
+        unchanged — and only past the ``IndexConfig.min_rows`` gate, so
+        small corpora keep the exact full scan.
+        """
+        if self._coarse_built:
+            return self._coarse
+        self._coarse_built = True
+        head = self.min_schema_length
+        if head < 1 or not self.index_config.tier_active(len(self._schemas)):
+            return None
+        lengths = np.array([len(schema) for _, schema in self._schemas])
+        starts = np.concatenate([[0], np.cumsum(lengths[:-1])])
+        gather = (starts[:, None] + np.arange(head)).ravel()
+        summaries = (
+            np.asarray(self._flat_matrix[gather])
+            .reshape(len(self._schemas), head, -1)
+            .mean(axis=1)
+        )
+        self._coarse = PartitionedIndex.build(
+            [table_id for table_id, _ in self._schemas], summaries, self.index_config
+        )
+        return self._coarse
+
+    def index_stats(self) -> dict:
+        """Instrumentation snapshot of the coarse candidate tier."""
+        if self._coarse is not None:
+            return self._coarse.stats()
+        return {"tier": "flat", "rows": len(self._schemas)}
+
     def complete(self, prefix: list[str] | tuple[str, ...], k: int = 10) -> list[SchemaCompletion]:
         """Return the ``k`` nearest completions for ``prefix`` (Algorithm 1).
 
@@ -178,9 +220,23 @@ class NearestCompletion:
         n = len(prefix)
         prefix_embeddings = self.encoder.embed_many(list(prefix))
 
-        candidates = [
-            index for index, (_, schema) in enumerate(self._schemas) if len(schema) >= n
-        ]
+        candidates: list[int] | None = None
+        coarse = self._coarse_index()
+        if coarse is not None:
+            # Probe with the prefix's own head summary. A full probe
+            # (nprobe >= n_partitions) returns every schema in ascending
+            # order, reproducing the exact path below; per-candidate
+            # distances are batch-independent, so any shared candidate
+            # scores bit-identically either way.
+            query = prefix_embeddings[: self.min_schema_length].mean(axis=0)
+            probed = coarse.probe_batch(query[None, :])[0]
+            subset = [i for i in probed.tolist() if len(self._schemas[i][1]) >= n]
+            if subset:
+                candidates = subset
+        if candidates is None:
+            candidates = [
+                index for index, (_, schema) in enumerate(self._schemas) if len(schema) >= n
+            ]
         if not candidates:
             return []
         stacked = np.stack([self._attribute_embeddings[i][:n] for i in candidates])

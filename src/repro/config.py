@@ -118,6 +118,93 @@ class AnnotationConfig:
 
 
 @dataclass(frozen=True)
+class IndexConfig:
+    """Settings for the approximate nearest-neighbour index tier.
+
+    Nearest-neighbour indexes over small corpora answer queries with one
+    exact matrix product. Past ``min_rows`` rows that product is the
+    latency bottleneck, so index consumers switch to a partitioned
+    (IVF-style) tier: rows are clustered into ``n_partitions`` buckets
+    with a deterministic k-means, a query is scored against the (few)
+    partition centroids, and only the rows of the ``nprobe`` nearest
+    partitions are exact-reranked with the flat kernel. Returned
+    similarities are bit-identical to the flat index's values for every
+    hit; ``nprobe >= n_partitions`` reproduces the flat results exactly.
+
+    Only the build-shaping knobs (``min_rows``, ``n_partitions``,
+    ``kmeans_iters``, ``holdout_queries``, ``recall_k``) participate in
+    artifact fingerprints; ``nprobe`` is a query-time trade-off that can
+    change without invalidating a persisted index.
+    """
+
+    #: Corpora smaller than this keep the exact flat index — the tier is
+    #: opt-in by scale and never silently changes small-corpus results.
+    min_rows: int = 10_000
+    #: Number of k-means partitions; None derives ~sqrt(rows).
+    n_partitions: int | None = None
+    #: Partitions probed (then exact-reranked) per query. Larger probes
+    #: raise recall and cost; ``>= n_partitions`` degrades to exact.
+    nprobe: int = 8
+    #: Fixed k-means iteration count (deterministic builds need a fixed
+    #: schedule, not a convergence test).
+    kmeans_iters: int = 8
+    #: Rows sampled at build time to measure recall@``recall_k`` against
+    #: the exact index (0 disables the measurement).
+    holdout_queries: int = 64
+    #: k used by the build-time recall measurement.
+    recall_k: int = 10
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.min_rows < 1:
+            raise PipelineConfigError("min_rows must be >= 1")
+        if self.n_partitions is not None and self.n_partitions < 1:
+            raise PipelineConfigError("n_partitions must be >= 1 (or None for the heuristic)")
+        if self.nprobe < 1:
+            raise PipelineConfigError("nprobe must be >= 1")
+        if self.kmeans_iters < 0:
+            raise PipelineConfigError("kmeans_iters must be >= 0")
+        if self.holdout_queries < 0:
+            raise PipelineConfigError("holdout_queries must be >= 0")
+        if self.recall_k < 1:
+            raise PipelineConfigError("recall_k must be >= 1")
+
+    def replace(self, **overrides: object) -> "IndexConfig":
+        """A copy with the given fields replaced (and re-validated)."""
+        return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
+
+    def tier_active(self, n_rows: int) -> bool:
+        """Whether the partitioned tier activates for ``n_rows`` rows."""
+        return n_rows >= self.min_rows
+
+    def resolve_partitions(self, n_rows: int) -> int:
+        """The partition count for ``n_rows`` rows (explicit or ~sqrt)."""
+        if self.n_partitions is not None:
+            return max(1, min(self.n_partitions, n_rows))
+        return max(1, min(n_rows, round(n_rows**0.5)))
+
+    def build_fingerprint(self) -> dict:
+        """The build-shaping knobs, as an artifact-fingerprint fragment.
+
+        ``nprobe`` is deliberately absent: it only affects query-time
+        probing, so retuning it must not invalidate persisted indexes.
+        """
+        return {
+            "min_rows": int(self.min_rows),
+            "n_partitions": self.n_partitions,
+            "kmeans_iters": int(self.kmeans_iters),
+            "holdout_queries": int(self.holdout_queries),
+            "recall_k": int(self.recall_k),
+        }
+
+
+#: The configuration consumers fall back to when none is supplied.
+DEFAULT_INDEX_CONFIG = IndexConfig()
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Settings for the concurrent query service (:meth:`GitTables.serve`).
 
@@ -149,6 +236,10 @@ class ServingConfig:
     drain_timeout_s: float = 30.0
     #: Per-endpoint reservoir size for latency percentiles.
     latency_samples: int = 4096
+    #: Index-tier settings applied by workers when they load the store
+    #: (and by the in-process executor). ``None`` inherits the serving
+    #: session's own index configuration.
+    index: IndexConfig | None = None
 
     def __post_init__(self) -> None:
         self.validate()

@@ -30,8 +30,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Sequence
 
-from ..config import AnnotationConfig
+from ..config import DEFAULT_INDEX_CONFIG, AnnotationConfig, IndexConfig
 from ..dataframe.table import Table
+from ..embeddings.ann import PartitionedIndex, build_index
 from ..embeddings.fasttext import FastTextModel
 from ..embeddings.persist import embedder_fingerprint, load_index, publish_index
 from ..embeddings.similarity import NearestNeighbourIndex
@@ -274,6 +275,7 @@ class SemanticAnnotator(_ColumnNameAnnotator):
         similarity_threshold: float = 0.5,
         skip_numeric_column_names: bool = True,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> None:
         if not 0.0 <= similarity_threshold <= 1.0:
             raise AnnotationError("similarity_threshold must be within [0, 1]")
@@ -281,10 +283,11 @@ class SemanticAnnotator(_ColumnNameAnnotator):
         self.model = model or FastTextModel()
         self.similarity_threshold = similarity_threshold
         self.skip_numeric_column_names = skip_numeric_column_names
+        self.index_config = index_config if index_config is not None else DEFAULT_INDEX_CONFIG
         self._index = self._build_index(artifacts)
 
     def _index_fingerprint(self, labels: list[str]) -> dict:
-        return {
+        fingerprint = {
             "kind": "ontology-index",
             "encoder": embedder_fingerprint(self.model),
             "ontology": {
@@ -292,6 +295,12 @@ class SemanticAnnotator(_ColumnNameAnnotator):
                 "labels_digest": fingerprint_digest(labels),
             },
         }
+        # Ontologies are usually far below the tier's scale gate, so this
+        # section (and the partitioned tier) only appears for very large
+        # custom ontologies — stock fingerprints stay unchanged.
+        if self.index_config.tier_active(len(labels)):
+            fingerprint["ann"] = self.index_config.build_fingerprint()
+        return fingerprint
 
     def _build_index(self, artifacts: IndexArtifactStore | None = None) -> NearestNeighbourIndex:
         labels = self.ontology.labels()
@@ -303,12 +312,18 @@ class SemanticAnnotator(_ColumnNameAnnotator):
             if resolved is not None:
                 index, _ = resolved
                 if index.labels == list(labels):
+                    if isinstance(index, PartitionedIndex):
+                        index.nprobe = self.index_config.nprobe
                     return index
         vectors = self.model.embed_batch([normalize_label(label) for label in labels])
-        index = NearestNeighbourIndex(labels, vectors)
+        index = build_index(labels, vectors, self.index_config)
         if fingerprint is not None:
             try_publish(publish_index, artifacts, artifact_name, fingerprint, index)
         return index
+
+    def index_stats(self) -> dict:
+        """The ontology index's instrumentation snapshot."""
+        return self._index.stats()
 
     def publish_artifact(self, artifacts: IndexArtifactStore) -> bool:
         """Persist this annotator's ontology label index (no-op if current).
@@ -361,6 +376,7 @@ class AnnotationPipeline:
         self,
         config: AnnotationConfig | None = None,
         artifacts: IndexArtifactStore | None = None,
+        index_config: IndexConfig | None = None,
     ) -> None:
         self.config = config or AnnotationConfig()
         self.config.validate()
@@ -381,6 +397,7 @@ class AnnotationPipeline:
                 similarity_threshold=self.config.semantic_similarity_threshold,
                 skip_numeric_column_names=self.config.skip_numeric_column_names,
                 artifacts=artifacts,
+                index_config=index_config,
             )
             for name, ontology in self._ontologies.items()
         }

@@ -12,20 +12,29 @@ pipeline relies on:
   similarity 1.0, reproducing the "peak at 1" in paper Figure 4c.
 """
 
+from .ann import PartitionedIndex, build_index
 from .fasttext import FastTextModel
 from .hashing import hashed_unit_vector, ngrams, tokenize
 from .persist import embedder_fingerprint
 from .sentence import SentenceEncoder
-from .similarity import NearestNeighbourIndex, cosine_similarity, cosine_similarity_matrix
+from .similarity import (
+    NearestNeighbourIndex,
+    cosine_similarity,
+    cosine_similarity_matrix,
+    top_k_ids_scores,
+)
 
 __all__ = [
     "FastTextModel",
     "NearestNeighbourIndex",
+    "PartitionedIndex",
     "SentenceEncoder",
+    "build_index",
     "cosine_similarity",
     "cosine_similarity_matrix",
     "embedder_fingerprint",
     "hashed_unit_vector",
     "ngrams",
     "tokenize",
+    "top_k_ids_scores",
 ]

@@ -23,6 +23,7 @@ any of their own parameters that shape the matrix.
 from __future__ import annotations
 
 from ..storage.artifacts import IndexArtifactStore, LoadedArtifact
+from .ann import PartitionedIndex, _validate_partition_tables
 from .similarity import NearestNeighbourIndex
 
 __all__ = [
@@ -36,6 +37,11 @@ __all__ = [
 INDEX_VECTORS_KEY = "unit_vectors"
 #: Payload key under which an index's labels are published.
 INDEX_LABELS_KEY = "labels"
+#: Extra arrays/payload published for a partitioned (ANN-tier) index.
+ANN_CENTROIDS_KEY = "ann_centroids"
+ANN_ROW_IDS_KEY = "ann_partition_row_ids"
+ANN_OFFSETS_KEY = "ann_partition_offsets"
+ANN_PAYLOAD_KEY = "ann"
 
 
 def embedder_fingerprint(model) -> dict:
@@ -67,21 +73,53 @@ def publish_index(
     index: NearestNeighbourIndex,
     payload: dict | None = None,
 ) -> None:
-    """Publish an index (plus optional extra payload) as one artifact."""
+    """Publish an index (plus optional extra payload) as one artifact.
+
+    A partitioned index additionally publishes its centroid matrix and
+    partition tables (under the ``ann_*`` array keys) plus an ``ann``
+    payload section, so :func:`index_from_artifact` can reopen it as the
+    same tier without re-running k-means.
+    """
     full_payload = dict(payload or {})
     full_payload[INDEX_LABELS_KEY] = list(index.labels)
-    artifacts.publish(
-        name,
-        fingerprint,
-        arrays={INDEX_VECTORS_KEY: index._unit_vectors},
-        payload=full_payload,
-    )
+    arrays = {INDEX_VECTORS_KEY: index._unit_vectors}
+    if isinstance(index, PartitionedIndex):
+        arrays[ANN_CENTROIDS_KEY] = index._centroids
+        arrays[ANN_ROW_IDS_KEY] = index._row_ids
+        arrays[ANN_OFFSETS_KEY] = index._offsets
+        full_payload[ANN_PAYLOAD_KEY] = {
+            "n_partitions": index.n_partitions,
+            "nprobe": index.nprobe,
+            "recall": index.recall,
+        }
+    artifacts.publish(name, fingerprint, arrays=arrays, payload=full_payload)
 
 
 def index_from_artifact(loaded: LoadedArtifact) -> NearestNeighbourIndex:
-    """Rebuild the index held by a loaded artifact (mmap-backed)."""
-    return NearestNeighbourIndex._from_unit_vectors(
-        loaded.payload[INDEX_LABELS_KEY], loaded.arrays[INDEX_VECTORS_KEY]
+    """Rebuild the index held by a loaded artifact (mmap-backed).
+
+    Artifacts carrying the ``ann_*`` arrays come back as a
+    :class:`PartitionedIndex` (same tier they were published as);
+    everything else comes back flat. Either way the unit-vector matrix
+    stays mmap'd and queries are bit-identical to the published index.
+    """
+    labels = loaded.payload[INDEX_LABELS_KEY]
+    vectors = loaded.arrays[INDEX_VECTORS_KEY]
+    ann_meta = loaded.payload.get(ANN_PAYLOAD_KEY)
+    if ann_meta is None or ANN_CENTROIDS_KEY not in loaded.arrays:
+        return NearestNeighbourIndex._from_unit_vectors(labels, vectors)
+    centroids = loaded.arrays[ANN_CENTROIDS_KEY]
+    row_ids = loaded.arrays[ANN_ROW_IDS_KEY]
+    offsets = loaded.arrays[ANN_OFFSETS_KEY]
+    _validate_partition_tables(row_ids, offsets, len(centroids), len(labels))
+    return PartitionedIndex._from_parts(
+        labels,
+        vectors,
+        centroids,
+        row_ids,
+        offsets,
+        ann_meta.get("nprobe", 1),
+        recall=ann_meta.get("recall"),
     )
 
 

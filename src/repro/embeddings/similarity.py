@@ -8,7 +8,14 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["cosine_similarity", "cosine_similarity_matrix", "NearestNeighbourIndex"]
+from ..storage._io import atomic_replace, atomic_write_json
+
+__all__ = [
+    "cosine_similarity",
+    "cosine_similarity_matrix",
+    "top_k_ids_scores",
+    "NearestNeighbourIndex",
+]
 
 #: On-disk layout of a persisted index (see NearestNeighbourIndex.save).
 _INDEX_META_FILENAME = "index.json"
@@ -33,6 +40,58 @@ def cosine_similarity_matrix(queries: np.ndarray, index: np.ndarray) -> np.ndarr
     query_norms[query_norms == 0.0] = 1.0
     index_norms[index_norms == 0.0] = 1.0
     return (queries / query_norms) @ (index / index_norms).T
+
+
+def top_k_ids_scores(
+    similarities: np.ndarray, top_k: int, ids: np.ndarray | None = None
+) -> list[list[tuple[int, float]]]:
+    """Top-k selection over a dense similarity block, fully vectorized.
+
+    Given per-query similarities of shape ``(n_queries, n_candidates)``
+    — against the whole index (``ids=None``: candidate column == global
+    row id) or against a gathered candidate subset (``ids`` maps columns
+    to global row ids) — return per query the ``top_k``
+    ``(global_id, similarity)`` pairs ordered by descending similarity,
+    ties broken by ascending global id.
+
+    This is the shared selection kernel behind both the flat
+    :meth:`NearestNeighbourIndex.top_k_batch` and the partitioned tier's
+    rerank: one ``argpartition`` + ``take_along_axis`` + a single batched
+    ``lexsort`` for the whole block, no per-row Python loop. When ``ids``
+    is given its columns must be sorted ascending so the ``top_k == 1``
+    argmax fast path (first maximum) keeps the ascending-id tie-break.
+    ``top_k`` must already be clamped to ``n_candidates`` by the caller.
+    """
+    n_queries, n_candidates = similarities.shape
+    if n_candidates == 0:
+        return [[] for _ in range(n_queries)]
+    if top_k == 1:
+        # argmax returns the first maximum — with columns in ascending
+        # global-id order that is exactly the ascending-id tie-break.
+        best = np.argmax(similarities, axis=1)
+        global_best = best if ids is None else np.asarray(ids)[best]
+        scores = np.take_along_axis(similarities, best[:, None], axis=1)[:, 0]
+        return [
+            [(int(gid), float(score))] for gid, score in zip(global_best, scores)
+        ]
+    if top_k < n_candidates:
+        columns = np.argpartition(-similarities, top_k - 1, axis=1)[:, :top_k]
+    else:
+        columns = np.tile(np.arange(n_candidates), (n_queries, 1))
+    scores = np.take_along_axis(similarities, columns, axis=1)
+    global_ids = columns if ids is None else np.asarray(ids)[columns]
+    # One lexsort for the whole block: the row index is the primary key,
+    # so each row's entries stay contiguous and are ordered internally by
+    # (-score, ascending id) — the same comparison the old per-row
+    # ``lexsort((candidates, -scores))`` performed.
+    rows = np.repeat(np.arange(n_queries), top_k)
+    order = np.lexsort((global_ids.ravel(), -scores.ravel(), rows))
+    sorted_ids = global_ids.ravel()[order].reshape(n_queries, top_k)
+    sorted_scores = scores.ravel()[order].reshape(n_queries, top_k)
+    return [
+        [(int(gid), float(score)) for gid, score in zip(id_row, score_row)]
+        for id_row, score_row in zip(sorted_ids, sorted_scores)
+    ]
 
 
 class NearestNeighbourIndex:
@@ -72,6 +131,10 @@ class NearestNeighbourIndex:
     def __len__(self) -> int:
         return len(self.labels)
 
+    def stats(self) -> dict:
+        """Instrumentation snapshot; the exact tier has nothing to tune."""
+        return {"tier": "flat", "rows": len(self.labels)}
+
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str | os.PathLike[str]) -> None:
@@ -81,11 +144,17 @@ class NearestNeighbourIndex:
         as ``unit_vectors.npy`` next to a JSON metadata file holding the
         labels and the expected dtype/shape, so an ``mmap`` of the saved
         index answers queries bit-identically to this in-RAM one.
+
+        Every file goes through the storage layer's temp-file + rename +
+        fsync helper, and the metadata (the commit point :meth:`mmap`
+        validates against) is written last — a save killed at any point
+        leaves either the previous index or no readable index, never
+        valid metadata next to a half-written matrix.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         vectors = np.asarray(self._unit_vectors)
-        with open(path / _INDEX_VECTORS_FILENAME, "wb") as handle:
+        with atomic_replace(path / _INDEX_VECTORS_FILENAME) as handle:
             np.save(handle, vectors)
         meta = {
             "format": _INDEX_FORMAT,
@@ -94,8 +163,7 @@ class NearestNeighbourIndex:
             "dtype": str(vectors.dtype),
             "shape": list(vectors.shape),
         }
-        with open(path / _INDEX_META_FILENAME, "w", encoding="utf-8") as handle:
-            json.dump(meta, handle, ensure_ascii=False)
+        atomic_write_json(path / _INDEX_META_FILENAME, meta)
 
     @classmethod
     def mmap(cls, path: str | os.PathLike[str]) -> "NearestNeighbourIndex":
@@ -141,27 +209,7 @@ class NearestNeighbourIndex:
         # last ulp with the batch's row count/position, which would break
         # the guarantee that a query scores bit-identically in any batch.
         similarities = np.einsum("qd,ld->ql", units, self._unit_vectors)
-        top_k = min(top_k, len(self.labels))
-        if top_k == 1:
-            # argmax returns the first maximum — the same ascending-index
-            # tie-break as the general path, without the partition.
-            best = np.argmax(similarities, axis=1)
-            return [
-                [(int(index), float(row[index]))]
-                for index, row in zip(best, similarities)
-            ]
-        if top_k < len(self.labels):
-            candidates = np.argpartition(-similarities, top_k - 1, axis=1)[:, :top_k]
-        else:
-            candidates = np.tile(np.arange(len(self.labels)), (n_queries, 1))
-        results: list[list[tuple[int, float]]] = []
-        for row, row_candidates in zip(similarities, candidates):
-            scores = row[row_candidates]
-            order = np.lexsort((row_candidates, -scores))
-            results.append(
-                [(int(row_candidates[i]), float(scores[i])) for i in order]
-            )
-        return results
+        return top_k_ids_scores(similarities, min(top_k, len(self.labels)))
 
     def query_batch(self, matrix: np.ndarray, top_k: int = 1) -> list[list[tuple[str, float]]]:
         """Per query row: the ``top_k`` (label, similarity) pairs."""

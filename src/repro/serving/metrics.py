@@ -62,6 +62,9 @@ class ServiceMetrics:
         self._max_queue_depth = 0
         self._worker_crashes = 0
         self._worker_respawns = 0
+        #: source ("local" / "worker-00" / ...) -> latest index_stats()
+        #: dict reported by that executor (engine -> tier stats).
+        self._index_stats: dict[str, dict] = {}
         self._started_at = time.monotonic()
 
     def _endpoint(self, endpoint: str) -> _EndpointStats:
@@ -119,6 +122,45 @@ class ServiceMetrics:
             if respawned:
                 self._worker_respawns += 1
 
+    def record_index_stats(self, source: str, stats: dict) -> None:
+        """Store one executor's latest index-tier snapshot.
+
+        ``stats`` is a :meth:`GitTables.index_stats`-shaped dict (engine
+        name -> tier stats). Each worker's counters are cumulative, so
+        only the latest report per source is kept; :meth:`snapshot`
+        merges across sources.
+        """
+        with self._lock:
+            self._index_stats[source] = stats
+
+    @staticmethod
+    def _merged_index_stats(per_source: dict[str, dict]) -> dict:
+        """Fold per-worker cumulative index stats into one view per engine."""
+        merged: dict[str, dict] = {}
+        for source in sorted(per_source):
+            for engine, stats in per_source[source].items():
+                current = merged.get(engine)
+                if current is None:
+                    current = merged[engine] = dict(stats)
+                    current["probed_partitions"] = dict(stats.get("probed_partitions", {}))
+                    continue
+                for key in ("queries", "candidate_rows"):
+                    if key in stats:
+                        current[key] = current.get(key, 0) + stats[key]
+                for bucket, count in stats.get("probed_partitions", {}).items():
+                    histogram = current["probed_partitions"]
+                    histogram[bucket] = histogram.get(bucket, 0) + count
+        for current in merged.values():
+            if current.get("tier") != "partitioned":
+                current.pop("probed_partitions", None)
+                continue
+            queries = current.get("queries", 0)
+            rows = current.get("rows", 0)
+            current["mean_candidate_fraction"] = (
+                current.get("candidate_rows", 0) / (queries * rows) if queries and rows else 0.0
+            )
+        return merged
+
     # -- reporting ---------------------------------------------------------
 
     def snapshot(self, queue_limit: int | None = None, workers: dict | None = None) -> dict:
@@ -168,6 +210,7 @@ class ServiceMetrics:
                     "crashes": self._worker_crashes,
                     "respawns": self._worker_respawns,
                 },
+                "index": self._merged_index_stats(self._index_stats),
                 "endpoints": endpoints,
             }
         return snapshot

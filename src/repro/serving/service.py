@@ -71,10 +71,14 @@ class QueryService:
                 resolve=self._resolve,
                 max_respawns=self.config.max_respawns,
                 on_crash=self._metrics.record_worker_crash,
+                on_stats=self._metrics.record_index_stats,
+                index_config=self.config.index,
                 mp_context=mp_context,
             )
         else:
-            self._executor = LocalExecutor(session, resolve=self._resolve)
+            self._executor = LocalExecutor(
+                session, resolve=self._resolve, on_stats=self._metrics.record_index_stats
+            )
         self._batcher = MicroBatcher(
             dispatch=self._dispatch,
             max_batch=self.config.max_batch,

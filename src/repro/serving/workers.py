@@ -42,15 +42,21 @@ __all__ = ["LocalExecutor", "WorkerPool"]
 STARTUP_TIMEOUT_SECONDS = 120.0
 
 
-def _serving_worker_main(directory: str, worker: int, parent_pid: int, task_queue, result_queue):
+def _serving_worker_main(
+    directory: str, worker: int, parent_pid: int, task_queue, result_queue, index_config=None
+):
     """Worker process entry point: serve endpoint batches until told to stop.
 
     Sends ``("ready", worker, pid)`` once the session is loaded and its
     engines are warm, then answers every ``("batch", id, endpoint, key,
-    payloads)`` task with ``("ok", worker, id, results)`` — or
-    ``("error", worker, id, traceback)`` for a failing batch, which does
-    *not* kill the worker (one malformed batch must not take down the
-    pool). Exits on the ``None`` sentinel or when the parent dies.
+    payloads)`` task with ``("ok", worker, id, results, index_stats)`` —
+    or ``("error", worker, id, traceback, None)`` for a failing batch,
+    which does *not* kill the worker (one malformed batch must not take
+    down the pool). The piggybacked ``index_stats`` element is the
+    session's cumulative ANN-tier instrumentation (None when no engine
+    is built), so the parent's metrics see the tier in use without an
+    extra round trip. Exits on the ``None`` sentinel or when the parent
+    dies.
     """
 
     def leave():
@@ -61,14 +67,14 @@ def _serving_worker_main(directory: str, worker: int, parent_pid: int, task_queu
     try:
         from ..api import GitTables
 
-        session = GitTables.load(directory)
+        session = GitTables.load(directory, index_config=index_config)
         # Warm the served engines now — resolved from mmap'd artifacts
         # when the store holds valid ones — so the first request does
         # not pay the build cost.
         _ = session.search_engine
         _ = session.completer
     except Exception:
-        result_queue.put(("error", worker, None, traceback.format_exc()))
+        result_queue.put(("error", worker, None, traceback.format_exc(), None))
         return leave()
     result_queue.put(("ready", worker, os.getpid()))
     memo: dict = {}
@@ -84,17 +90,18 @@ def _serving_worker_main(directory: str, worker: int, parent_pid: int, task_queu
         _, batch_id, endpoint, key, payloads = task
         try:
             results = execute_batch(session, endpoint, key, payloads, memo=memo)
-            result_queue.put(("ok", worker, batch_id, results))
+            result_queue.put(("ok", worker, batch_id, results, session.index_stats() or None))
         except Exception:
-            result_queue.put(("error", worker, batch_id, traceback.format_exc()))
+            result_queue.put(("error", worker, batch_id, traceback.format_exc(), None))
 
 
 class LocalExecutor:
     """Inline batch execution against the parent's own session."""
 
-    def __init__(self, session, resolve) -> None:
+    def __init__(self, session, resolve, on_stats=None) -> None:
         self._session = session
         self._resolve = resolve
+        self._on_stats = on_stats
         self._memo: dict = {}
 
     def dispatch(self, requests: list[Request]) -> None:
@@ -111,6 +118,10 @@ class LocalExecutor:
             for request in requests:
                 self._resolve(request, error=error)
             return
+        if self._on_stats is not None:
+            stats = self._session.index_stats()
+            if stats:
+                self._on_stats("local", stats)
         for request, result in zip(requests, results):
             self._resolve(request, result=result)
 
@@ -166,12 +177,16 @@ class WorkerPool:
         resolve,
         max_respawns: int = 3,
         on_crash=None,
+        on_stats=None,
+        index_config=None,
         mp_context=None,
     ) -> None:
         self._directory = str(directory)
         self._resolve = resolve
         self._max_respawns = max_respawns
         self._on_crash = on_crash
+        self._on_stats = on_stats
+        self._index_config = index_config
         self._mp = mp_context if mp_context is not None else build_mp_context()
         self._result_queue = self._mp.Queue()
         self._lock = threading.Lock()
@@ -200,6 +215,7 @@ class WorkerPool:
                 os.getpid(),
                 handle.task_queue,
                 self._result_queue,
+                self._index_config,
             ),
             daemon=True,
             name=f"gittables-serve-w{handle.index:02d}",
@@ -299,7 +315,9 @@ class WorkerPool:
                 with self._lock:
                     self._workers[index].pid = pid
                 continue
-            _, worker, batch_id, body = message
+            _, worker, batch_id, body, index_stats = message
+            if index_stats is not None and self._on_stats is not None:
+                self._on_stats(f"worker-{worker:02d}", index_stats)
             if batch_id is None:
                 continue  # init failure of a respawn; liveness check handles it
             with self._lock:

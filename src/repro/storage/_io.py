@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
+from typing import IO, Iterator
 
-__all__ = ["atomic_write_json", "directory_file_bytes", "fsync_dir"]
+__all__ = ["atomic_replace", "atomic_write_json", "directory_file_bytes", "fsync_dir"]
 
 
 def directory_file_bytes(directory: str | os.PathLike[str]) -> dict[str, bytes]:
@@ -46,18 +48,38 @@ def fsync_dir(directory: str | os.PathLike[str]) -> None:
         os.close(fd)
 
 
-def atomic_write_json(path: str | os.PathLike[str], payload: dict, indent: int = 1) -> None:
-    """Atomically replace ``path`` with ``payload`` as JSON.
+@contextmanager
+def atomic_replace(
+    path: str | os.PathLike[str], mode: str = "wb", encoding: str | None = None
+) -> Iterator[IO]:
+    """Yield a handle whose contents atomically replace ``path`` on exit.
 
     The bytes are written to a temp sibling, flushed and fsynced, then
-    renamed over ``path`` — a reader never observes a half-written file.
-    The rename itself is made durable by fsyncing the directory.
+    renamed over ``path`` — a reader (or a crash at any point) never
+    observes a half-written file. The rename itself is made durable by
+    fsyncing the directory. If the body raises, the temp file is removed
+    and ``path`` is left untouched.
     """
     path = Path(path)
     tmp_path = path.with_name(path.name + ".tmp")
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(json.dumps(payload, ensure_ascii=False, indent=indent) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    handle = open(tmp_path, mode, encoding=encoding)
+    try:
+        with handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        tmp_path.unlink(missing_ok=True)
+        raise
     os.replace(tmp_path, path)
     fsync_dir(path.parent)
+
+
+def atomic_write_json(path: str | os.PathLike[str], payload: dict, indent: int = 1) -> None:
+    """Atomically replace ``path`` with ``payload`` as JSON.
+
+    Built on :func:`atomic_replace`, so a reader never observes a
+    half-written file and the rename is made durable.
+    """
+    with atomic_replace(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, ensure_ascii=False, indent=indent) + "\n")

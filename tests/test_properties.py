@@ -478,3 +478,90 @@ class TestManifestLogMergeProperties:
         assert surviving == set(intact.worker_states[victim]["tables"]) - {
             f"t{i:03d}" for i in lost
         }
+
+
+class TestTopKSelectionProperties:
+    """The vectorized top-k kernel against the per-row reference.
+
+    ``top_k_ids_scores`` replaced a per-query Python loop (argpartition
+    + per-row lexsort). The property: for any similarity matrix — ties,
+    duplicates, negatives, zero rows included — the batched single-
+    lexsort kernel returns byte-for-byte what the loop returned.
+    """
+
+    @staticmethod
+    def _reference(similarities: np.ndarray, top_k: int) -> list:
+        """The pre-vectorization per-row selection, verbatim semantics."""
+        n_queries, n = similarities.shape
+        if n == 0:
+            return [[] for _ in range(n_queries)]
+        top_k = min(top_k, n)
+        if top_k == 1:
+            best = np.argmax(similarities, axis=1)
+            return [
+                [(int(index), float(row[index]))]
+                for index, row in zip(best, similarities)
+            ]
+        if top_k < n:
+            candidates = np.argpartition(-similarities, top_k - 1, axis=1)[:, :top_k]
+        else:
+            candidates = np.tile(np.arange(n), (n_queries, 1))
+        results = []
+        for row, row_candidates in zip(similarities, candidates):
+            scores = row[row_candidates]
+            order = np.lexsort((row_candidates, -scores))
+            results.append([(int(row_candidates[i]), float(scores[i])) for i in order])
+        return results
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_selection_matches_per_row_reference(self, data):
+        from repro.embeddings.similarity import top_k_ids_scores
+
+        n_queries = data.draw(st.integers(min_value=1, max_value=6))
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        top_k = data.draw(st.integers(min_value=1, max_value=15))
+        # Coarse values on purpose: quantizing to eighths forces score
+        # ties, the regime where tie-break order actually matters.
+        cells = data.draw(
+            st.lists(
+                st.integers(min_value=-8, max_value=8),
+                min_size=n_queries * n,
+                max_size=n_queries * n,
+            )
+        )
+        similarities = np.array(cells, dtype=float).reshape(n_queries, n) / 8.0
+        assert top_k_ids_scores(similarities, min(top_k, n)) == self._reference(
+            similarities, top_k
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_partitioned_rerank_scores_match_flat_bitwise(self, data):
+        from repro.config import IndexConfig
+        from repro.embeddings.ann import PartitionedIndex
+
+        rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=2**31)))
+        n = data.draw(st.integers(min_value=1, max_value=40))
+        dim = data.draw(st.integers(min_value=2, max_value=8))
+        n_partitions = data.draw(st.integers(min_value=1, max_value=8))
+        nprobe = data.draw(st.integers(min_value=1, max_value=8))
+        vectors = rng.standard_normal((n, dim))
+        flat = NearestNeighbourIndex(list(range(n)), vectors)
+        ann = PartitionedIndex.from_flat(
+            flat,
+            IndexConfig(
+                min_rows=1, n_partitions=n_partitions, nprobe=nprobe, holdout_queries=0
+            ),
+        )
+        queries = rng.standard_normal((3, dim))
+        exact = flat.top_k_batch(queries, top_k=n)
+        for exact_row, approx_row in zip(exact, ann.top_k_batch(queries, top_k=n)):
+            exact_scores = dict(exact_row)
+            for label, score in approx_row:
+                assert score == exact_scores[label]
+        # Full probe is not merely bit-identical on shared hits: it IS
+        # the flat result, boundary ties included.
+        assert ann.top_k_batch(queries, top_k=5, nprobe=n_partitions) == flat.top_k_batch(
+            queries, top_k=5
+        )

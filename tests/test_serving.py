@@ -276,3 +276,52 @@ class TestServiceMetricsSnapshot:
                     )
                 )
         assert results == expected
+
+
+class TestIndexTierMetrics:
+    """``snapshot()['index']`` — the ANN-tier view fed by the executors."""
+
+    def test_local_executor_reports_flat_tier(self, gittables_corpus):
+        session = GitTables.from_corpus(gittables_corpus)
+        with session.serve(workers=0) as service:
+            service.search("index tier probe", k=3)
+            index = service.metrics()["index"]
+        # The small corpus stays below the ANN scale gate: flat tier,
+        # no probe histogram to report.
+        assert index["search"]["tier"] == "flat"
+        assert "probed_partitions" not in index["search"]
+
+    def test_local_executor_reports_partitioned_tier(self, gittables_corpus):
+        from repro.config import IndexConfig
+
+        session = GitTables.from_corpus(
+            gittables_corpus, index_config=IndexConfig(min_rows=1, nprobe=2)
+        )
+        with session.serve(workers=0) as service:
+            service.search("index tier probe", k=3)
+            service.complete_schema(["name", "email"], k=3)
+            index = service.metrics()["index"]
+        assert index["search"]["tier"] == "partitioned"
+        assert index["search"]["queries"] >= 1
+        assert index["search"]["probed_partitions"]
+        assert 0.0 < index["search"]["mean_candidate_fraction"] <= 1.0
+        assert index["completion"]["tier"] == "partitioned"
+
+    def test_worker_pool_merges_tier_stats(self, gittables_corpus, tmp_path):
+        from repro.config import IndexConfig
+
+        directory = tmp_path / "corpus"
+        GitTables.from_corpus(gittables_corpus).save(directory)
+        session = GitTables.load(
+            directory, index_config=IndexConfig(min_rows=1, nprobe=2)
+        )
+        queries = [f"pooled tier probe {index}" for index in range(6)]
+        expected = [session.search(query, k=3) for query in queries]
+        with session.serve(workers=2, max_wait_ms=10.0) as service:
+            results = [service.search(query, k=3) for query in queries]
+            index = service.metrics()["index"]
+        assert results == expected
+        assert index["search"]["tier"] == "partitioned"
+        # Counters are merged across workers: every query is accounted for.
+        assert index["search"]["queries"] >= len(queries)
+        assert sum(index["search"]["probed_partitions"].values()) >= len(queries)
