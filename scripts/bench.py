@@ -30,6 +30,10 @@ Suites:
   rerank tier over a 50k-row clustered corpus; enforces the ≥5x
   throughput / recall@10 ≥ 0.95 / shared-hit bit-identity acceptance
   criteria and writes ``BENCH_ann.json``.
+* ``stats`` — the full corpus-statistics surface off the materialized
+  columnar projection vs the streaming per-table scan over a 5k-table
+  sharded store; enforces the ≥5x speedup / exact-equality acceptance
+  criteria and writes ``BENCH_stats.json``.
 * ``all`` — every suite.
 
 ``--list`` prints the suite registry without running anything;
@@ -43,6 +47,7 @@ deselects, so ``-m slow`` is required)::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_parallel_build.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_serving.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_ann.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_stats.py -s -m slow
 """
 
 from __future__ import annotations
@@ -90,6 +95,11 @@ from benchmarks.test_bench_ann import (  # noqa: E402
     MIN_SPEEDUP as ANN_MIN_SPEEDUP,
     N_ROWS as ANN_N_ROWS,
     run_ann_benchmark,
+)
+from benchmarks.test_bench_stats import (  # noqa: E402
+    MIN_SPEEDUP as STATS_MIN_SPEEDUP,
+    N_TABLES as STATS_N_TABLES,
+    run_stats_benchmark,
 )
 
 
@@ -265,6 +275,29 @@ def run_ann_suite(rows: int, output: Path) -> int:
     return 0
 
 
+def run_stats_suite(tables: int, output: Path) -> int:
+    result = run_stats_benchmark(n_tables=tables)
+    _write_baseline(output, "stats", result)
+    print(
+        f"stats surface over {result['n_tables']} tables "
+        f"({result['n_columns']} columns, {result['n_annotations']} annotations): "
+        f"scan {result['scan_seconds']:.3f}s | "
+        f"columnar {result['columnar_seconds']:.3f}s | "
+        f"speedup {result['speedup']:.1f}x | "
+        f"one-time build+publish {result['build_publish_seconds']:.3f}s"
+    )
+    if not result["results_equal"]:
+        print("FAIL: columnar statistics differ from the streaming scan", file=sys.stderr)
+        return 1
+    if result["speedup"] < STATS_MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below {STATS_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 #: Suite registry: name → (runner, default table count, baseline file,
 #: one-line description shown by ``--help``).
 SUITES = {
@@ -305,6 +338,12 @@ SUITES = {
         "BENCH_ann.json",
         f"flat vs partitioned probe-then-rerank batch search "
         f"(>={ANN_MIN_SPEEDUP}x at recall@10 >= {ANN_MIN_RECALL} gate)",
+    ),
+    "stats": (
+        run_stats_suite,
+        STATS_N_TABLES,
+        "BENCH_stats.json",
+        f"columnar projection vs streaming scan statistics (>={STATS_MIN_SPEEDUP}x gate)",
     ),
 }
 

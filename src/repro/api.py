@@ -51,7 +51,8 @@ from .applications.type_detection import TypeDetectionExperiment, TypeDetectionR
 from .config import DEFAULT_INDEX_CONFIG, IndexConfig, PipelineConfig
 from .core.corpus import GitTablesCorpus
 from .core.pipeline import DEFAULT_BATCH_SIZE, CorpusBuilder, PipelineResult
-from .storage.artifacts import IndexArtifactStore
+from .storage.artifacts import IndexArtifactStore, try_publish
+from .storage.columnar import ColumnarProjection, ensure_projection, publish_projection
 from .storage.sharded import DEFAULT_SHARD_SIZE, ShardedJsonlStore, is_sharded_dir
 from .core.stats import AnnotationStatistics, CorpusStatistics
 from .embeddings.sentence import SentenceEncoder
@@ -221,11 +222,27 @@ class GitTables:
     def topics(self) -> list[str]:
         return self._corpus.topics()
 
+    def columnar(self) -> ColumnarProjection:
+        """The corpus' materialized columnar metadata projection.
+
+        Resolved once per session: a projection already attached to the
+        corpus is reused, a persisted ``stats-projection`` artifact
+        matching the store's content fingerprint is mmap'd back, and
+        otherwise the projection is built with one corpus scan (and
+        published for the next session when a store is attached). All
+        statistics surfaces — :meth:`stats`, :meth:`annotation_stats`,
+        :class:`~repro.storage.columnar.TablePredicate` filters — run
+        engine-side over these arrays afterwards.
+        """
+        return ensure_projection(self._corpus, self._artifacts)
+
     def stats(self) -> CorpusStatistics:
-        return CorpusStatistics.from_corpus(self._corpus)
+        """Structural corpus statistics, computed on the columnar engine."""
+        return CorpusStatistics.from_projection(self.columnar())
 
     def annotation_stats(self) -> AnnotationStatistics:
-        return AnnotationStatistics.from_corpus(self._corpus)
+        """Annotation statistics, computed on the columnar engine."""
+        return AnnotationStatistics.from_projection(self.columnar())
 
     def save(
         self,
@@ -259,6 +276,16 @@ class GitTables:
         for benchmark in self._kg_benchmarks.values():
             if benchmark.corpus_size == current_size:
                 benchmark.publish_artifacts(artifacts, corpus_fingerprint=fingerprint)
+        # The columnar stats projection rides along too: an attached
+        # current projection is republished under the saved manifest's
+        # fingerprint, otherwise one is built from the corpus being
+        # saved (the tables were just streamed to disk, so the arrays
+        # describe exactly the saved bytes).
+        projection = self._corpus.projection
+        if projection is None:
+            projection = ColumnarProjection.from_corpus(self._corpus)
+            self._corpus.attach_projection(projection)
+        try_publish(publish_projection, artifacts, projection, corpus_fingerprint=fingerprint)
 
     # -- shared lazy state -------------------------------------------------
 

@@ -35,6 +35,7 @@ from typing import Callable, Iterator
 from ..dataframe.table import Table
 from ..errors import CorpusError
 from ..storage.base import CorpusStore
+from ..storage.columnar import ColumnarProjection, TablePredicate
 from ..storage.memory import InMemoryStore
 from ..storage.sharded import (
     DEFAULT_SHARD_SIZE,
@@ -130,11 +131,39 @@ class GitTablesCorpus:
         elif name is not None:
             store.name = name
         self._store = store
+        self._projection: ColumnarProjection | None = None
 
     @property
     def store(self) -> CorpusStore:
         """The storage backend this corpus delegates to."""
         return self._store
+
+    # -- columnar projection ----------------------------------------------
+
+    def attach_projection(self, projection: ColumnarProjection) -> None:
+        """Attach a materialized columnar metadata projection.
+
+        Once attached (see :func:`~repro.storage.columnar.
+        ensure_projection`), corpus statistics and
+        :class:`~repro.storage.columnar.TablePredicate` filters are
+        evaluated engine-side on the projection's arrays instead of
+        iterating parsed tables.
+        """
+        self._projection = projection
+
+    @property
+    def projection(self) -> ColumnarProjection | None:
+        """The attached projection, or ``None`` when absent or stale.
+
+        Corpora are append-only (duplicate ids rejected, no removal),
+        so a table-count mismatch is exactly "tables were added since
+        the projection was built" — the stale projection is ignored and
+        consumers fall back to iteration (or rebuild).
+        """
+        projection = self._projection
+        if projection is not None and projection.table_count == len(self._store):
+            return projection
+        return None
 
     @property
     def name(self) -> str:
@@ -192,13 +221,33 @@ class GitTablesCorpus:
                 subset.add(annotated)
         return subset
 
-    def filter(self, predicate: Callable[[AnnotatedTable], bool], name: str | None = None) -> "GitTablesCorpus":
+    def filter(
+        self,
+        predicate: Callable[[AnnotatedTable], bool] | TablePredicate,
+        name: str | None = None,
+    ) -> "GitTablesCorpus":
         """A sub-corpus of the tables satisfying ``predicate``.
 
-        The result is in-memory and named ``<parent>/filtered`` unless an
-        explicit ``name`` records more specific provenance.
+        ``predicate`` is either a plain callable (evaluated by streaming
+        iteration, as before) or a declarative
+        :class:`~repro.storage.columnar.TablePredicate`. With a current
+        columnar projection attached, declarative predicates are pushed
+        down to the projection arrays: matching table ids are computed
+        engine-side and only those tables' shards are read. Both paths
+        select identical table ids. The result is in-memory and named
+        ``<parent>/filtered`` unless an explicit ``name`` records more
+        specific provenance.
         """
         subset = GitTablesCorpus(name=name or f"{self.name}/filtered")
+        if isinstance(predicate, TablePredicate):
+            projection = self.projection
+            if projection is not None:
+                for table_id in projection.select_ids(predicate):
+                    annotated = self._store.get(table_id)
+                    if annotated is not None:
+                        subset.add(annotated)
+                return subset
+            predicate = predicate.matches
         for annotated in self._store:
             if predicate(annotated):
                 subset.add(annotated)

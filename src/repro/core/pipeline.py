@@ -48,6 +48,7 @@ from ..storage.checkpoint import (
     save_build_meta,
 )
 from ..storage.artifacts import IndexArtifactStore
+from ..storage.columnar import ensure_projection
 from ..storage.sharded import DEFAULT_SHARD_SIZE, ShardedCorpusWriter, ShardedJsonlStore
 from ..wordnet.topics import select_topics
 from .corpus import GitTablesCorpus
@@ -281,6 +282,10 @@ class CorpusBuilder:
         in the session that did the work (see :class:`PipelineResult`).
         """
         corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+        # Resolve (or build-and-publish) the columnar stats projection:
+        # the curation report below — and every later stats call on this
+        # corpus — then reads metadata arrays instead of parsing shards.
+        ensure_projection(corpus, IndexArtifactStore.for_corpus_dir(store_dir))
         report = PipelineReport(pipeline_name="gittables-build")
         report.items_collected = len(corpus)
         report.stage_reports["curation"] = CurationReport.from_corpus(corpus)
@@ -354,6 +359,11 @@ class CorpusBuilder:
         # one-shot one.
         BuildCheckpoint.clear(store_dir)
         corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+        # Publish the columnar stats projection at finalize: later
+        # sessions (and the curation fallback below) resolve corpus
+        # statistics from mmap'd metadata arrays, never re-parsing
+        # shards. Best-effort like every artifact publish.
+        ensure_projection(corpus, IndexArtifactStore.for_corpus_dir(store_dir))
         if "curation" not in report.stage_reports:
             # The no-work path (target already met, e.g. killed between
             # the last commit and checkpoint clear) ran no curation

@@ -17,6 +17,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dataframe.dtypes import AtomicType
+from ..storage.columnar import (
+    METHODS,
+    ColumnarProjection,
+    count_by,
+    first_seen_counts,
+    masked,
+)
 from .annotation import AnnotationMethod
 from .corpus import GitTablesCorpus
 
@@ -45,7 +52,65 @@ class CorpusStatistics:
 
     @classmethod
     def from_corpus(cls, corpus: GitTablesCorpus) -> "CorpusStatistics":
-        """Compute statistics for ``corpus``."""
+        """Compute statistics for ``corpus``.
+
+        Dispatches to the columnar engine when the corpus has a current
+        :class:`~repro.storage.columnar.ColumnarProjection` attached
+        (results are identical to the iteration path, property-tested);
+        falls back to the streaming Python scan otherwise.
+        """
+        projection = getattr(corpus, "projection", None)
+        if projection is not None:
+            return cls.from_projection(projection)
+        return cls.from_scan(corpus)
+
+    @classmethod
+    def from_projection(cls, projection: ColumnarProjection) -> "CorpusStatistics":
+        """Compute statistics from materialized columns (no table parsing)."""
+        table_count = projection.table_count
+        total_rows = int(projection.n_rows.sum())
+        total_columns = int(projection.n_cols.sum())
+        total_columns_nonzero = max(total_columns, 1)
+
+        atomic_counts = projection.dtype_counts()
+        coarse: Counter[str] = Counter()
+        for type_value, count in atomic_counts.items():
+            coarse[AtomicType(type_value).coarse] += count
+        fractions = {
+            bucket: coarse.get(bucket, 0) / total_columns_nonzero
+            for bucket in ("numeric", "string", "other")
+        }
+
+        has_repos = bool(projection.repositories)
+        repo_values = (
+            count_by(projection.repo_codes, len(projection.repositories))
+            if has_repos
+            else np.array([0])
+        )
+        at_most_5 = float(np.mean(repo_values <= 5)) if has_repos else 0.0
+
+        return cls(
+            table_count=table_count,
+            total_rows=total_rows,
+            total_columns=total_columns,
+            avg_rows=total_rows / table_count if table_count else 0.0,
+            avg_cols=total_columns / table_count if table_count else 0.0,
+            avg_cells=(
+                int((projection.n_rows * projection.n_cols).sum()) / table_count
+                if table_count
+                else 0.0
+            ),
+            median_rows=float(np.median(projection.n_rows)) if table_count else 0.0,
+            median_cols=float(np.median(projection.n_cols)) if table_count else 0.0,
+            atomic_type_fractions=fractions,
+            atomic_type_counts=atomic_counts,
+            tables_per_repository_mean=float(repo_values.mean()) if has_repos else 0.0,
+            repositories_with_at_most_5_tables_fraction=at_most_5,
+        )
+
+    @classmethod
+    def from_scan(cls, corpus: GitTablesCorpus) -> "CorpusStatistics":
+        """The streaming Python iteration reference (one pass, parses tables)."""
         row_counts = []
         col_counts = []
         atomic_counts: Counter[str] = Counter()
@@ -157,7 +222,123 @@ class AnnotationStatistics:
 
         ``popular_type_column_threshold`` plays the role of the paper's
         "# types (#columns > 1K)" row, scaled down for smaller corpora.
+        Dispatches to the columnar engine when the corpus has a current
+        projection attached; falls back to the streaming scan otherwise.
         """
+        projection = getattr(corpus, "projection", None)
+        if projection is not None:
+            return cls.from_projection(
+                projection, popular_type_column_threshold=popular_type_column_threshold
+            )
+        return cls.from_scan(
+            corpus, popular_type_column_threshold=popular_type_column_threshold
+        )
+
+    @classmethod
+    def from_projection(
+        cls,
+        projection: ColumnarProjection,
+        popular_type_column_threshold: int = 5,
+    ) -> "AnnotationStatistics":
+        """Compute annotation statistics from materialized columns.
+
+        Annotation rows are stored in reference iteration order, so the
+        reconstructed ``Counter`` insertion order — and with it
+        ``most_common`` tie-breaking — matches the scan path exactly.
+        """
+        ontologies = ("dbpedia", "schema_org")
+        table_count = projection.table_count
+
+        # Per-table coverage: distinct annotated column names per
+        # (table, method), over annotations from *every* ontology.
+        distinct = np.zeros((table_count, len(METHODS)), dtype=np.int64)
+        if projection.ann_table.size:
+            triples = np.stack(
+                [
+                    projection.ann_table,
+                    projection.ann_method.astype(np.int64),
+                    projection.ann_column.astype(np.int64),
+                ],
+                axis=1,
+            )
+            unique_triples = np.unique(triples, axis=0)
+            keys = unique_triples[:, 0] * len(METHODS) + unique_triples[:, 1]
+            distinct = count_by(keys, table_count * len(METHODS)).reshape(
+                table_count, len(METHODS)
+            )
+        safe_cols = np.where(projection.n_cols > 0, projection.n_cols, 1)
+        coverage = distinct / safe_cols[:, None]
+        coverage[projection.n_cols == 0] = 0.0
+        coverage_per_table = {
+            method: coverage[:, index].tolist() for index, method in enumerate(METHODS)
+        }
+
+        type_counts: dict[tuple[str, str], Counter] = {}
+        annotated_tables: dict[tuple[str, str], int] = {}
+        annotated_columns: dict[tuple[str, str], int] = {}
+        similarity_scores: dict[str, list[float]] = {ontology: [] for ontology in ontologies}
+        for method_code, method in enumerate(METHODS):
+            for ontology in ontologies:
+                key = (method, ontology)
+                ontology_code = (
+                    projection.ontologies.index(ontology)
+                    if ontology in projection.ontologies
+                    else -1
+                )
+                row_mask = (projection.ann_method == method_code) & (
+                    projection.ann_ontology == ontology_code
+                )
+                counter: Counter = Counter()
+                codes, counts = first_seen_counts(masked(projection.ann_label, row_mask))
+                for code, count in zip(codes.tolist(), counts.tolist()):
+                    counter[projection.type_labels[code]] = count
+                type_counts[key] = counter
+                annotated_columns[key] = int(row_mask.sum())
+                annotated_tables[key] = int(np.unique(masked(projection.ann_table, row_mask)).size)
+                if method == "semantic":
+                    similarity_scores[ontology] = masked(
+                        projection.ann_confidence, row_mask
+                    ).tolist()
+
+        per_method_ontology = []
+        for method in METHODS:
+            for ontology in ontologies:
+                key = (method, ontology)
+                counts = type_counts[key]
+                per_method_ontology.append(
+                    MethodOntologyStats(
+                        method=method,
+                        ontology=ontology,
+                        annotated_tables=annotated_tables[key],
+                        annotated_columns=annotated_columns[key],
+                        unique_types=len(counts),
+                        types_above_threshold=sum(
+                            1 for count in counts.values() if count > popular_type_column_threshold
+                        ),
+                    )
+                )
+
+        mean_coverage = {
+            method: float(np.mean(values)) if values else 0.0
+            for method, values in coverage_per_table.items()
+        }
+
+        return cls(
+            table_count=table_count,
+            per_method_ontology=tuple(per_method_ontology),
+            mean_coverage=mean_coverage,
+            coverage_per_table=coverage_per_table,
+            similarity_scores=similarity_scores,
+            type_counts=type_counts,
+        )
+
+    @classmethod
+    def from_scan(
+        cls,
+        corpus: GitTablesCorpus,
+        popular_type_column_threshold: int = 5,
+    ) -> "AnnotationStatistics":
+        """The streaming Python iteration reference (one pass, parses tables)."""
         methods = (AnnotationMethod.SYNTACTIC, AnnotationMethod.SEMANTIC)
         ontologies = ("dbpedia", "schema_org")
 
@@ -245,18 +426,25 @@ def dimension_cdf(corpus: GitTablesCorpus, axis: str = "rows", points: int = 40)
     """
     if axis not in ("rows", "columns"):
         raise ValueError("axis must be 'rows' or 'columns'")
-    values = np.array(
-        [
-            annotated.table.num_rows if axis == "rows" else annotated.table.num_columns
-            for annotated in corpus
-        ]
-    )
+    projection = getattr(corpus, "projection", None)
+    if projection is not None:
+        values = np.asarray(projection.n_rows if axis == "rows" else projection.n_cols)
+    else:
+        values = np.array(
+            [
+                annotated.table.num_rows if axis == "rows" else annotated.table.num_columns
+                for annotated in corpus
+            ]
+        )
     if values.size == 0:
         return []
     grid = np.unique(np.logspace(0, np.log10(max(values.max(), 2)), points).astype(int))
     if grid[-1] < values.max():
         grid = np.append(grid, values.max())
-    return [(float(point), int(np.sum(values <= point))) for point in grid]
+    # One sort instead of a corpus-sized comparison per grid point:
+    # searchsorted(side="right") counts values <= point exactly.
+    ordered = np.sort(values)
+    return [(float(point), int(np.searchsorted(ordered, point, side="right"))) for point in grid]
 
 
 def top_types(

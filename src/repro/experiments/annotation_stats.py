@@ -1,4 +1,8 @@
-"""Experiments E3/E5/E10/E11/E12: annotations (Tables 3, 5; Figures 4b, 4c, 5)."""
+"""Experiments E3/E5/E10/E11/E12: annotations (Tables 3, 5; Figures 4b, 4c, 5).
+
+Annotation statistics are computed from the materialized columnar
+projection of the corpus, and the figure binnings go through the
+vectorized :func:`~repro.storage.columnar.histogram` kernel."""
 
 from __future__ import annotations
 
@@ -6,6 +10,7 @@ import numpy as np
 
 from ..core.stats import AnnotationStatistics, top_types
 from ..ontology.pii import PII_FAKER_CLASSES
+from ..storage.columnar import histogram
 from .context import get_context
 from .registry import ExperimentResult, register_experiment
 
@@ -75,7 +80,7 @@ def run_table3(scale: str = "default") -> ExperimentResult:
 def run_table5(scale: str = "default") -> ExperimentResult:
     """Table 5: annotation statistics by method and ontology."""
     context = get_context(scale)
-    stats = AnnotationStatistics.from_corpus(context.gittables)
+    stats = AnnotationStatistics.from_projection(context.gittables_projection())
     return ExperimentResult(
         experiment_id="table5",
         title="Statistics of annotations by method and ontology",
@@ -92,12 +97,12 @@ def run_table5(scale: str = "default") -> ExperimentResult:
 def run_fig4b(scale: str = "default") -> ExperimentResult:
     """Figure 4b: percentage of annotated columns per table, per method."""
     context = get_context(scale)
-    stats = AnnotationStatistics.from_corpus(context.gittables)
+    stats = AnnotationStatistics.from_projection(context.gittables_projection())
     bins = np.linspace(0.0, 1.0, 11)
     rows = []
     for method, coverages in stats.coverage_per_table.items():
-        histogram, _ = np.histogram(np.array(coverages), bins=bins)
-        for bin_index, count in enumerate(histogram):
+        counts = histogram(np.array(coverages), bins=bins)
+        for bin_index, count in enumerate(counts):
             rows.append(
                 {
                     "method": method,
@@ -130,12 +135,12 @@ def run_fig4b(scale: str = "default") -> ExperimentResult:
 def run_fig4c(scale: str = "default") -> ExperimentResult:
     """Figure 4c: cosine similarity distribution of semantic annotations."""
     context = get_context(scale)
-    stats = AnnotationStatistics.from_corpus(context.gittables)
+    stats = AnnotationStatistics.from_projection(context.gittables_projection())
     bins = np.linspace(0.5, 1.0, 11)
     rows = []
     for ontology, scores in stats.similarity_scores.items():
-        histogram, _ = np.histogram(np.array(scores), bins=bins)
-        for bin_index, count in enumerate(histogram):
+        counts = histogram(np.array(scores), bins=bins)
+        for bin_index, count in enumerate(counts):
             rows.append(
                 {
                     "ontology": ontology,
@@ -169,7 +174,7 @@ def run_fig4c(scale: str = "default") -> ExperimentResult:
 def run_fig5(scale: str = "default") -> ExperimentResult:
     """Figure 5: top-25 column semantic types per ontology (syntactic method)."""
     context = get_context(scale)
-    stats = AnnotationStatistics.from_corpus(context.gittables)
+    stats = AnnotationStatistics.from_projection(context.gittables_projection())
     rows = []
     for ontology in ("dbpedia", "schema_org"):
         for rank, (type_label, count) in enumerate(

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import Counter
 
+import numpy as np
+
 from ..core.annotation import AnnotationMethod
 from .context import get_context
 from .registry import ExperimentResult, register_experiment
@@ -39,12 +41,37 @@ def run_table6(scale: str = "default") -> ExperimentResult:
     """Table 6: bias-relevant semantic types and their most frequent values."""
     context = get_context(scale)
     corpus = context.gittables
+    projection = context.gittables_projection()
 
-    total_columns = corpus.total_columns()
+    # Column shares come straight off the projection: distinct
+    # (table, column, bias type) triples over the annotation rows,
+    # with the cross-method dedup the scan did per table.
+    total_columns = projection.column_count
     per_type_columns: Counter[str] = Counter()
-    per_type_values: dict[str, Counter] = {label: Counter() for label in BIAS_TYPES}
+    label_code = {label: code for code, label in enumerate(projection.type_labels)}
+    bias_codes = np.array(
+        sorted(label_code[label] for label in BIAS_TYPES if label in label_code),
+        dtype=np.int64,
+    )
+    row_mask = np.isin(projection.ann_label.astype(np.int64), bias_codes)
+    triples = np.stack(
+        [
+            projection.ann_table[row_mask],
+            projection.ann_column[row_mask].astype(np.int64),
+            projection.ann_label[row_mask].astype(np.int64),
+        ],
+        axis=1,
+    )
+    distinct = np.unique(triples, axis=0)
+    for code in distinct[:, 2].tolist():
+        per_type_columns[projection.type_labels[code]] += 1
 
-    for annotated in corpus:
+    # Frequent values still need cell content, but only the tables the
+    # projection says carry a bias type are fetched and scanned — in
+    # corpus order, so value-count ties break exactly as a full scan.
+    per_type_values: dict[str, Counter] = {label: Counter() for label in BIAS_TYPES}
+    for table_index in np.unique(projection.ann_table[row_mask]).tolist():
+        annotated = corpus.get(projection.table_ids[table_index])
         seen_columns: set[tuple[str, str]] = set()
         for method in (AnnotationMethod.SYNTACTIC, AnnotationMethod.SEMANTIC):
             for annotation in annotated.annotations.for_method(method):
@@ -54,7 +81,6 @@ def run_table6(scale: str = "default") -> ExperimentResult:
                 if key in seen_columns:
                     continue
                 seen_columns.add(key)
-                per_type_columns[annotation.type_label] += 1
                 try:
                     column = annotated.table.column(annotation.column)
                 except KeyError:

@@ -138,6 +138,26 @@ class ExperimentContext:
             )
         return self._session
 
+    def gittables_projection(self):
+        """The columnar stats projection of the GitTables corpus.
+
+        Resolved through :func:`~repro.storage.columnar.ensure_projection`:
+        an already-attached projection wins, store-backed contexts mmap
+        the artifact published at build finalize, and only a cache miss
+        (or an in-memory corpus) triggers a full scan. The projection is
+        attached to the corpus, so every later ``from_corpus`` dispatch
+        in this process takes the columnar path too.
+        """
+        from ..storage.columnar import ensure_projection
+
+        return ensure_projection(self.gittables, self.artifact_store())
+
+    def viznet_projection(self):
+        """The columnar stats projection of the contrast corpus (in memory)."""
+        from ..storage.columnar import ensure_projection
+
+        return ensure_projection(self.viznet)
+
     @property
     def viznet(self) -> GitTablesCorpus:
         """The synthetic VizNet/Web-table contrast corpus."""

@@ -1,4 +1,9 @@
-"""Experiments E1/E2/E4/E9: corpus structure (Tables 1, 2, 4; Figure 4a)."""
+"""Experiments E1/E2/E4/E9: corpus structure (Tables 1, 2, 4; Figure 4a).
+
+All statistics here run over the materialized columnar projections
+(:meth:`~repro.experiments.context.ExperimentContext.gittables_projection`)
+rather than per-table iteration, so store-backed experiment runs never
+re-parse table JSON for aggregates."""
 
 from __future__ import annotations
 
@@ -36,8 +41,8 @@ _PAPER_TABLE4 = [
 def run_table1(scale: str = "default") -> ExperimentResult:
     """Table 1: corpus comparison (tables, avg rows, avg columns)."""
     context = get_context(scale)
-    git_stats = CorpusStatistics.from_corpus(context.gittables)
-    viz_stats = CorpusStatistics.from_corpus(context.viznet)
+    git_stats = CorpusStatistics.from_projection(context.gittables_projection())
+    viz_stats = CorpusStatistics.from_projection(context.viznet_projection())
     rows = [
         viz_stats.as_table1_row(name="VizNet (simulated)", source="HTML pages (simulated)"),
         git_stats.as_table1_row(name="GitTables (reproduced)", source="CSVs from simulated GitHub"),
@@ -59,8 +64,9 @@ def run_table1(scale: str = "default") -> ExperimentResult:
 def run_table2(scale: str = "default") -> ExperimentResult:
     """Table 2: annotated-corpus characteristics."""
     context = get_context(scale)
-    corpus_stats = CorpusStatistics.from_corpus(context.gittables)
-    annotation_stats = AnnotationStatistics.from_corpus(context.gittables)
+    projection = context.gittables_projection()
+    corpus_stats = CorpusStatistics.from_projection(projection)
+    annotation_stats = AnnotationStatistics.from_projection(projection)
     annotated_tables = max(
         stats.annotated_tables for stats in annotation_stats.per_method_ontology
     )
@@ -96,8 +102,8 @@ def run_table2(scale: str = "default") -> ExperimentResult:
 def run_table4(scale: str = "default") -> ExperimentResult:
     """Table 4: atomic data type distribution, GitTables vs Web tables."""
     context = get_context(scale)
-    git = CorpusStatistics.from_corpus(context.gittables).as_table4_rows()
-    web = CorpusStatistics.from_corpus(context.viznet).as_table4_rows()
+    git = CorpusStatistics.from_projection(context.gittables_projection()).as_table4_rows()
+    web = CorpusStatistics.from_projection(context.viznet_projection()).as_table4_rows()
     rows = [
         {"atomic_type": bucket, "gittables_pct": git[bucket], "webtables_pct": web[bucket]}
         for bucket in ("numeric", "string", "other")
@@ -115,11 +121,13 @@ def run_table4(scale: str = "default") -> ExperimentResult:
 def run_fig4a(scale: str = "default") -> ExperimentResult:
     """Figure 4a: cumulative table counts across table dimensions."""
     context = get_context(scale)
+    stats = CorpusStatistics.from_projection(context.gittables_projection())
     rows = []
     for axis in ("rows", "columns"):
+        # gittables_projection() attached the projection, so the CDF
+        # reads the materialized dimension arrays, not the tables.
         for dimension, cumulative in dimension_cdf(context.gittables, axis=axis, points=25):
             rows.append({"axis": axis, "dimension": dimension, "cumulative_tables": cumulative})
-    stats = CorpusStatistics.from_corpus(context.gittables)
     return ExperimentResult(
         experiment_id="fig4a",
         title="Cumulative table counts across table dimensions",

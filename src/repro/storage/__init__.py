@@ -10,6 +10,11 @@ cross-session build state for resumable corpus construction.
 per-worker shard ranges and delta logs (:class:`WorkerShardWriter`)
 merged on commit boundaries by a :class:`ParallelCorpusBuilder`
 coordinator into the same canonical on-disk layout.
+:mod:`repro.storage.columnar` adds the analytics tier: a
+:class:`ColumnarProjection` materializes per-table and per-column
+metadata into typed NumPy arrays (persisted via the artifact store)
+so corpus statistics and :class:`TablePredicate` filters run as
+vectorized engine-side scans instead of per-table JSON parsing.
 """
 
 from .artifacts import (
@@ -20,6 +25,20 @@ from .artifacts import (
     fingerprint_digest,
 )
 from .base import CorpusStore, StoreStats
+from .columnar import (
+    PROJECTION_ARTIFACT,
+    ColumnarProjection,
+    TablePredicate,
+    count_by,
+    ensure_projection,
+    first_seen_counts,
+    histogram,
+    load_projection,
+    masked,
+    publish_projection,
+    quantiles,
+    sum_by,
+)
 from .checkpoint import (
     BUILD_META_FILENAME,
     CHECKPOINT_FILENAME,
@@ -63,6 +82,18 @@ __all__ = [
     "worker_shard_filename",
     "CorpusStore",
     "StoreStats",
+    "ColumnarProjection",
+    "TablePredicate",
+    "PROJECTION_ARTIFACT",
+    "count_by",
+    "sum_by",
+    "histogram",
+    "quantiles",
+    "masked",
+    "first_seen_counts",
+    "ensure_projection",
+    "load_projection",
+    "publish_projection",
     "InMemoryStore",
     "ShardedJsonlStore",
     "ShardedCorpusWriter",

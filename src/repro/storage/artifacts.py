@@ -69,6 +69,20 @@ META_FILENAME = "meta.json"
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
+def _is_dead_pid_suffix(name: str) -> bool:
+    """Whether a ``...-<pid>`` suffixed sibling belongs to a dead process."""
+    pid_text = name.rpartition("-")[2]
+    if not pid_text.isdigit() or int(pid_text) == os.getpid():
+        return False
+    try:
+        os.kill(int(pid_text), 0)
+    except ProcessLookupError:
+        return True
+    except OSError:  # pragma: no cover - e.g. EPERM: pid is alive
+        return False
+    return False
+
+
 def _normalize(value):
     """JSON round-trip so tuples/lists and int/float keys compare equal."""
     return json.loads(json.dumps(value))
@@ -248,7 +262,48 @@ class IndexArtifactStore:
         finally:
             if staging.exists():
                 shutil.rmtree(staging)
+        # Garbage-collect siblings pinned to older corpus states: every
+        # publish keyed on a corpus fingerprint asserts "this is the
+        # current corpus", so artifacts keyed on any *other* corpus
+        # state are unreachable (their load() can only miss) and would
+        # otherwise accumulate forever across rebuilds.
+        corpus_key = fingerprint.get("corpus") if isinstance(fingerprint, dict) else None
+        if isinstance(corpus_key, str):
+            self.prune(corpus_key)
         return target
+
+    def prune(self, keep_fingerprint: str) -> list[str]:
+        """Delete artifacts keyed to a corpus state other than ``keep_fingerprint``.
+
+        Only artifacts whose fingerprint carries a top-level ``"corpus"``
+        key participate: those are pinned to one corpus state and can
+        never be loaded again once the corpus changed. Corpus-independent
+        artifacts (e.g. ontology label indexes, keyed on model config
+        only) are left alone, as are artifacts with unreadable metadata
+        (possibly mid-publish by a concurrent process). Stale staging
+        and retired directories of *dead* processes are swept as well.
+        Returns the names of the removed artifacts.
+        """
+        removed: list[str] = []
+        for name in self.names():
+            try:
+                with open(self.directory / name / META_FILENAME, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            fingerprint = meta.get("fingerprint")
+            corpus_key = fingerprint.get("corpus") if isinstance(fingerprint, dict) else None
+            if not isinstance(corpus_key, str) or corpus_key == keep_fingerprint:
+                continue
+            shutil.rmtree(self.directory / name, ignore_errors=True)
+            removed.append(name)
+        for leftover in self.directory.glob(".*.tmp-*"):
+            if leftover.is_dir() and _is_dead_pid_suffix(leftover.name):
+                shutil.rmtree(leftover, ignore_errors=True)
+        for leftover in self.directory.glob(".*.old-*"):
+            if leftover.is_dir() and _is_dead_pid_suffix(leftover.name):
+                shutil.rmtree(leftover, ignore_errors=True)
+        return removed
 
     def _swap_in(self, staging: Path, target: Path) -> None:
         """Replace ``target`` with ``staging`` with a minimal gap.

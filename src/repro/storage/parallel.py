@@ -946,6 +946,7 @@ class ParallelCorpusBuilder:
         from ..core.corpus import GitTablesCorpus
         from ..core.curation import CurationReport
         from ..pipeline.report import PipelineReport, combine_counters
+        from .columnar import ensure_projection
 
         merged = dict(base_counters)
         merged["sessions"] = 0
@@ -957,6 +958,10 @@ class ParallelCorpusBuilder:
         report.merge_counters(merged)
         report.sessions = sessions
         corpus = GitTablesCorpus(store=ShardedJsonlStore(store_dir))
+        # Publish the columnar stats projection at parallel finalize too
+        # (artifacts live outside the byte-identity of the corpus files),
+        # so the curation report below reads arrays, not shards.
+        ensure_projection(corpus, IndexArtifactStore.for_corpus_dir(store_dir))
         report.items_collected = len(corpus)
         report.stopped_early = len(corpus) >= self.builder.config.target_tables
         report.stage_reports["extraction"] = run.extraction_report()

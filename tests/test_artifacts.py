@@ -392,9 +392,10 @@ class TestConsumerUnits:
         corpus.add(_annotated("added-later", topic="organism"))
         target = tmp_path / "saved"
         session.save(target, shard_size=4)
-        # The stale index was not persisted; a fresh load re-embeds and
-        # sees all 9 tables.
-        assert IndexArtifactStore.for_corpus_dir(target).names() == []
+        # The stale index was not persisted (only the stats projection,
+        # which save() rebuilds fresh); a fresh load re-embeds and sees
+        # all 9 tables.
+        assert IndexArtifactStore.for_corpus_dir(target).names() == ["stats-projection"]
         reloaded = GitTables.load(target)
         assert len(reloaded.search_engine) == 9
         assert stale_results is not None
