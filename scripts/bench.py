@@ -34,12 +34,21 @@ Suites:
   columnar projection vs the streaming per-table scan over a 5k-table
   sharded store; enforces the ≥5x speedup / exact-equality acceptance
   criteria and writes ``BENCH_stats.json``.
+* ``incremental`` — +10% in-place growth of a 5k-table store
+  (:meth:`GitTables.extend`: epoch build + delta artifact refresh) vs a
+  from-scratch rebuild of the grown corpus; enforces the ≥5x speedup /
+  exact-equality / equal-content-fingerprint acceptance criteria and
+  writes ``BENCH_incremental.json``.
 * ``all`` — every suite.
 
-``--list`` prints the suite registry without running anything;
-``--help`` lists every suite with its gate. The pytest harness
-equivalents (all carry the ``slow`` marker, which the default run
-deselects, so ``-m slow`` is required)::
+``--compare`` turns a run into a **regression gate**: results are
+written to a temporary file instead of the committed baseline, every
+throughput key (``*_per_second``, ``*_qps``) is compared against the
+committed ``BENCH_*.json``, and any throughput more than 20% below its
+baseline exits nonzero. ``--list`` prints the suite registry without
+running anything; ``--help`` lists every suite with its gate. The
+pytest harness equivalents (all carry the ``slow`` marker, which the
+default run deselects, so ``-m slow`` is required)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_annotation_throughput.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_corpus_io.py -s -m slow
@@ -48,6 +57,7 @@ deselects, so ``-m slow`` is required)::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_serving.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_ann.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_stats.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_incremental.py -s -m slow
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -101,6 +112,15 @@ from benchmarks.test_bench_stats import (  # noqa: E402
     N_TABLES as STATS_N_TABLES,
     run_stats_benchmark,
 )
+from benchmarks.test_bench_incremental import (  # noqa: E402
+    MIN_SPEEDUP as INCREMENTAL_MIN_SPEEDUP,
+    N_TABLES as INCREMENTAL_N_TABLES,
+    run_incremental_benchmark,
+)
+
+#: Throughputs below ``baseline * (1 - REGRESSION_TOLERANCE)`` fail the
+#: ``--compare`` gate.
+REGRESSION_TOLERANCE = 0.20
 
 
 def _write_baseline(output: Path, benchmark: str, result: dict) -> None:
@@ -298,6 +318,62 @@ def run_stats_suite(tables: int, output: Path) -> int:
     return 0
 
 
+def run_incremental_suite(tables: int, output: Path) -> int:
+    result = run_incremental_benchmark(n_tables=tables)
+    _write_baseline(output, "incremental", result)
+    print(
+        f"growth {result['n_tables']} -> {result['n_grown_tables']} tables "
+        f"(epoch {result['epoch']}): "
+        f"extend {result['extend_seconds']:.1f}s "
+        f"({result['extend_new_tables_per_second']:.0f} new tables/sec) | "
+        f"rebuild {result['rebuild_seconds']:.1f}s | "
+        f"speedup {result['speedup']:.1f}x | "
+        f"base build {result['base_build_seconds']:.1f}s"
+    )
+    if result["epoch"] != 2 or not result["epoch_sealed"]:
+        print("FAIL: extend did not seal a new epoch", file=sys.stderr)
+        return 1
+    if not result["results_equal"]:
+        print("FAIL: extended session differs from the rebuild", file=sys.stderr)
+        return 1
+    if not result["fingerprints_equal"]:
+        print("FAIL: extended store content differs from the rebuild", file=sys.stderr)
+        return 1
+    if result["speedup"] < INCREMENTAL_MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {result['speedup']:.1f}x below {INCREMENTAL_MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def compare_against_baseline(baseline_path: Path, fresh: dict) -> list[str]:
+    """Throughput regressions of ``fresh`` vs a committed baseline.
+
+    Only throughput keys (``*_per_second``, ``*_qps``) are gated —
+    higher is better, and they are robust to machine-to-machine scale
+    differences in a way absolute seconds are not. Returns
+    human-readable regression lines (empty when the gate passes).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    regressions = []
+    for key, old in baseline.items():
+        if not (key.endswith("_per_second") or key.endswith("_qps")):
+            continue
+        if not isinstance(old, (int, float)) or isinstance(old, bool) or old <= 0:
+            continue
+        new = fresh.get(key)
+        if not isinstance(new, (int, float)) or isinstance(new, bool):
+            continue
+        if new < old * (1.0 - REGRESSION_TOLERANCE):
+            regressions.append(
+                f"{key}: {new:.1f} vs baseline {old:.1f} "
+                f"({(new / old - 1.0) * 100.0:+.0f}%, tolerance -{REGRESSION_TOLERANCE:.0%})"
+            )
+    return regressions
+
+
 #: Suite registry: name → (runner, default table count, baseline file,
 #: one-line description shown by ``--help``).
 SUITES = {
@@ -345,6 +421,12 @@ SUITES = {
         "BENCH_stats.json",
         f"columnar projection vs streaming scan statistics (>={STATS_MIN_SPEEDUP}x gate)",
     ),
+    "incremental": (
+        run_incremental_suite,
+        INCREMENTAL_N_TABLES,
+        "BENCH_incremental.json",
+        f"in-place +10% growth vs from-scratch rebuild (>={INCREMENTAL_MIN_SPEEDUP}x gate)",
+    ),
 }
 
 
@@ -381,6 +463,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the suite registry (name, default size, baseline, gate) and exit",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help=(
+            "regression gate: run against a temporary output and fail "
+            f"(exit nonzero) when any throughput key falls more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the committed baseline"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -391,10 +482,27 @@ def main(argv: list[str] | None = None) -> int:
     status = 0
     for name in SUITES if args.suite == "all" else (args.suite,):
         runner, default_tables, baseline_name, _ = SUITES[name]
+        committed = REPO_ROOT / baseline_name
+        if args.compare:
+            if not committed.exists():
+                print(f"SKIP {name}: no committed {baseline_name} to compare against")
+                continue
+            with tempfile.TemporaryDirectory() as tmp:
+                fresh_path = Path(tmp) / baseline_name
+                status |= runner(args.tables or default_tables, fresh_path)
+                fresh = json.loads(fresh_path.read_text())
+            regressions = compare_against_baseline(committed, fresh)
+            for line in regressions:
+                print(f"FAIL {name} regression: {line}", file=sys.stderr)
+            if regressions:
+                status = 1
+            else:
+                print(f"compare {name}: no throughput regression vs {baseline_name}")
+            continue
         output = (
             args.output
             if args.output and args.suite != "all"
-            else REPO_ROOT / baseline_name
+            else committed
         )
         status |= runner(args.tables or default_tables, output)
     return status

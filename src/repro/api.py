@@ -31,6 +31,7 @@ directly::
 
 from __future__ import annotations
 
+import dataclasses
 import os
 
 from .applications.data_search import SearchResult, TableSearchEngine
@@ -51,7 +52,10 @@ from .applications.type_detection import TypeDetectionExperiment, TypeDetectionR
 from .config import DEFAULT_INDEX_CONFIG, IndexConfig, PipelineConfig
 from .core.corpus import GitTablesCorpus
 from .core.pipeline import DEFAULT_BATCH_SIZE, CorpusBuilder, PipelineResult
+from .errors import CorpusError
+from .github.content import GeneratorConfig
 from .storage.artifacts import IndexArtifactStore, try_publish
+from .storage.checkpoint import load_build_meta
 from .storage.columnar import ColumnarProjection, ensure_projection, publish_projection
 from .storage.sharded import DEFAULT_SHARD_SIZE, ShardedJsonlStore, is_sharded_dir
 from .core.stats import AnnotationStatistics, CorpusStatistics
@@ -286,6 +290,99 @@ class GitTables:
             projection = ColumnarProjection.from_corpus(self._corpus)
             self._corpus.attach_projection(projection)
         try_publish(publish_projection, artifacts, projection, corpus_fingerprint=fingerprint)
+
+    def extend(
+        self,
+        target_tables: int | None = None,
+        topics: int | None = None,
+        processes: int | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ) -> "GitTables":
+        """Grow the backing store in place — O(new tables), not O(corpus).
+
+        Reopens this session's sharded store directory for a new
+        **epoch**: the original build configuration is re-materialized
+        from the recorded build metadata, the growth axes
+        (``target_tables``, ``topics``) are raised, and the construction
+        pipeline resumes exactly where the sealed store left off — only
+        the new tables are generated, annotated and appended (as new
+        shards under the next epoch; existing shard files are never
+        rewritten). The resulting directory is byte-identical to a
+        from-scratch build of the larger configuration, modulo the
+        manifest's epoch trailer.
+
+        The session's engines then **delta-refresh** rather than
+        rebuild: search and completion load their superseded artifacts,
+        embed only the appended tables' schemas, and republish under the
+        grown corpus fingerprint (the columnar stats projection extends
+        the same way during finalize). Superseded corpus-keyed artifacts
+        are pruned only *after* every engine has republished, so a crash
+        mid-refresh leaves the next session able to delta-refresh from
+        the same prior-epoch artifacts.
+
+        Requires a store-backed session whose build metadata carries a
+        verifiable generator fingerprint (corpora built from a custom
+        pre-built ``instance`` cannot prove extension compatibility).
+        Growth axes must not shrink. Returns ``self``.
+        """
+        directory = getattr(self._corpus.store, "directory", None)
+        if directory is None or not is_sharded_dir(directory):
+            raise CorpusError(
+                "extend() requires a session over a sharded store directory "
+                "(build with store_dir=... or load one)"
+            )
+        stored = load_build_meta(directory)
+        if stored is None:
+            raise CorpusError(
+                f"cannot extend corpus at {directory}: the directory holds "
+                "no build metadata to grow from"
+            )
+        config_payload = stored.get("config")
+        generator_payload = stored.get("generator")
+        if not isinstance(config_payload, dict) or not isinstance(generator_payload, dict):
+            raise CorpusError(
+                f"cannot extend corpus at {directory}: the build carries no "
+                "verifiable generator fingerprint (it was built from a "
+                "custom pre-built instance)"
+            )
+        config = PipelineConfig.from_dict(config_payload)
+        if target_tables is not None:
+            config = config.replace(target_tables=int(target_tables))
+        if topics is not None:
+            config = config.replace(
+                extraction=dataclasses.replace(config.extraction, topic_count=int(topics))
+            )
+        # JSON round-trips turn the delimiter weight tuples into lists.
+        generator_payload = dict(generator_payload)
+        if "delimiters" in generator_payload:
+            generator_payload["delimiters"] = tuple(
+                (str(delimiter), float(weight))
+                for delimiter, weight in generator_payload["delimiters"]
+            )
+        generator = GeneratorConfig(**generator_payload)
+        builder = CorpusBuilder(
+            config=config, generator_config=generator, batch_size=batch_size
+        )
+        result = builder.build(
+            store_dir=directory, shard_size=shard_size, processes=processes, extend=True
+        )
+        self._corpus = result.corpus
+        self._result = result
+        self.config = config
+        if self._artifacts is None:
+            self._artifacts = IndexArtifactStore.for_corpus_dir(directory)
+        self._search_engine = None
+        self._completer = None
+        self._kg_benchmarks.clear()
+        # Warm both engines now: their constructors delta-refresh from
+        # the superseded artifacts (tail-only embedding) and republish
+        # under the grown fingerprint with the corpus-keyed prune
+        # deferred — then one sweep retires the prior epoch's artifacts.
+        _ = self.search_engine
+        _ = self.completer
+        self._artifacts.prune(ShardedJsonlStore(directory).content_fingerprint())
+        return self
 
     # -- shared lazy state -------------------------------------------------
 

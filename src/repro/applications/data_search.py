@@ -13,7 +13,15 @@ from dataclasses import dataclass
 from ..config import DEFAULT_INDEX_CONFIG, IndexConfig
 from ..core.corpus import GitTablesCorpus
 from ..embeddings.ann import PartitionedIndex, build_index
-from ..embeddings.persist import embedder_fingerprint, load_index, publish_index
+from ..embeddings.persist import (
+    INDEX_LABELS_KEY,
+    INDEX_VECTORS_KEY,
+    embedder_fingerprint,
+    extend_unit_vectors,
+    index_from_unit_rows,
+    load_index,
+    publish_index,
+)
 from ..embeddings.sentence import SentenceEncoder
 from ..storage.artifacts import IndexArtifactStore, corpus_content_fingerprint, try_publish
 
@@ -65,11 +73,16 @@ class TableSearchEngine:
         )
         self._corpus_size = len(corpus)
         if not self._load_from_artifacts():
-            self._build(corpus)
+            extended = self._extend_from_artifacts(corpus)
+            if not extended:
+                self._build(corpus)
             if self.artifacts is not None and self._corpus_fingerprint is not None:
                 # Publication is an optimisation: a read-only corpus
-                # directory still serves from the in-RAM index.
-                try_publish(self.publish_artifacts, self.artifacts)
+                # directory still serves from the in-RAM index. A
+                # delta-refreshed index defers the corpus-keyed prune so
+                # sibling engines can still extend *their* superseded
+                # artifacts (the facade prunes once all are current).
+                try_publish(self.publish_artifacts, self.artifacts, prune=not extended)
 
     # -- construction ------------------------------------------------------
 
@@ -109,6 +122,65 @@ class TableSearchEngine:
         self._index = index
         return True
 
+    def _extend_from_artifacts(self, corpus: GitTablesCorpus) -> bool:
+        """Delta-refresh the index from a *superseded* artifact, if possible.
+
+        After a corpus extension the persisted index misses on its
+        fingerprint, but its unit-vector rows are still exactly the
+        committed prefix of the grown corpus. The store recognizes the
+        artifact's corpus key as the structural fingerprint of one of
+        its own sealed epochs (``sealed_prefix_boundary`` — a manifest
+        hash comparison, no shard reads), which pins the stored rows to
+        that prefix; then only the tail schemas are streamed and
+        embedded (:func:`extend_unit_vectors` keeps the arithmetic
+        bit-identical to a from-scratch embed) and the index tier is
+        rebuilt over the combined rows — O(new tables), not O(corpus).
+        """
+        if self.artifacts is None or self._corpus_fingerprint is None:
+            return False
+        stale = self.artifacts.load_any(SEARCH_ARTIFACT)
+        if stale is None or not isinstance(stale.fingerprint, dict):
+            return False
+        expected = self._fingerprint()
+        if stale.fingerprint.get("kind") != expected["kind"]:
+            return False
+        if stale.fingerprint.get("encoder") != expected["encoder"]:
+            return False
+        if stale.fingerprint.get("corpus") == expected["corpus"]:
+            return False  # current-state artifact: the load path owns it
+        find_boundary = getattr(corpus.store, "sealed_prefix_boundary", None)
+        if find_boundary is None:
+            return False
+        boundary = find_boundary(stale.fingerprint.get("corpus"))
+        if boundary is None:
+            return False  # not a sealed prefix of this store
+        old_labels = stale.payload.get(INDEX_LABELS_KEY)
+        old_schemas = stale.payload.get("schemas")
+        units = stale.arrays.get(INDEX_VECTORS_KEY)
+        if old_labels is None or old_schemas is None or units is None:
+            return False
+        if not (len(old_labels) == len(old_schemas) == len(units)):
+            return False
+        tail_ids: list[str] = []
+        tail: list[tuple[str, ...]] = []
+        for table_id, schema in corpus.iter_schemas(start=boundary):
+            if not schema:
+                continue
+            tail_ids.append(table_id)
+            tail.append(tuple(schema))
+        self._table_ids = list(old_labels) + tail_ids
+        self._schemas = [tuple(schema) for schema in old_schemas] + tail
+        rows = units
+        if tail:
+            rows = extend_unit_vectors(units, self.encoder.embed_schemas(tail))
+        self._index = index_from_unit_rows(
+            self._table_ids,
+            rows,
+            self.index_config,
+            n_rows=self._corpus_size,
+        )
+        return True
+
     def _build(self, corpus: GitTablesCorpus) -> None:
         """Embed every schema with one batched pass and build the index."""
         self._table_ids: list[str] = []
@@ -130,14 +202,19 @@ class TableSearchEngine:
         )
 
     def publish_artifacts(
-        self, artifacts: IndexArtifactStore, corpus_fingerprint: str | None = None
+        self,
+        artifacts: IndexArtifactStore,
+        corpus_fingerprint: str | None = None,
+        prune: bool = True,
     ) -> bool:
         """Persist the index for future mmap-backed cold starts.
 
         ``corpus_fingerprint`` overrides the one captured at
         construction (used when the corpus was just saved elsewhere).
-        Returns False when no fingerprint is available (in-memory corpus
-        with no durable identity).
+        ``prune=False`` defers the corpus-keyed artifact sweep (the
+        delta-refresh ordering guarantee). Returns False when no
+        fingerprint is available (in-memory corpus with no durable
+        identity).
         """
         fingerprint = corpus_fingerprint or self._corpus_fingerprint
         if fingerprint is None:
@@ -148,6 +225,7 @@ class TableSearchEngine:
             self._fingerprint(fingerprint),
             self._index,
             payload={"schemas": [list(schema) for schema in self._schemas]},
+            prune=prune,
         )
         return True
 

@@ -87,11 +87,16 @@ class NearestCompletion:
         )
         self._corpus_size = len(corpus)
         if not self._load_from_artifacts():
-            self._build(corpus)
+            extended = self._extend_from_artifacts(corpus)
+            if not extended:
+                self._build(corpus)
             if self.artifacts is not None and self._corpus_fingerprint is not None:
                 # Publication is an optimisation: a read-only corpus
-                # directory still serves from the in-RAM matrix.
-                try_publish(self.publish_artifacts, self.artifacts)
+                # directory still serves from the in-RAM matrix. A
+                # delta-refreshed matrix defers the corpus-keyed prune so
+                # sibling engines can still extend *their* superseded
+                # artifacts (the facade prunes once all are current).
+                try_publish(self.publish_artifacts, self.artifacts, prune=not extended)
 
     # -- construction ------------------------------------------------------
 
@@ -124,6 +129,67 @@ class NearestCompletion:
         self._slice_attribute_embeddings()
         return True
 
+    def _extend_from_artifacts(self, corpus: GitTablesCorpus) -> bool:
+        """Delta-refresh the matrix from a *superseded* artifact, if possible.
+
+        After a corpus extension the persisted attribute matrix misses on
+        its fingerprint, but its rows still cover exactly the qualifying
+        schemas of the committed prefix. The store recognizes the
+        artifact's corpus key as the structural fingerprint of one of
+        its own sealed epochs (``sealed_prefix_boundary`` — a manifest
+        hash comparison, no shard reads), which pins the stored rows to
+        that prefix; then only the tail attributes are streamed and
+        embedded. The raw ``embed_many`` matrices concatenate
+        bit-identically to a from-scratch embed because each row depends
+        only on its own attribute string — O(new tables), not O(corpus).
+        """
+        if self.artifacts is None or self._corpus_fingerprint is None:
+            return False
+        stale = self.artifacts.load_any(COMPLETION_ARTIFACT)
+        if stale is None or not isinstance(stale.fingerprint, dict):
+            return False
+        expected = self._fingerprint()
+        if stale.fingerprint.get("kind") != expected["kind"]:
+            return False
+        if stale.fingerprint.get("encoder") != expected["encoder"]:
+            return False
+        if stale.fingerprint.get("min_schema_length") != expected["min_schema_length"]:
+            return False
+        if stale.fingerprint.get("corpus") == expected["corpus"]:
+            return False  # current-state artifact: the load path owns it
+        find_boundary = getattr(corpus.store, "sealed_prefix_boundary", None)
+        if find_boundary is None:
+            return False
+        boundary = find_boundary(stale.fingerprint.get("corpus"))
+        if boundary is None:
+            return False  # not a sealed prefix of this store
+        old_table_ids = stale.payload.get("table_ids")
+        old_schemas = stale.payload.get("schemas")
+        matrix = stale.arrays.get("attributes")
+        if old_table_ids is None or old_schemas is None or matrix is None:
+            return False
+        if len(old_table_ids) != len(old_schemas):
+            return False
+        if matrix.shape[0] != sum(map(len, old_schemas)):
+            return False
+        tail: list[tuple[str, tuple[str, ...]]] = []
+        for table_id, schema in corpus.iter_schemas(start=boundary):
+            if len(schema) < self.min_schema_length:
+                continue
+            tail.append((table_id, tuple(schema)))
+        self._schemas = [
+            (table_id, tuple(schema))
+            for table_id, schema in zip(old_table_ids, old_schemas)
+        ] + tail
+        self._flat_matrix = np.asarray(matrix)
+        if tail:
+            tail_attributes = [attr for _, schema in tail for attr in schema]
+            self._flat_matrix = np.concatenate(
+                [self._flat_matrix, self.encoder.embed_many(tail_attributes)]
+            )
+        self._slice_attribute_embeddings()
+        return True
+
     def _build(self, corpus: GitTablesCorpus) -> None:
         # Stream schemas (disk-backed corpora stay on disk); only the
         # qualifying schema tuples are kept.
@@ -148,9 +214,16 @@ class NearestCompletion:
             offset += len(schema)
 
     def publish_artifacts(
-        self, artifacts: IndexArtifactStore, corpus_fingerprint: str | None = None
+        self,
+        artifacts: IndexArtifactStore,
+        corpus_fingerprint: str | None = None,
+        prune: bool = True,
     ) -> bool:
-        """Persist the attribute matrix for mmap-backed cold starts."""
+        """Persist the attribute matrix for mmap-backed cold starts.
+
+        ``prune=False`` defers the corpus-keyed artifact sweep (the
+        delta-refresh ordering guarantee).
+        """
         fingerprint = corpus_fingerprint or self._corpus_fingerprint
         if fingerprint is None:
             return False
@@ -162,6 +235,7 @@ class NearestCompletion:
                 "table_ids": [table_id for table_id, _ in self._schemas],
                 "schemas": [list(schema) for _, schema in self._schemas],
             },
+            prune=prune,
         )
         return True
 

@@ -326,6 +326,36 @@ class PipelineConfig:
         return dataclasses.replace(self, **overrides)  # type: ignore[arg-type]
 
     @classmethod
+    def from_dict(cls, payload: dict) -> "PipelineConfig":
+        """Reconstruct a configuration from its ``dataclasses.asdict`` form.
+
+        The inverse of the build fingerprint's ``config`` section (see
+        :func:`~repro.storage.checkpoint.config_fingerprint`), used to
+        re-materialize the configuration a stored corpus was built with.
+        JSON round-trips turn tuples into lists, so sequence-valued
+        fields are coerced back; ``workers``/``processes`` are absent
+        from fingerprints (they do not shape corpus contents) and fall
+        back to their defaults. Unknown keys raise — a fingerprint from
+        a newer layout must not be silently reinterpreted.
+        """
+        payload = dict(payload)
+        extraction = ExtractionConfig(**payload.pop("extraction", {}))
+        curation_kwargs = dict(payload.pop("curation", {}))
+        if "blocked_column_terms" in curation_kwargs:
+            curation_kwargs["blocked_column_terms"] = tuple(
+                curation_kwargs["blocked_column_terms"]
+            )
+        curation = CurationConfig(**curation_kwargs)
+        annotation_kwargs = dict(payload.pop("annotation", {}))
+        for key in ("ontologies", "ngram_sizes"):
+            if key in annotation_kwargs:
+                annotation_kwargs[key] = tuple(annotation_kwargs[key])
+        annotation = AnnotationConfig(**annotation_kwargs)
+        return cls(
+            extraction=extraction, curation=curation, annotation=annotation, **payload
+        )
+
+    @classmethod
     def small(cls, seed: int = 20230530) -> "PipelineConfig":
         """A configuration sized for tests (fast, ~100 tables)."""
         return cls(

@@ -29,6 +29,7 @@ import json
 import os
 import shutil
 from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -263,9 +264,19 @@ class GitTablesCorpus:
             counts[annotated.repository] = counts.get(annotated.repository, 0) + 1
         return counts
 
-    def iter_schemas(self) -> Iterator[tuple[str, tuple[str, ...]]]:
-        """Stream (table id, schema) pairs without materializing a list."""
-        for annotated in self._store:
+    def iter_schemas(self, start: int = 0) -> Iterator[tuple[str, tuple[str, ...]]]:
+        """Stream (table id, schema) pairs without materializing a list.
+
+        ``start`` skips the first ``start`` tables in corpus order;
+        sharded stores skip whole shards via their manifest counts
+        without parsing them, so streaming an extension's tail costs
+        O(tail), not O(corpus).
+        """
+        source: Iterator = iter(self._store)
+        if start:
+            iter_from = getattr(self._store, "iter_from", None)
+            source = iter_from(start) if iter_from is not None else islice(source, start, None)
+        for annotated in source:
             yield annotated.table_id, annotated.table.schema
 
     def schemas(self) -> list[tuple[str, tuple[str, ...]]]:

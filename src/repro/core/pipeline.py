@@ -45,6 +45,7 @@ from ..storage.checkpoint import (
     config_fingerprint,
     load_build_meta,
     require_compatible_build,
+    require_compatible_extension,
     save_build_meta,
 )
 from ..storage.artifacts import IndexArtifactStore
@@ -140,7 +141,11 @@ class CorpusBuilder:
         base = GeneratorConfig(seed=self.config.seed)
         return base.scaled_to_files(target_files)
 
-    def pipeline(self, skip_source_urls: set[str] | None = None) -> Pipeline:
+    def pipeline(
+        self,
+        skip_source_urls: set[str] | None = None,
+        fast_forward_past: str | None = None,
+    ) -> Pipeline:
         """The Figure-1 stage graph over this builder's components.
 
         A fresh graph (with fresh stage reports) per call; callers may
@@ -149,7 +154,9 @@ class CorpusBuilder:
         chunked thread-pool map stages (order-preserving; may prefetch
         up to ``workers + 1`` chunks past the early-stop limit).
         ``skip_source_urls`` inserts the resume-skip stage used by
-        store-targeted builds.
+        store-targeted builds; ``fast_forward_past`` is the sealed
+        store's stream high-water mark for epoch extensions (see
+        :class:`~repro.pipeline.stages.ResumeSkipStage`).
         """
         return Pipeline(
             default_stages(
@@ -161,6 +168,7 @@ class CorpusBuilder:
                 workers=self.config.workers,
                 chunk_size=self.batch_size,
                 skip_source_urls=skip_source_urls,
+                fast_forward_past=fast_forward_past,
             ),
             batch_size=self.batch_size,
             name="gittables-build",
@@ -171,6 +179,7 @@ class CorpusBuilder:
         store_dir: str | os.PathLike[str] | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         processes: int | None = None,
+        extend: bool = False,
     ) -> PipelineResult:
         """Run the full streaming pipeline and return corpus plus reports.
 
@@ -193,6 +202,18 @@ class CorpusBuilder:
         may be killed under one process count and resumed under another
         (the count is excluded from the config fingerprint). In-memory
         builds ignore ``processes``.
+
+        ``extend=True`` reopens a *completed* store under a grown
+        configuration (larger ``target_tables`` and/or
+        ``extraction.topic_count``; everything else — seed, stage
+        settings, generator — must match the original build). The
+        committed corpus becomes the new epoch's prefix and only the
+        missing tables are searched, annotated and appended, so growing
+        a corpus costs O(new tables), not O(corpus). When only
+        ``target_tables`` grew, the extended directory finalizes
+        byte-identical (modulo the manifest epoch trailer) to a
+        from-scratch build of the larger target with the same explicit
+        ``generator_config``.
         """
         if processes is None:
             processes = self.config.processes
@@ -207,9 +228,11 @@ class CorpusBuilder:
             # worker-scoped shards. Either path finalizes the same bytes.
             if processes > 1 or has_parallel_state(store_dir):
                 return ParallelCorpusBuilder(self, processes=processes).build(
-                    store_dir, shard_size=shard_size
+                    store_dir, shard_size=shard_size, extend=extend
                 )
-            return self._build_to_store(store_dir, shard_size)
+            return self._build_to_store(store_dir, shard_size, extend=extend)
+        if extend:
+            raise CorpusError("extend=True requires a store_dir to reopen")
         topic_selection = select_topics(
             self.config.extraction.topic_count, seed=self.config.seed
         )
@@ -242,7 +265,11 @@ class CorpusBuilder:
         )
 
     def ensure_build_meta(
-        self, store_dir: str | os.PathLike[str], fingerprint: dict, committed_count: int
+        self,
+        store_dir: str | os.PathLike[str],
+        fingerprint: dict,
+        committed_count: int,
+        extend: bool = False,
     ) -> None:
         """Validate (or create) the directory's permanent provenance record.
 
@@ -251,6 +278,13 @@ class CorpusBuilder:
         completed, serial or parallel — must match it. Shared by the
         single-process and process-parallel build paths so both enforce
         identical provenance rules.
+
+        With ``extend=True`` a *compatible growth* of the configuration
+        is accepted instead of exact equality (see
+        :func:`~repro.storage.checkpoint.require_compatible_extension`),
+        and ``build.json`` is re-pinned to the grown fingerprint — from
+        then on the directory belongs to the extended configuration, and
+        a crashed extension resumes against the new record.
         """
         stored_fingerprint = load_build_meta(store_dir)
         if stored_fingerprint is not None:
@@ -262,7 +296,16 @@ class CorpusBuilder:
                     "whose data source cannot be verified; such builds are not "
                     "resumable or reusable — delete the directory to rebuild"
                 )
-            require_compatible_build(stored_fingerprint, fingerprint, store_dir)
+            if extend:
+                require_compatible_extension(stored_fingerprint, fingerprint, store_dir)
+                save_build_meta(store_dir, fingerprint)
+            else:
+                require_compatible_build(stored_fingerprint, fingerprint, store_dir)
+        elif extend:
+            raise CorpusError(
+                f"cannot extend corpus at {store_dir}: the directory holds no "
+                "build metadata to grow from"
+            )
         elif committed_count > 0:
             raise CorpusError(
                 f"corpus at {store_dir} holds {committed_count} tables but "
@@ -292,14 +335,14 @@ class CorpusBuilder:
         return self._result(corpus, report, topics)
 
     def _build_to_store(
-        self, store_dir: str | os.PathLike[str], shard_size: int
+        self, store_dir: str | os.PathLike[str], shard_size: int, extend: bool = False
     ) -> PipelineResult:
         """Resumable streaming build into a sharded corpus directory."""
         config = self.config
         topic_selection = select_topics(config.extraction.topic_count, seed=config.seed)
         writer = ShardedCorpusWriter(store_dir, shard_size=shard_size)
         fingerprint = config_fingerprint(config, self.generator_config)
-        self.ensure_build_meta(store_dir, fingerprint, writer.committed_count)
+        self.ensure_build_meta(store_dir, fingerprint, writer.committed_count, extend=extend)
         # Persist the ontology label indexes next to the corpus: later
         # sessions (and parallel build workers) of this directory then
         # mmap them instead of re-embedding every ontology label.
@@ -337,8 +380,39 @@ class CorpusBuilder:
 
         remaining = config.target_tables - writer.committed_count
         if remaining > 0:
-            outcome = self.pipeline(skip_source_urls=writer.source_urls()).run(
-                topic_selection.topics,
+            fast_forward_past = None
+            run_topics = topic_selection.topics
+            if extend:
+                if writer.is_sealed:
+                    # A sealed manifest lists tables in canonical stream
+                    # order, so the extension can fast-forward the
+                    # replayed stream past the last committed table
+                    # instead of re-parsing every previously rejected
+                    # file — the O(new tables) growth path. A crashed
+                    # extension reopens unsealed and falls back to the
+                    # (order-agnostic) membership skip.
+                    fast_forward_past = writer.last_source_url()
+                    marker = writer.last_committed_table()
+                    if marker is not None and marker.topic in run_topics:
+                        # Topics are consumed in order and the high-water
+                        # table belongs to the last topic the sealed
+                        # build reached, so earlier topics yield only
+                        # already-processed files — skip enumerating
+                        # (and re-searching) them entirely. Files they
+                        # share with later topics were either committed
+                        # (dropped by the membership skip) or rejected
+                        # (parse/filter are content-deterministic, so
+                        # they re-reject identically).
+                        run_topics = run_topics[run_topics.index(marker.topic) :]
+                # Durably open the next epoch before the first append —
+                # deferred to here so an extension whose target is
+                # already met reuses the sealed store without bumping.
+                writer.begin_extension()
+            outcome = self.pipeline(
+                skip_source_urls=writer.source_urls(),
+                fast_forward_past=fast_forward_past,
+            ).run(
+                run_topics,
                 config=config,
                 ctx=ctx,
                 limit=remaining,
@@ -362,8 +436,13 @@ class CorpusBuilder:
         # Publish the columnar stats projection at finalize: later
         # sessions (and the curation fallback below) resolve corpus
         # statistics from mmap'd metadata arrays, never re-parsing
-        # shards. Best-effort like every artifact publish.
-        ensure_projection(corpus, IndexArtifactStore.for_corpus_dir(store_dir))
+        # shards. Best-effort like every artifact publish. Extensions
+        # defer pruning: the superseded search/completion artifacts must
+        # survive until their engines have delta-refreshed from them
+        # (the facade prunes once every artifact is republished).
+        ensure_projection(
+            corpus, IndexArtifactStore.for_corpus_dir(store_dir), prune=not extend
+        )
         if "curation" not in report.stage_reports:
             # The no-work path (target already met, e.g. killed between
             # the last commit and checkpoint clear) ran no curation
@@ -381,16 +460,18 @@ def build_corpus(
     store_dir: str | os.PathLike[str] | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
     processes: int | None = None,
+    extend: bool = False,
 ) -> PipelineResult:
     """Convenience wrapper: construct a corpus with one call.
 
     With ``store_dir`` the build streams into a resumable sharded
     on-disk store; ``processes`` > 1 additionally fans the work out
-    across worker processes (see :meth:`CorpusBuilder.build`).
+    across worker processes; ``extend=True`` grows a completed store
+    incrementally under a larger target (see :meth:`CorpusBuilder.build`).
     """
     return CorpusBuilder(
         config=config,
         instance=instance,
         generator_config=generator_config,
         batch_size=batch_size,
-    ).build(store_dir=store_dir, shard_size=shard_size, processes=processes)
+    ).build(store_dir=store_dir, shard_size=shard_size, processes=processes, extend=extend)

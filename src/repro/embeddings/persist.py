@@ -22,15 +22,20 @@ any of their own parameters that shape the matrix.
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..config import DEFAULT_INDEX_CONFIG, IndexConfig
 from ..storage.artifacts import IndexArtifactStore, LoadedArtifact
 from .ann import PartitionedIndex, _validate_partition_tables
 from .similarity import NearestNeighbourIndex
 
 __all__ = [
     "embedder_fingerprint",
+    "extend_unit_vectors",
     "publish_index",
     "load_index",
     "index_from_artifact",
+    "index_from_unit_rows",
 ]
 
 #: Array key under which an index's unit-vector matrix is published.
@@ -66,12 +71,53 @@ def embedder_fingerprint(model) -> dict:
     return fingerprint
 
 
+def extend_unit_vectors(unit_vectors: np.ndarray, tail_matrix: np.ndarray) -> np.ndarray:
+    """Append freshly embedded rows to an existing unit-row matrix.
+
+    ``tail_matrix`` is row-normalised with *exactly* the arithmetic
+    :class:`NearestNeighbourIndex.__init__` applies (zero rows kept
+    zero), so the concatenated matrix is bit-identical to normalising
+    the full stacked matrix from scratch — row normalisation is row-pure
+    — while touching only the tail. The committed prefix rows (often an
+    mmap of the superseded artifact) are copied verbatim, never
+    re-divided.
+    """
+    tail = np.asarray(tail_matrix)
+    norms = np.linalg.norm(tail, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return np.concatenate([np.asarray(unit_vectors), tail / norms])
+
+
+def index_from_unit_rows(
+    labels: list[str],
+    unit_vectors: np.ndarray,
+    config: IndexConfig | None = None,
+    n_rows: int | None = None,
+) -> NearestNeighbourIndex:
+    """The right index tier over *already-normalised* unit rows.
+
+    The incremental counterpart of :func:`~repro.embeddings.ann.
+    build_index`: the rows (e.g. from :func:`extend_unit_vectors`) skip
+    ``__init__``'s normalising division entirely, so the flat tier is
+    bit-identical to a from-scratch build over the same schemas, and the
+    partitioned tier re-runs only the deterministic k-means over them —
+    the one genuinely corpus-global piece of an index build.
+    """
+    config = config if config is not None else DEFAULT_INDEX_CONFIG
+    flat = NearestNeighbourIndex._from_unit_vectors(labels, unit_vectors)
+    count = len(labels) if n_rows is None else n_rows
+    if not config.tier_active(count):
+        return flat
+    return PartitionedIndex.from_flat(flat, config)
+
+
 def publish_index(
     artifacts: IndexArtifactStore,
     name: str,
     fingerprint: dict,
     index: NearestNeighbourIndex,
     payload: dict | None = None,
+    prune: bool = True,
 ) -> None:
     """Publish an index (plus optional extra payload) as one artifact.
 
@@ -92,7 +138,7 @@ def publish_index(
             "nprobe": index.nprobe,
             "recall": index.recall,
         }
-    artifacts.publish(name, fingerprint, arrays=arrays, payload=full_payload)
+    artifacts.publish(name, fingerprint, arrays=arrays, payload=full_payload, prune=prune)
 
 
 def index_from_artifact(loaded: LoadedArtifact) -> NearestNeighbourIndex:

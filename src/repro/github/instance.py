@@ -68,7 +68,27 @@ class GitHubInstance:
         return entry
 
 
+#: Most recently generated instance, keyed by its (frozen, hashable)
+#: generator config. Bounded to a single entry: the common repeat
+#: pattern is many sessions over one configuration, not many configs.
+_instance_cache: dict[GeneratorConfig, GitHubInstance] = {}
+
+
 def build_instance(config: GeneratorConfig | None = None) -> GitHubInstance:
-    """Generate a synthetic GitHub instance from a generator config."""
-    generator = ContentGenerator(config)
-    return GitHubInstance(generator.generate_repositories())
+    """Generate a synthetic GitHub instance from a generator config.
+
+    Memoized per config: generation is deterministic and instances are
+    read-only once built, so repeated sessions in one process — an
+    epoch extension reopening the corpus it grew from, a benchmark's
+    rebuild arm, a worker pool warming per-worker sessions — share one
+    instance instead of each paying the O(files) content generation.
+    """
+    key = config if config is not None else GeneratorConfig()
+    cached = _instance_cache.get(key)
+    if cached is not None:
+        return cached
+    generator = ContentGenerator(key)
+    instance = GitHubInstance(generator.generate_repositories())
+    _instance_cache.clear()
+    _instance_cache[key] = instance
+    return instance

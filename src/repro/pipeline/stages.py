@@ -147,15 +147,41 @@ class ResumeSkipStage:
     resume auditable: ``items_dropped`` is exactly the number of tables
     skipped because a previous session already produced them. On a fresh
     build the set is empty and the stage passes everything through.
+
+    ``fast_forward_past`` sharpens the skip for *epoch extensions of a
+    sealed store*: membership in ``done_urls`` only covers committed
+    tables, so a plain resume still re-parses every file a previous
+    session extracted and **rejected** (parse failures, filter drops) —
+    an O(corpus) cost that defeats incremental growth. A sealed
+    manifest, however, lists its tables in canonical stream order, and
+    an extension replays the identical deterministic stream (enforced by
+    the build-meta fingerprint) with extraction de-duplicating URLs — so
+    the last committed table's source URL is a stream high-water mark:
+    *everything* up to and including it was already processed. While
+    fast-forwarding, the stage drops every file until that marker has
+    passed; afterwards it falls back to the membership check. Only
+    sealed-at-open extensions may set the marker — a mid-build crash of
+    a *parallel* session commits out of stream order, where membership
+    is the only safe filter.
     """
 
     name = "resume-skip"
 
-    def __init__(self, done_urls: set[str] | frozenset[str] = frozenset()) -> None:
+    def __init__(
+        self,
+        done_urls: set[str] | frozenset[str] = frozenset(),
+        fast_forward_past: str | None = None,
+    ) -> None:
         self.done_urls = set(done_urls)
+        self.fast_forward_past = fast_forward_past
 
     def process(self, items: Iterator, ctx: StageContext) -> Iterator:
+        marker = self.fast_forward_past
         for extracted in items:
+            if marker is not None:
+                if extracted.url == marker:
+                    marker = None
+                continue
             if extracted.url not in self.done_urls:
                 yield extracted
 
@@ -293,6 +319,7 @@ def default_stages(
     workers: int = 1,
     chunk_size: int = 32,
     skip_source_urls: set[str] | None = None,
+    fast_forward_past: str | None = None,
 ) -> list:
     """The paper's Figure-1 stage order, from existing components.
 
@@ -304,11 +331,13 @@ def default_stages(
 
     ``skip_source_urls`` (store-targeted builds only) inserts a
     :class:`ResumeSkipStage` after extraction so tables already committed
-    by an interrupted session are never re-annotated.
+    by an interrupted session are never re-annotated;
+    ``fast_forward_past`` additionally skips everything up to the sealed
+    store's stream high-water mark (see :class:`ResumeSkipStage`).
     """
     stages: list = [ExtractStage(extractor)]
     if skip_source_urls is not None:
-        stages.append(ResumeSkipStage(skip_source_urls))
+        stages.append(ResumeSkipStage(skip_source_urls, fast_forward_past=fast_forward_past))
     stages.extend(
         processing_stages(
             PipelineComponents(

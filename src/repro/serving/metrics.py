@@ -65,6 +65,10 @@ class ServiceMetrics:
         #: source ("local" / "worker-00" / ...) -> latest index_stats()
         #: dict reported by that executor (engine -> tier stats).
         self._index_stats: dict[str, dict] = {}
+        #: source -> latest {"epoch": ..., "reloads": ...} store state
+        #: piggybacked by that worker (epoch it serves, cumulative
+        #: artifact reloads after store extensions).
+        self._worker_store: dict[str, dict] = {}
         self._started_at = time.monotonic()
 
     def _endpoint(self, endpoint: str) -> _EndpointStats:
@@ -133,6 +137,17 @@ class ServiceMetrics:
         with self._lock:
             self._index_stats[source] = stats
 
+    def record_worker_store(self, source: str, state: dict) -> None:
+        """Store one worker's latest store-generation report.
+
+        ``state`` is ``{"epoch": ..., "reloads": ...}``: the store epoch
+        the worker's session currently serves and its cumulative count
+        of artifact reloads triggered by store extensions. Cumulative,
+        so only the latest report per source is kept.
+        """
+        with self._lock:
+            self._worker_store[source] = state
+
     @staticmethod
     def _merged_index_stats(per_source: dict[str, dict]) -> dict:
         """Fold per-worker cumulative index stats into one view per engine."""
@@ -163,8 +178,21 @@ class ServiceMetrics:
 
     # -- reporting ---------------------------------------------------------
 
-    def snapshot(self, queue_limit: int | None = None, workers: dict | None = None) -> dict:
-        """A point-in-time picture of the whole service, as plain data."""
+    def snapshot(
+        self,
+        queue_limit: int | None = None,
+        workers: dict | None = None,
+        store_epoch: int | None = None,
+    ) -> dict:
+        """A point-in-time picture of the whole service, as plain data.
+
+        ``store_epoch`` is the parent's current view of the backing
+        store's sealed epoch (None without a store directory); the
+        ``workers`` section additionally reports each worker's served
+        epoch and cumulative artifact-reload count, so an in-flight
+        store extension is visible as parent epoch > worker epochs
+        until every worker has reloaded.
+        """
         with self._lock:
             endpoints: dict[str, dict] = {}
             for name in sorted(self._endpoints):
@@ -209,6 +237,15 @@ class ServiceMetrics:
                     **(workers or {}),
                     "crashes": self._worker_crashes,
                     "respawns": self._worker_respawns,
+                    "store_epoch": store_epoch,
+                    "epochs": {
+                        source: state.get("epoch")
+                        for source, state in sorted(self._worker_store.items())
+                    },
+                    "artifact_reloads": {
+                        source: state.get("reloads", 0)
+                        for source, state in sorted(self._worker_store.items())
+                    },
                 },
                 "index": self._merged_index_stats(self._index_stats),
                 "endpoints": endpoints,

@@ -29,6 +29,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from ..config import ServingConfig
 from ..errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded, ServingError
+from ..storage.sharded import read_store_epoch
 from .batcher import MicroBatcher, Request
 from .endpoints import canonicalize
 from .metrics import ServiceMetrics
@@ -54,6 +55,7 @@ class QueryService:
     ) -> None:
         self.config = config or ServingConfig()
         self._session = session
+        self._directory = str(directory) if directory is not None else None
         self._metrics = ServiceMetrics(latency_samples=self.config.latency_samples)
         self._lock = threading.Lock()
         self._inflight = 0
@@ -72,6 +74,7 @@ class QueryService:
                 max_respawns=self.config.max_respawns,
                 on_crash=self._metrics.record_worker_crash,
                 on_stats=self._metrics.record_index_stats,
+                on_store=self._metrics.record_worker_store,
                 index_config=self.config.index,
                 mp_context=mp_context,
             )
@@ -194,9 +197,26 @@ class QueryService:
     # -- introspection -----------------------------------------------------
 
     def metrics(self) -> dict:
-        """A point-in-time snapshot dict (QPS, batch histogram, latency)."""
+        """A point-in-time snapshot dict (QPS, batch histogram, latency).
+
+        For store-backed services the ``workers`` section also reports
+        the store's current sealed epoch next to each worker's served
+        epoch and artifact-reload count — a live view of an in-place
+        :meth:`GitTables.extend` propagating through the pool.
+        """
+        store_epoch = None
+        if self._directory is not None:
+            try:
+                epoch, sealed = read_store_epoch(self._directory)
+            except Exception:
+                pass
+            else:
+                if sealed:
+                    store_epoch = epoch
         return self._metrics.snapshot(
-            queue_limit=self.config.max_queue, workers=self._executor.worker_info()
+            queue_limit=self.config.max_queue,
+            workers=self._executor.worker_info(),
+            store_epoch=store_epoch,
         )
 
     def worker_pids(self) -> list[int]:

@@ -33,6 +33,7 @@ import traceback
 
 from ..errors import ServiceClosed, ServingError, WorkerCrashed
 from ..storage.parallel import build_mp_context
+from ..storage.sharded import read_store_epoch
 from .batcher import Request
 from .endpoints import execute_batch
 
@@ -40,6 +41,10 @@ __all__ = ["LocalExecutor", "WorkerPool"]
 
 #: How long pool construction waits for every worker's ready ack.
 STARTUP_TIMEOUT_SECONDS = 120.0
+
+#: Minimum seconds between a worker's store-epoch probes (one manifest
+#: read each) — reload detection latency, not correctness, is at stake.
+EPOCH_PROBE_INTERVAL_SECONDS = 0.5
 
 
 def _serving_worker_main(
@@ -49,14 +54,22 @@ def _serving_worker_main(
 
     Sends ``("ready", worker, pid)`` once the session is loaded and its
     engines are warm, then answers every ``("batch", id, endpoint, key,
-    payloads)`` task with ``("ok", worker, id, results, index_stats)`` —
-    or ``("error", worker, id, traceback, None)`` for a failing batch,
-    which does *not* kill the worker (one malformed batch must not take
-    down the pool). The piggybacked ``index_stats`` element is the
-    session's cumulative ANN-tier instrumentation (None when no engine
-    is built), so the parent's metrics see the tier in use without an
-    extra round trip. Exits on the ``None`` sentinel or when the parent
-    dies.
+    payloads)`` task with ``("ok", worker, id, results, index_stats,
+    store_state)`` — or ``("error", worker, id, traceback, None,
+    store_state)`` for a failing batch, which does *not* kill the worker
+    (one malformed batch must not take down the pool). The piggybacked
+    ``index_stats`` element is the session's cumulative ANN-tier
+    instrumentation (None when no engine is built) and ``store_state``
+    is ``{"epoch": ..., "reloads": ...}``, so the parent's metrics see
+    the tier and store generation in use without an extra round trip.
+
+    Between batches (and on idle ticks) the worker probes the store
+    manifest's epoch counter: when the directory has been **extended**
+    (sealed at a newer epoch than the session was loaded from), the
+    session is reloaded — warming from the delta-refreshed artifacts, or
+    delta-refreshing them itself when it wins the race — so a long-lived
+    pool serves the grown corpus without a restart. Exits on the
+    ``None`` sentinel or when the parent dies.
     """
 
     def leave():
@@ -73,26 +86,58 @@ def _serving_worker_main(
         # not pay the build cost.
         _ = session.search_engine
         _ = session.completer
+        epoch, _sealed = read_store_epoch(directory)
     except Exception:
-        result_queue.put(("error", worker, None, traceback.format_exc(), None))
+        result_queue.put(("error", worker, None, traceback.format_exc(), None, None))
         return leave()
     result_queue.put(("ready", worker, os.getpid()))
     memo: dict = {}
+    reloads = 0
+    last_probe = time.monotonic()
+
+    def maybe_reload():
+        """Reload the session when the store sealed a newer epoch."""
+        nonlocal session, epoch, reloads, last_probe
+        now = time.monotonic()
+        if now - last_probe < EPOCH_PROBE_INTERVAL_SECONDS:
+            return
+        last_probe = now
+        try:
+            current, sealed = read_store_epoch(directory)
+            if not sealed or current <= epoch:
+                return
+            fresh = GitTables.load(directory, index_config=index_config)
+            _ = fresh.search_engine
+            _ = fresh.completer
+        except Exception:
+            return  # keep serving the current epoch; retry next probe
+        session = fresh
+        memo.clear()  # memoized results describe the smaller corpus
+        epoch = current
+        reloads += 1
+
     while True:
         try:
             task = task_queue.get(timeout=0.5)
         except queue_module.Empty:
             if os.getppid() != parent_pid:
                 return leave()  # orphaned by a dead parent
+            maybe_reload()
             continue
         if task is None:
             return leave()
+        maybe_reload()
+        store_state = {"epoch": epoch, "reloads": reloads}
         _, batch_id, endpoint, key, payloads = task
         try:
             results = execute_batch(session, endpoint, key, payloads, memo=memo)
-            result_queue.put(("ok", worker, batch_id, results, session.index_stats() or None))
+            result_queue.put(
+                ("ok", worker, batch_id, results, session.index_stats() or None, store_state)
+            )
         except Exception:
-            result_queue.put(("error", worker, batch_id, traceback.format_exc(), None))
+            result_queue.put(
+                ("error", worker, batch_id, traceback.format_exc(), None, store_state)
+            )
 
 
 class LocalExecutor:
@@ -178,6 +223,7 @@ class WorkerPool:
         max_respawns: int = 3,
         on_crash=None,
         on_stats=None,
+        on_store=None,
         index_config=None,
         mp_context=None,
     ) -> None:
@@ -186,6 +232,7 @@ class WorkerPool:
         self._max_respawns = max_respawns
         self._on_crash = on_crash
         self._on_stats = on_stats
+        self._on_store = on_store
         self._index_config = index_config
         self._mp = mp_context if mp_context is not None else build_mp_context()
         self._result_queue = self._mp.Queue()
@@ -315,9 +362,11 @@ class WorkerPool:
                 with self._lock:
                     self._workers[index].pid = pid
                 continue
-            _, worker, batch_id, body, index_stats = message
+            _, worker, batch_id, body, index_stats, store_state = message
             if index_stats is not None and self._on_stats is not None:
                 self._on_stats(f"worker-{worker:02d}", index_stats)
+            if store_state is not None and self._on_store is not None:
+                self._on_store(f"worker-{worker:02d}", store_state)
             if batch_id is None:
                 continue  # init failure of a respawn; liveness check handles it
             with self._lock:

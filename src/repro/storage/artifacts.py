@@ -193,6 +193,40 @@ class IndexArtifactStore:
             payload=meta.get("payload", {}),
         )
 
+    def load_any(self, name: str) -> LoadedArtifact | None:
+        """The named artifact *whatever its fingerprint*, or ``None``.
+
+        The delta-refresh read path: an extended corpus has a new
+        content fingerprint, so :meth:`load` misses by design — but the
+        superseded artifact's arrays are still the exact committed
+        prefix of the new ones. Callers get the artifact together with
+        its stored fingerprint and must validate compatibility (encoder
+        config, prefix identity) themselves; format and array-spec
+        integrity are still enforced here, so a truncated or corrupt
+        artifact reads as a miss exactly like :meth:`load`.
+        """
+        artifact_dir = self.path(name)
+        meta_path = artifact_dir / META_FILENAME
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if meta.get("format") != ARTIFACT_FORMAT:
+            return None
+        arrays: dict = {}
+        for key, spec in meta.get("arrays", {}).items():
+            array = self._open_array(artifact_dir / spec["file"], spec)
+            if array is None:
+                return None
+            arrays[key] = array
+        return LoadedArtifact(
+            name=name,
+            fingerprint=meta.get("fingerprint"),
+            arrays=arrays,
+            payload=meta.get("payload", {}),
+        )
+
     @staticmethod
     def _open_array(path: Path, spec: dict):
         """mmap one array file, validating it against its recorded spec."""
@@ -218,6 +252,7 @@ class IndexArtifactStore:
         fingerprint: dict,
         arrays: dict | None = None,
         payload: dict | None = None,
+        prune: bool = True,
     ) -> Path:
         """Atomically (re)publish an artifact; returns its directory.
 
@@ -225,6 +260,14 @@ class IndexArtifactStore:
         place, replacing any previous version wholesale — a reader never
         observes a half-written artifact, and a crash mid-publish leaves
         the previous version (or nothing) behind.
+
+        ``prune=False`` skips the corpus-keyed garbage collection below.
+        The delta-refresh flow needs this ordering guarantee: artifacts
+        superseded by a corpus extension must stay on disk until *every*
+        consumer has republished from them, then one explicit
+        :meth:`prune` sweeps the prior epoch. Without it, the first
+        publish of the new epoch would delete the very artifacts the
+        remaining engines still need to extend incrementally.
         """
         target = self.path(name)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -267,9 +310,10 @@ class IndexArtifactStore:
         # current corpus", so artifacts keyed on any *other* corpus
         # state are unreachable (their load() can only miss) and would
         # otherwise accumulate forever across rebuilds.
-        corpus_key = fingerprint.get("corpus") if isinstance(fingerprint, dict) else None
-        if isinstance(corpus_key, str):
-            self.prune(corpus_key)
+        if prune:
+            corpus_key = fingerprint.get("corpus") if isinstance(fingerprint, dict) else None
+            if isinstance(corpus_key, str):
+                self.prune(corpus_key)
         return target
 
     def prune(self, keep_fingerprint: str) -> list[str]:

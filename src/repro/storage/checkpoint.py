@@ -44,6 +44,7 @@ __all__ = [
     "numbered_sidecar_ids",
     "save_build_meta",
     "require_compatible_build",
+    "require_compatible_extension",
     "worker_checkpoint_ids",
 ]
 
@@ -141,6 +142,67 @@ def require_compatible_build(
             f"corpus at {directory} was built with a different pipeline "
             "configuration (seed/target/stage settings differ); delete the "
             "directory to rebuild from scratch"
+        )
+
+
+#: Fingerprint fields an extension is allowed to *grow*. Everything
+#: else must match the original build byte-for-byte.
+_EXTENSION_GROWTH_AXES = (
+    ("config", "target_tables"),
+    ("config", "extraction", "topic_count"),
+)
+
+
+def _pop_axis(payload: dict, axis: tuple[str, ...]):
+    """Remove a nested fingerprint field, returning its value (or None)."""
+    node = payload
+    for key in axis[:-1]:
+        node = node.get(key) if isinstance(node, dict) else None
+        if node is None:
+            return None
+    if isinstance(node, dict):
+        return node.pop(axis[-1], None)
+    return None
+
+
+def require_compatible_extension(
+    stored_fingerprint: dict, fingerprint: dict, directory
+) -> None:
+    """Reject an extension that changes anything but the growth axes.
+
+    An extension may grow ``target_tables`` and ``extraction.topic_count``
+    — the axes along which an epoched build appends new tables after the
+    committed prefix — but every other configuration field, *including
+    the synthetic-instance generator*, must match the original build
+    exactly: a changed seed, stage setting, or generator would make the
+    extension's stream disagree with the committed prefix. Shrinking a
+    growth axis is also rejected (the committed corpus already exceeds
+    the new target).
+    """
+    stored = json.loads(json.dumps(_normalize(stored_fingerprint)))
+    new = json.loads(json.dumps(_normalize(fingerprint)))
+    if stored.get("generator") is None or new.get("generator") is None:
+        raise CorpusError(
+            f"cannot extend corpus at {directory}: the build carries no "
+            "verifiable generator fingerprint (it was built from a custom "
+            "pre-built instance), so a compatible extension stream cannot "
+            "be proven"
+        )
+    for axis in _EXTENSION_GROWTH_AXES:
+        before, after = _pop_axis(stored, axis), _pop_axis(new, axis)
+        if before is not None and after is not None and after < before:
+            raise CorpusError(
+                f"cannot extend corpus at {directory}: "
+                f"{'.'.join(axis)} shrank from {before} to {after}; an "
+                "extension may only grow the corpus"
+            )
+    if stored != new:
+        raise CorpusError(
+            f"cannot extend corpus at {directory}: the pipeline "
+            "configuration differs from the original build beyond the "
+            "growth axes (target_tables, extraction.topic_count); an "
+            "extension must reuse the original seed, stage settings and "
+            "generator"
         )
 
 

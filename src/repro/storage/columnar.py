@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, fields
+from itertools import islice
 from pathlib import Path
 
 import numpy as np
@@ -49,9 +50,11 @@ __all__ = [
     "TablePredicate",
     "count_by",
     "ensure_projection",
+    "extend_projection",
     "first_seen_counts",
     "histogram",
     "load_projection",
+    "load_stale_projection",
     "masked",
     "projection_fingerprint",
     "publish_projection",
@@ -140,10 +143,17 @@ def first_seen_counts(codes) -> tuple[np.ndarray, np.ndarray]:
 
 
 class _Vocab:
-    """Dictionary encoder: first-seen strings get consecutive int codes."""
+    """Dictionary encoder: first-seen strings get consecutive int codes.
 
-    def __init__(self) -> None:
-        self._codes: dict[str, int] = {}
+    ``existing`` seeds the encoder with an already-assigned vocabulary
+    (in code order), so an incremental rebuild re-issues identical codes
+    for every known string and extends with fresh codes only for new
+    ones — the invariant that lets extended code arrays concatenate onto
+    committed ones.
+    """
+
+    def __init__(self, existing=()) -> None:
+        self._codes: dict[str, int] = {value: code for code, value in enumerate(existing)}
 
     def code(self, value: str) -> int:
         code = self._codes.get(value)
@@ -153,6 +163,84 @@ class _Vocab:
 
     def values(self) -> tuple[str, ...]:
         return tuple(self._codes)
+
+
+#: dtype of each persisted array field; the extension path concatenates
+#: with these so an extended projection's arrays are dtype-identical to
+#: a from-scratch scan's.
+_ARRAY_DTYPES = {
+    "n_rows": np.int64,
+    "n_cols": np.int64,
+    "topic_codes": np.int32,
+    "repo_codes": np.int32,
+    "license_codes": np.int32,
+    "col_table": np.int64,
+    "col_name": np.int32,
+    "col_dtype": np.int8,
+    "ann_table": np.int64,
+    "ann_method": np.int8,
+    "ann_ontology": np.int16,
+    "ann_column": np.int32,
+    "ann_label": np.int32,
+    "ann_confidence": np.float64,
+    "pii_table": np.int64,
+    "pii_column": np.int32,
+    "pii_label": np.int16,
+}
+
+
+def _scan_tables(tables, start_index: int, vocabs: dict) -> tuple[list, dict]:
+    """The projection scan loop: one pass over ``tables`` into plain lists.
+
+    ``start_index`` is the global index of the first yielded table (0
+    for a full scan, the committed count for a tail scan), so row->table
+    references are correct in both cases. ``vocabs`` maps each
+    vocabulary field name to its (possibly pre-seeded) :class:`_Vocab`.
+    Returns ``(table_ids, {array field -> list})``.
+    """
+    from ..core.annotation import AnnotationMethod
+
+    methods = (AnnotationMethod.SYNTACTIC, AnnotationMethod.SEMANTIC)
+    topics = vocabs["topics"]
+    repos = vocabs["repositories"]
+    licenses = vocabs["licenses"]
+    names = vocabs["column_names"]
+    ontologies = vocabs["ontologies"]
+    labels = vocabs["type_labels"]
+    pii_labels = vocabs["pii_labels"]
+
+    table_ids: list[str] = []
+    arrays: dict[str, list] = {name: [] for name in _ARRAY_DTYPES}
+
+    for index, annotated in enumerate(tables, start=start_index):
+        table = annotated.table
+        table_ids.append(annotated.table_id)
+        arrays["n_rows"].append(table.num_rows)
+        arrays["n_cols"].append(table.num_columns)
+        arrays["topic_codes"].append(topics.code(annotated.topic))
+        arrays["repo_codes"].append(repos.code(annotated.repository))
+        arrays["license_codes"].append(
+            -1 if annotated.license_key is None else licenses.code(annotated.license_key)
+        )
+        for column in table.columns:
+            arrays["col_table"].append(index)
+            arrays["col_name"].append(names.code(column.name))
+            arrays["col_dtype"].append(ATOMIC_TYPES.index(column.atomic_type.value))
+        for method_code, method in enumerate(methods):
+            for annotation in annotated.annotations.for_method(method):
+                arrays["ann_table"].append(index)
+                arrays["ann_method"].append(method_code)
+                arrays["ann_ontology"].append(ontologies.code(annotation.ontology))
+                arrays["ann_column"].append(names.code(annotation.column))
+                arrays["ann_label"].append(labels.code(annotation.type_label))
+                arrays["ann_confidence"].append(annotation.confidence)
+        scrubbed = table.metadata.get("pii_scrubbed_types") or {}
+        for column_name, label in scrubbed.items():
+            arrays["pii_table"].append(index)
+            arrays["pii_column"].append(names.code(column_name))
+            arrays["pii_label"].append(pii_labels.code(label))
+
+    return table_ids, arrays
 
 
 # -- predicates --------------------------------------------------------------
@@ -307,86 +395,55 @@ class ColumnarProjection:
     @classmethod
     def from_corpus(cls, corpus) -> "ColumnarProjection":
         """One streaming pass over ``corpus`` building every column array."""
-        from ..core.annotation import AnnotationMethod
-
-        methods = (AnnotationMethod.SYNTACTIC, AnnotationMethod.SEMANTIC)
-        topics, repos, licenses = _Vocab(), _Vocab(), _Vocab()
-        names, ontologies, labels, pii_labels = _Vocab(), _Vocab(), _Vocab(), _Vocab()
-
-        table_ids: list[str] = []
-        n_rows: list[int] = []
-        n_cols: list[int] = []
-        topic_codes: list[int] = []
-        repo_codes: list[int] = []
-        license_codes: list[int] = []
-        col_table: list[int] = []
-        col_name: list[int] = []
-        col_dtype: list[int] = []
-        ann_table: list[int] = []
-        ann_method: list[int] = []
-        ann_ontology: list[int] = []
-        ann_column: list[int] = []
-        ann_label: list[int] = []
-        ann_confidence: list[float] = []
-        pii_table: list[int] = []
-        pii_column: list[int] = []
-        pii_label: list[int] = []
-
-        for index, annotated in enumerate(corpus):
-            table = annotated.table
-            table_ids.append(annotated.table_id)
-            n_rows.append(table.num_rows)
-            n_cols.append(table.num_columns)
-            topic_codes.append(topics.code(annotated.topic))
-            repo_codes.append(repos.code(annotated.repository))
-            license_codes.append(
-                -1 if annotated.license_key is None else licenses.code(annotated.license_key)
-            )
-            for column in table.columns:
-                col_table.append(index)
-                col_name.append(names.code(column.name))
-                col_dtype.append(ATOMIC_TYPES.index(column.atomic_type.value))
-            for method_code, method in enumerate(methods):
-                for annotation in annotated.annotations.for_method(method):
-                    ann_table.append(index)
-                    ann_method.append(method_code)
-                    ann_ontology.append(ontologies.code(annotation.ontology))
-                    ann_column.append(names.code(annotation.column))
-                    ann_label.append(labels.code(annotation.type_label))
-                    ann_confidence.append(annotation.confidence)
-            scrubbed = table.metadata.get("pii_scrubbed_types") or {}
-            for column_name, label in scrubbed.items():
-                pii_table.append(index)
-                pii_column.append(names.code(column_name))
-                pii_label.append(pii_labels.code(label))
-
+        vocabs = {name: _Vocab() for name in _VOCAB_FIELDS[1:]}
+        table_ids, arrays = _scan_tables(iter(corpus), 0, vocabs)
         return cls(
             corpus_fingerprint=corpus_content_fingerprint(corpus),
             table_ids=tuple(table_ids),
-            n_rows=np.asarray(n_rows, dtype=np.int64),
-            n_cols=np.asarray(n_cols, dtype=np.int64),
-            topic_codes=np.asarray(topic_codes, dtype=np.int32),
-            repo_codes=np.asarray(repo_codes, dtype=np.int32),
-            license_codes=np.asarray(license_codes, dtype=np.int32),
-            col_table=np.asarray(col_table, dtype=np.int64),
-            col_name=np.asarray(col_name, dtype=np.int32),
-            col_dtype=np.asarray(col_dtype, dtype=np.int8),
-            ann_table=np.asarray(ann_table, dtype=np.int64),
-            ann_method=np.asarray(ann_method, dtype=np.int8),
-            ann_ontology=np.asarray(ann_ontology, dtype=np.int16),
-            ann_column=np.asarray(ann_column, dtype=np.int32),
-            ann_label=np.asarray(ann_label, dtype=np.int32),
-            ann_confidence=np.asarray(ann_confidence, dtype=np.float64),
-            pii_table=np.asarray(pii_table, dtype=np.int64),
-            pii_column=np.asarray(pii_column, dtype=np.int32),
-            pii_label=np.asarray(pii_label, dtype=np.int16),
-            topics=topics.values(),
-            repositories=repos.values(),
-            licenses=licenses.values(),
-            column_names=names.values(),
-            ontologies=ontologies.values(),
-            type_labels=labels.values(),
-            pii_labels=pii_labels.values(),
+            **{name: np.asarray(values, dtype=_ARRAY_DTYPES[name])
+               for name, values in arrays.items()},
+            **{name: vocab.values() for name, vocab in vocabs.items()},
+        )
+
+    def extended(self, corpus) -> "ColumnarProjection | None":
+        """This projection grown by ``corpus``'s tail, or ``None``.
+
+        The incremental rebuild: when ``corpus`` extends the corpus this
+        projection was built from (its table-id sequence starts with
+        ``self.table_ids``, verified here without reading any shard),
+        only the tail tables are scanned — whole committed shards are
+        skipped via their manifest counts — and the new arrays are the
+        committed ones with the tail's rows appended, identical to a
+        from-scratch scan because the vocabularies are re-seeded in code
+        order. Returns ``None`` when ``corpus`` is not an extension.
+        """
+        start = len(self.table_ids)
+        store = getattr(corpus, "store", None)
+        ids = getattr(store, "table_ids", None)
+        prefix_ids = tuple(islice(ids(), start)) if ids is not None else tuple(
+            annotated.table_id for annotated in islice(iter(corpus), start)
+        )
+        if prefix_ids != tuple(self.table_ids):
+            return None
+        iter_from = getattr(store, "iter_from", None)
+        tail = iter_from(start) if iter_from is not None else islice(iter(corpus), start, None)
+        vocabs = {
+            name: _Vocab(getattr(self, name)) for name in _VOCAB_FIELDS[1:]
+        }
+        tail_ids, tail_arrays = _scan_tables(tail, start, vocabs)
+        return ColumnarProjection(
+            corpus_fingerprint=corpus_content_fingerprint(corpus),
+            table_ids=tuple(self.table_ids) + tuple(tail_ids),
+            **{
+                name: np.concatenate(
+                    [
+                        np.asarray(getattr(self, name)),
+                        np.asarray(values, dtype=_ARRAY_DTYPES[name]),
+                    ]
+                ).astype(_ARRAY_DTYPES[name], copy=False)
+                for name, values in tail_arrays.items()
+            },
+            **{name: vocab.values() for name, vocab in vocabs.items()},
         )
 
     # -- column-level aggregates --------------------------------------------
@@ -575,12 +632,15 @@ def publish_projection(
     artifacts: IndexArtifactStore,
     projection: ColumnarProjection,
     corpus_fingerprint: str | None = None,
+    prune: bool = True,
 ) -> None:
     """Persist ``projection`` as the ``stats_*`` artifact arrays.
 
     ``corpus_fingerprint`` overrides the projection's recorded
     fingerprint — used when publishing an in-memory corpus' projection
-    into a directory it was just saved to.
+    into a directory it was just saved to. ``prune=False`` defers the
+    corpus-keyed artifact sweep (the delta-refresh ordering guarantee —
+    see :meth:`~repro.storage.artifacts.IndexArtifactStore.publish`).
     """
     fingerprint = corpus_fingerprint or projection.corpus_fingerprint
     if fingerprint is None:
@@ -593,6 +653,7 @@ def publish_projection(
         projection_fingerprint(fingerprint),
         arrays=arrays,
         payload=payload,
+        prune=prune,
     )
 
 
@@ -615,31 +676,99 @@ def load_projection(
     )
 
 
-def ensure_projection(corpus, artifacts: IndexArtifactStore | None = None) -> ColumnarProjection:
+def load_stale_projection(artifacts: IndexArtifactStore) -> ColumnarProjection | None:
+    """The persisted projection *whatever corpus state it describes*.
+
+    The delta-refresh read path: after a corpus extension the stored
+    projection's fingerprint no longer matches, but its arrays are still
+    the exact committed prefix of the grown corpus. The projection comes
+    back carrying the corpus fingerprint it was built for; callers must
+    prove prefix compatibility (:meth:`ColumnarProjection.extended`
+    does) before reusing any of it.
+    """
+    loaded = artifacts.load_any(PROJECTION_ARTIFACT)
+    if loaded is None or not isinstance(loaded.fingerprint, dict):
+        return None
+    if loaded.fingerprint.get("kind") != "columnar-projection":
+        return None
+    if loaded.fingerprint.get("version") != PROJECTION_VERSION:
+        return None
+    corpus_key = loaded.fingerprint.get("corpus")
+    if not isinstance(corpus_key, str):
+        return None
+    arrays = {}
+    for name in _ARRAY_FIELDS:
+        array = loaded.arrays.get(f"stats_{name}")
+        if array is None:
+            return None
+        arrays[name] = array
+    vocabularies = {name: tuple(loaded.payload.get(name, ())) for name in _VOCAB_FIELDS}
+    return ColumnarProjection(corpus_fingerprint=corpus_key, **arrays, **vocabularies)
+
+
+def extend_projection(
+    corpus, artifacts: IndexArtifactStore
+) -> ColumnarProjection | None:
+    """Grow the persisted projection by ``corpus``'s tail, or ``None``.
+
+    Loads whatever projection the store holds and extends it when it is
+    a committed prefix of ``corpus`` — scanning only the tail tables —
+    so refreshing corpus statistics after an extension costs O(new
+    tables). Returns ``None`` when there is nothing extendable (no
+    stored projection, or the corpus changed in a non-append way).
+    """
+    stale = load_stale_projection(artifacts)
+    if stale is None:
+        return None
+    fingerprint = corpus_content_fingerprint(corpus)
+    if fingerprint is None or stale.corpus_fingerprint == fingerprint:
+        return None
+    if len(stale.table_ids) >= _corpus_size(corpus):
+        return None
+    return stale.extended(corpus)
+
+
+def _corpus_size(corpus) -> int:
+    try:
+        return len(corpus)
+    except TypeError:  # pragma: no cover - exotic corpus views
+        return sum(1 for _ in iter(corpus))
+
+
+def ensure_projection(
+    corpus, artifacts: IndexArtifactStore | None = None, prune: bool = True
+) -> ColumnarProjection:
     """Resolve a current projection for ``corpus``: attach, load, or build.
 
     Resolution order: a projection already attached to the corpus (and
     still matching its size) wins; otherwise a persisted artifact
-    matching the store's content fingerprint is mmap'd back; otherwise
-    the projection is built with one corpus scan and — for disk-backed
-    corpora with an artifact store — published (best-effort) for the
-    next session. The result is attached to the corpus so subsequent
-    statistics and filter calls stay engine-side.
+    matching the store's content fingerprint is mmap'd back; otherwise a
+    *superseded* artifact that is a committed prefix of the corpus (the
+    store was extended) is grown by scanning only the tail; otherwise
+    the projection is built with one full corpus scan. Freshly built or
+    extended projections are published (best-effort) for the next
+    session — with ``prune=False`` the publish leaves other superseded
+    corpus-keyed artifacts in place for their own delta refreshes. The
+    result is attached to the corpus so subsequent statistics and filter
+    calls stay engine-side.
     """
     attached = getattr(corpus, "projection", None)
     if attached is not None:
         return attached
     fingerprint = corpus_content_fingerprint(corpus)
     attach = getattr(corpus, "attach_projection", None)
+    projection = None
     if artifacts is not None and fingerprint is not None:
         loaded = load_projection(artifacts, fingerprint)
         if loaded is not None:
             if attach is not None:
                 attach(loaded)
             return loaded
-    projection = ColumnarProjection.from_corpus(corpus)
+        projection = extend_projection(corpus, artifacts)
+    if projection is None:
+        projection = ColumnarProjection.from_corpus(corpus)
     if artifacts is not None and fingerprint is not None:
-        try_publish(publish_projection, artifacts, projection)
+        try_publish(publish_projection, artifacts, projection, prune=prune)
     if attach is not None:
         attach(projection)
     return projection

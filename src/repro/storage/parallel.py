@@ -91,6 +91,7 @@ from .sharded import (
     build_manifest,
     heal_shard_files,
     is_sharded_dir,
+    manifest_epoch,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -266,15 +267,18 @@ class WorkerShardWriter(ShardedCorpusWriter):
         if worker < 0:
             raise ValueError("worker must be >= 0")
         self.worker = worker
-        self.fault = fault if fault is not None and fault.worker == worker else None
         #: Global stream indices resolved by committed records.
         self.done_indices: set[int] = set()
-        self._commit_index = 0
         self._pending_done: list[int] = []
         self._pending_url_indices: dict[str, int] = {}
         self._lock_handle = None
         self._acquire_scope_lock(Path(directory))
-        super().__init__(directory, shard_size=shard_size, name=name)
+        super().__init__(
+            directory,
+            shard_size=shard_size,
+            name=name,
+            fault=fault if fault is not None and fault.worker == worker else None,
+        )
 
     def _acquire_scope_lock(self, directory: Path) -> None:
         """Exclusively lock this worker's log for the writer's lifetime.
@@ -340,7 +344,6 @@ class WorkerShardWriter(ShardedCorpusWriter):
         the serial stream (what the coordinator orders the canonical
         rewrite by).
         """
-        self._commit_index += 1
         self._pending_done = sorted(done) if done else []
         self._pending_url_indices = dict(indices) if indices else {}
         try:
@@ -382,26 +385,6 @@ class WorkerShardWriter(ShardedCorpusWriter):
             "worker writers never finalize; the build coordinator merges "
             "worker logs into the canonical manifest"
         )
-
-    # -- crash injection ----------------------------------------------------
-
-    def _fault_point(self, point: str) -> None:
-        fault = self.fault
-        if fault is not None and fault.commit_n == self._commit_index and fault.point == point:
-            fault.fire()
-
-    def _write_record_bytes(self, handle, payload: bytes) -> None:
-        fault = self.fault
-        if (
-            fault is not None
-            and fault.commit_n == self._commit_index
-            and fault.point == "torn-log-append"
-        ):
-            handle.write(payload[: max(1, len(payload) // 2)])
-            handle.flush()
-            os.fsync(handle.fileno())
-            fault.fire()
-        super()._write_record_bytes(handle, payload)
 
 
 # ---------------------------------------------------------------------------
@@ -639,6 +622,14 @@ class _StoreState:
     manifest_table_count: int = 0
     #: The shard size recorded by an existing manifest (None when absent).
     manifest_shard_size: int | None = None
+    #: The build epoch the manifest describes (1 when absent).
+    epoch: int = 1
+    #: Table counts at which earlier epochs were sealed.
+    epochs: list = field(default_factory=list)
+
+    @property
+    def epoch_is_sealed(self) -> bool:
+        return len(self.epochs) >= self.epoch
 
     @property
     def committed_count(self) -> int:
@@ -670,6 +661,8 @@ def _read_store_state(directory: Path) -> _StoreState:
         state.manifest_is_canonical = "parallel" not in manifest
         state.manifest_table_count = len(manifest.get("tables", {}))
         state.manifest_shard_size = int(manifest.get("shard_size", 0)) or None
+        state.epoch = manifest_epoch(manifest)
+        state.epochs = [int(count) for count in manifest.get("epochs", [])]
         if state.manifest_is_canonical:
             # A serial-era manifest's stats describe exactly the
             # canonical tables being adopted.
@@ -758,7 +751,9 @@ def merge_worker_manifests(
             moved["shard"] = base + entry["shard"]
             tables[table_id] = moved
         _fold_stats(stats, worker_state["stats"])
-    manifest = build_manifest(name, shard_size, shards, tables, stats)
+    manifest = build_manifest(
+        name, shard_size, shards, tables, stats, epoch=state.epoch, epochs=state.epochs
+    )
     manifest["parallel"] = {
         "processes": processes,
         "canonical_stats": state.canonical_stats,
@@ -841,7 +836,7 @@ class ParallelCorpusBuilder:
     # -- the build ----------------------------------------------------------
 
     def build(
-        self, store_dir: str | os.PathLike[str], shard_size: int
+        self, store_dir: str | os.PathLike[str], shard_size: int, extend: bool = False
     ) -> "PipelineResult":
         from ..wordnet.topics import select_topics
 
@@ -853,7 +848,9 @@ class ParallelCorpusBuilder:
         fingerprint = config_fingerprint(config, builder.generator_config)
 
         state = _read_store_state(directory)
-        builder.ensure_build_meta(store_dir, fingerprint, state.committed_count)
+        builder.ensure_build_meta(
+            store_dir, fingerprint, state.committed_count, extend=extend
+        )
         checkpoint = BuildCheckpoint.load(directory)
         if checkpoint is not None:
             checkpoint.require_compatible(fingerprint, store_dir)
@@ -866,6 +863,13 @@ class ParallelCorpusBuilder:
             self._cleanup_worker_files(directory)
             BuildCheckpoint.clear(directory)
             return builder.reuse_result(store_dir, topic_selection.topics)
+
+        if extend and state.manifest_is_canonical and state.epoch_is_sealed:
+            # Growing a finalized store: open the next epoch. The seed
+            # merge below publishes the bumped manifest (as a mid-build
+            # view) before any work is dispatched, so a crashed
+            # extension resumes — now unsealed — without bumping again.
+            state.epoch = len(state.epochs) + 1
 
         # Resumes keep the shard size the directory was started with
         # (same behaviour as the single-writer resume path).
@@ -911,6 +915,7 @@ class ParallelCorpusBuilder:
             checkpoint.sessions,
             run,
             worker_counters,
+            extend=extend,
         )
 
     def _fault_point(self, point: str) -> None:
@@ -934,6 +939,7 @@ class ParallelCorpusBuilder:
         sessions: int,
         run: "_CoordinatorRun",
         worker_counters: list[dict],
+        extend: bool = False,
     ) -> "PipelineResult":
         """Merge worker counters into one cross-process PipelineReport.
 
@@ -961,7 +967,12 @@ class ParallelCorpusBuilder:
         # Publish the columnar stats projection at parallel finalize too
         # (artifacts live outside the byte-identity of the corpus files),
         # so the curation report below reads arrays, not shards.
-        ensure_projection(corpus, IndexArtifactStore.for_corpus_dir(store_dir))
+        # Extensions defer the corpus-keyed prune until every engine has
+        # delta-refreshed from its superseded artifact (same ordering
+        # guarantee as the serial path).
+        ensure_projection(
+            corpus, IndexArtifactStore.for_corpus_dir(store_dir), prune=not extend
+        )
         report.items_collected = len(corpus)
         report.stopped_early = len(corpus) >= self.builder.config.target_tables
         report.stage_reports["extraction"] = run.extraction_report()
@@ -1391,6 +1402,40 @@ class _CoordinatorRun:
                 yield location
             index += 1
 
+    def _adopted_canonical_prefix(self, sequence: list) -> tuple[int, int]:
+        """``(full shards, tables)`` of the canonical prefix adopted as-is.
+
+        When the final sequence begins with *every* canonical (serial- or
+        prior-epoch) table in its existing on-disk order — the resume and
+        epoch-extension cases — the full canonical shards already hold
+        exactly the bytes finalize would rewrite into them. Adopting them
+        untouched makes finalize O(new tables + one partial shard)
+        instead of O(corpus): only the trailing partial shard (so new
+        tables can pack into it) and everything after is re-emitted.
+        Returns ``(0, 0)`` whenever the alignment does not hold, which
+        falls back to the full rewrite.
+        """
+        canonical = sorted(
+            self.state.canonical_tables.values(),
+            key=lambda entry: (entry["shard"], entry["line"]),
+        )
+        if not canonical or len(sequence) < len(canonical):
+            return 0, 0
+        aligned = all(
+            location == ("canonical", entry["shard"], entry["line"])
+            for location, entry in zip(sequence, canonical)
+        )
+        if not aligned:
+            return 0, 0
+        adopt_shards = 0
+        adopt_tables = 0
+        for entry in self.state.canonical_shards:
+            if entry["count"] != self.shard_size:
+                break
+            adopt_shards += 1
+            adopt_tables += entry["count"]
+        return adopt_shards, adopt_tables
+
     def finalize(self) -> dict:
         """Rewrite worker shards into the canonical serial-order layout.
 
@@ -1403,15 +1448,41 @@ class _CoordinatorRun:
         Every byte written here is a deterministic function of the
         final table sequence, so re-running finalize after a crash
         (possibly with a different process count) produces the same
-        files.
+        files. A final sequence that extends the existing canonical
+        layout — the epoch-extension case — adopts the full canonical
+        shards without rewriting them (see
+        :meth:`_adopted_canonical_prefix`).
         """
         sources: dict = {"canonical": self.state.canonical_shards}
         for worker, worker_state in self.state.worker_states.items():
             sources[worker] = worker_state["shards"]
+        sequence = list(self.final_sequence())
+        adopt_shards, adopt_tables = self._adopted_canonical_prefix(sequence)
         cache = _ShardLineCache(self.directory)
         shards: list = []
         tables: dict = {}
         stats = _empty_stats()
+        #: Sequence positions whose stats are already in ``stats``.
+        counted = 0
+        if adopt_shards:
+            shards = [dict(entry) for entry in self.state.canonical_shards[:adopt_shards]]
+            # The canonical stats cover *all* canonical tables —
+            # including the re-emitted partial-shard ones — so seed them
+            # wholesale and skip re-accumulating those positions below.
+            counted = len(self.state.canonical_tables)
+            _fold_stats(stats, self.state.canonical_stats)
+            # Insert in (shard, line) order — the sequence order — so the
+            # manifest's table map is byte-identical to a full rewrite's.
+            for table_id, entry in sorted(
+                self.state.canonical_tables.items(),
+                key=lambda item: (item[1]["shard"], item[1]["line"]),
+            ):
+                if entry["shard"] < adopt_shards:
+                    tables[table_id] = {
+                        "shard": entry["shard"],
+                        "line": entry["line"],
+                        "source_url": entry["source_url"],
+                    }
         current_lines: list[bytes] = []
         staged: list[tuple[Path, Path]] = []
 
@@ -1431,7 +1502,8 @@ class _CoordinatorRun:
             )
             current_lines.clear()
 
-        for source, shard_index, line_index in self.final_sequence():
+        for position in range(adopt_tables, len(sequence)):
+            source, shard_index, line_index = sequence[position]
             line = cache.line(sources[source][shard_index], line_index)
             payload = json.loads(line.decode("utf-8"))
             table_id = payload["table_id"]
@@ -1440,13 +1512,14 @@ class _CoordinatorRun:
                 "line": len(current_lines),
                 "source_url": payload["source_url"],
             }
-            _accumulate_stats(
-                stats,
-                len(payload["rows"]),
-                len(payload["header"]),
-                payload["topic"],
-                payload["repository"],
-            )
+            if position >= counted:
+                _accumulate_stats(
+                    stats,
+                    len(payload["rows"]),
+                    len(payload["header"]),
+                    payload["topic"],
+                    payload["repository"],
+                )
             current_lines.append(line)
             if len(current_lines) >= self.shard_size:
                 flush_shard()
@@ -1467,7 +1540,20 @@ class _CoordinatorRun:
         for path in self.directory.glob("shard_*.jsonl"):
             if path.name not in keep:
                 path.unlink()
-        manifest = build_manifest(self.builder_name(), self.shard_size, shards, tables, stats)
+        epochs = list(self.state.epochs)
+        if len(epochs) < self.state.epoch:
+            epochs.append(len(tables))
+        elif epochs[-1] != len(tables):
+            epochs[-1] = len(tables)
+        manifest = build_manifest(
+            self.builder_name(),
+            self.shard_size,
+            shards,
+            tables,
+            stats,
+            epoch=self.state.epoch,
+            epochs=epochs,
+        )
         _write_manifest(self.directory, manifest)
         log_path = self.directory / MANIFEST_LOG_FILENAME
         if log_path.exists():  # serial-era delta log, now folded in

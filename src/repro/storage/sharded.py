@@ -46,6 +46,21 @@ Shard files are written with a canonical JSON encoding (compact
 separators, ``ensure_ascii=False``), so two builds that produce the same
 tables in the same order produce byte-identical shard files and
 manifests regardless of which backend or session wrote them.
+
+**Epochs.** The manifest carries an ``epoch`` counter plus an
+``epochs`` list recording the table count at which each epoch was
+sealed (``finalize`` seals the current epoch). A sealed — finalized —
+directory can be reopened for append by constructing the writer with
+``extend=True``: the epoch counter is bumped and durably published
+*before* any new table lands, so new commits (delta-log records and
+shard appends) belong to the new epoch, a crashed extension resumes
+under the same epoch instead of bumping again, and derived-artifact
+consumers can detect growth with one O(1) probe
+(:func:`read_store_epoch`) instead of re-hashing the manifest. Epochs
+are bookkeeping *about* the corpus, not part of its content: the
+content fingerprint covers shards and tables only, so an extended store
+and a from-scratch build of the same table set share a fingerprint (and
+therefore artifacts).
 """
 
 from __future__ import annotations
@@ -53,6 +68,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from collections import OrderedDict, deque
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -72,6 +88,9 @@ __all__ = [
     "build_manifest",
     "heal_shard_files",
     "is_sharded_dir",
+    "manifest_epoch",
+    "manifest_is_sealed",
+    "read_store_epoch",
     "ShardedJsonlStore",
     "ShardedCorpusWriter",
 ]
@@ -125,17 +144,30 @@ def _write_manifest(directory: Path, manifest: dict) -> None:
 
 
 def build_manifest(
-    name: str, shard_size: int, shards: list, tables: dict, stats: dict
+    name: str,
+    shard_size: int,
+    shards: list,
+    tables: dict,
+    stats: dict,
+    epoch: int = 1,
+    epochs: list[int] | None = None,
 ) -> dict:
     """The canonical manifest payload (single source of the key layout).
 
     Both the single-process writer and the parallel finalize rewrite
     build their ``manifest.json`` through here, so the two paths cannot
-    drift apart byte-wise.
+    drift apart byte-wise. ``epoch`` is the build epoch the manifest
+    describes; ``epochs`` lists the table count at which each earlier
+    epoch was sealed (``epochs[i]`` is epoch ``i + 1``'s count — the
+    current epoch is *sealed* exactly when ``len(epochs) >= epoch``).
+    The epoch keys sit at the front of the payload so
+    :func:`read_store_epoch` can parse them from a bounded prefix read.
     """
     return {
         "format": SHARDED_FORMAT,
         "version": 1,
+        "epoch": epoch,
+        "epochs": list(epochs or []),
         "name": name,
         "shard_size": shard_size,
         "table_count": len(tables),
@@ -143,6 +175,49 @@ def build_manifest(
         "tables": tables,
         "stats": stats,
     }
+
+
+def manifest_epoch(manifest: dict) -> int:
+    """The build epoch a manifest describes (pre-epoch manifests are 1)."""
+    return int(manifest.get("epoch", 1))
+
+
+def manifest_is_sealed(manifest: dict) -> bool:
+    """Whether the manifest's current epoch has been finalized."""
+    return len(manifest.get("epochs", [])) >= manifest_epoch(manifest)
+
+
+#: Bytes of manifest prefix read by :func:`read_store_epoch`. The epoch
+#: keys are the first ones in the payload, so this covers them even with
+#: a long sealed-epoch history.
+_EPOCH_PROBE_BYTES = 4096
+_EPOCH_RE = re.compile(r'"epoch":\s*(\d+)\s*,')
+_EPOCHS_RE = re.compile(r'"epochs":\s*\[([\s\d,]*)\]', re.S)
+
+
+def read_store_epoch(directory: str | os.PathLike[str]) -> tuple[int, bool]:
+    """``(epoch, sealed)`` of a sharded directory, via one bounded read.
+
+    The staleness probe long-lived readers (serving workers) run between
+    batches: O(1) regardless of corpus size, because the epoch keys lead
+    the manifest payload and the manifest is only ever replaced
+    atomically. Falls back to a full manifest parse if the prefix does
+    not contain both keys (a pre-epoch manifest reports ``(1, False)``).
+    """
+    path = Path(directory) / MANIFEST_FILENAME
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(_EPOCH_PROBE_BYTES).decode("utf-8", errors="replace")
+    except OSError:
+        raise CorpusError(f"no corpus manifest found at {path}") from None
+    epoch_match = _EPOCH_RE.search(head)
+    epochs_match = _EPOCHS_RE.search(head)
+    if epoch_match and epochs_match:
+        epoch = int(epoch_match.group(1))
+        sealed_count = len([tok for tok in epochs_match.group(1).split(",") if tok.strip()])
+        return epoch, sealed_count >= epoch
+    manifest = _read_manifest(Path(directory))
+    return manifest_epoch(manifest), manifest_is_sealed(manifest)
 
 
 def _read_manifest(directory: Path) -> dict:
@@ -291,6 +366,16 @@ class ShardedJsonlStore:
         """The parsed manifest (treat as read-only)."""
         return self._manifest
 
+    @property
+    def epoch(self) -> int:
+        """The build epoch this store's manifest describes."""
+        return manifest_epoch(self._manifest)
+
+    @property
+    def sealed_epochs(self) -> list[int]:
+        """Table counts at which each finalized epoch was sealed."""
+        return [int(count) for count in self._manifest.get("epochs", [])]
+
     def shard_files(self) -> list[str]:
         """Shard file names in shard order."""
         return [entry["file"] for entry in self._manifest.get("shards", [])]
@@ -318,21 +403,95 @@ class ShardedJsonlStore:
         changes the fingerprint, which invalidates the artifacts.
         """
         if self._content_fingerprint is None:
-            payload = json.dumps(
-                {
-                    "format": self._manifest.get("format"),
-                    "name": self._manifest.get("name"),
-                    "shard_size": self._manifest.get("shard_size"),
-                    "table_count": self._manifest.get("table_count"),
-                    "shards": self._manifest.get("shards", []),
-                    "tables": self._manifest.get("tables", {}),
-                },
-                sort_keys=True,
-                ensure_ascii=False,
-                separators=(",", ":"),
+            self._content_fingerprint = self._structural_fingerprint(
+                self._manifest.get("shards", []),
+                self._manifest.get("tables", {}),
+                self._manifest.get("table_count"),
             )
-            self._content_fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         return self._content_fingerprint
+
+    def _structural_fingerprint(self, shards: list, tables: dict, table_count) -> str:
+        payload = json.dumps(
+            {
+                "format": self._manifest.get("format"),
+                "name": self._manifest.get("name"),
+                "shard_size": self._manifest.get("shard_size"),
+                "table_count": table_count,
+                "shards": shards,
+                "tables": tables,
+            },
+            sort_keys=True,
+            ensure_ascii=False,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def sealed_prefix_boundary(self, corpus_key: object) -> int | None:
+        """Table count of the sealed epoch whose fingerprint is ``corpus_key``.
+
+        Shards are append-only, so the manifest of a previously sealed
+        epoch is recoverable from the current one: its shard list is the
+        prefix of shards covering that epoch's seal count — with the
+        boundary shard's entry truncated to the lines the earlier epoch
+        had committed (extensions fill a partial final shard before
+        rolling new ones) — and its table entries are the entries
+        located under that boundary. Hashing the reconstruction with the
+        same structural scheme as :meth:`content_fingerprint` reproduces
+        the fingerprint the earlier epoch reported, so a superseded
+        index artifact carrying ``corpus_key`` is identified as
+        describing *precisely* a sealed prefix of this store at the cost
+        of at most one boundary-shard read. Returns the prefix's table
+        count, or ``None`` when ``corpus_key`` matches no strictly
+        smaller sealed epoch.
+        """
+        if not isinstance(corpus_key, str):
+            return None
+        shards = self._manifest.get("shards", [])
+        for seal_count in reversed(self.sealed_epochs):
+            if seal_count >= len(self):
+                continue
+            prefix_shards: list[dict] = []
+            total = 0
+            for entry in shards:
+                if total >= seal_count:
+                    break
+                count = int(entry["count"])
+                if total + count <= seal_count:
+                    prefix_shards.append(entry)
+                    total += count
+                    continue
+                head = seal_count - total  # boundary falls inside this shard
+                offset = self._line_offset(entry, head)
+                if offset is None:
+                    break
+                prefix_shards.append({"file": entry["file"], "count": head, "bytes": offset})
+                total = seal_count
+            if total != seal_count or not prefix_shards:
+                continue
+            last = len(prefix_shards) - 1
+            boundary_lines = int(prefix_shards[-1]["count"])
+            tables = {}
+            for table_id, entry in self._manifest.get("tables", {}).items():
+                shard = int(entry.get("shard", last + 1))
+                if shard < last or (
+                    shard == last and int(entry.get("line", boundary_lines)) < boundary_lines
+                ):
+                    tables[table_id] = entry
+            if self._structural_fingerprint(prefix_shards, tables, seal_count) == corpus_key:
+                return seal_count
+        return None
+
+    def _line_offset(self, entry: dict, lines: int) -> int | None:
+        """Byte length of the first ``lines`` records of one shard file."""
+        with open(self.directory / entry["file"], "rb") as handle:
+            data = handle.read(int(entry["bytes"]))
+        offset = 0
+        for _ in range(lines):
+            end = data.find(b"\n", offset)
+            if end < 0:
+                return None
+            offset = end + 1
+        return offset
 
     # -- container protocol ------------------------------------------------
 
@@ -372,6 +531,24 @@ class ShardedJsonlStore:
     def __iter__(self) -> Iterator["AnnotatedTable"]:
         for shard_index in range(len(self._manifest.get("shards", []))):
             yield from self._load_shard(shard_index)
+
+    def iter_from(self, start: int) -> Iterator["AnnotatedTable"]:
+        """Iterate tables from global index ``start`` in corpus order.
+
+        Shards wholly before ``start`` are skipped via their manifest
+        counts without being read or parsed, so streaming the tail of an
+        extended store costs O(tail), not O(corpus) — the delta-refresh
+        scan path for incremental artifact builds.
+        """
+        passed = 0
+        for shard_index, entry in enumerate(self._manifest.get("shards", [])):
+            count = entry["count"]
+            if passed + count <= start:
+                passed += count
+                continue
+            tables = self._load_shard(shard_index)
+            yield from tables[max(0, start - passed):]
+            passed += count
 
     def add(self, annotated: "AnnotatedTable") -> None:
         raise CorpusError(
@@ -433,8 +610,16 @@ class ShardedCorpusWriter:
     committed tables (including any uncompacted log tail), shard layout,
     and cached statistics are picked up, and new tables append after
     them. :meth:`finalize` must end every build: it folds the log away
-    so the finished directory is byte-identical regardless of commit
-    cadence or interruptions.
+    (and seals the current epoch) so the finished directory is
+    byte-identical regardless of commit cadence or interruptions.
+
+    ``extend=True`` reopens a *sealed* directory for a new epoch: the
+    epoch counter is bumped and the manifest republished before any
+    append, so every commit of the extension is attributable to the new
+    epoch and a crashed extension resumes (with ``extend=True`` again)
+    without bumping twice. ``fault`` arms deterministic crash injection
+    for the test harness (see :class:`~repro.storage.parallel.FaultSpec`);
+    production builds never pass one.
     """
 
     def __init__(
@@ -443,6 +628,8 @@ class ShardedCorpusWriter:
         shard_size: int = DEFAULT_SHARD_SIZE,
         name: str = "gittables",
         compact_every: int = DEFAULT_COMPACT_EVERY,
+        extend: bool = False,
+        fault=None,
     ) -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
@@ -451,15 +638,25 @@ class ShardedCorpusWriter:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.compact_every = compact_every
+        self.fault = fault
+        self._commit_index = 0
         self._shards: list[dict] = []
         self._tables: dict[str, dict] = {}
         self._stats = _empty_stats()
         self._log_records = 0
         self.name = name
         self.shard_size = shard_size
+        self.epoch = 1
+        self.epochs: list[int] = []
         if self._has_existing_state():
             self._load_existing_state()
             self._heal_shards()
+            if extend:
+                self.begin_extension()
+        elif extend:
+            raise CorpusError(
+                f"cannot extend {self.directory}: no finalized corpus to reopen"
+            )
         self._pending: deque = deque()
         self._pending_ids: set[str] = set()
 
@@ -492,14 +689,67 @@ class ShardedCorpusWriter:
         self._truncate_log(valid_bytes)
         self.name = manifest.get("name", self.name)
         self.shard_size = int(manifest.get("shard_size", self.shard_size))
+        self.epoch = manifest_epoch(manifest)
+        self.epochs = [int(count) for count in manifest.get("epochs", [])]
         self._shards = [dict(entry) for entry in manifest.get("shards", [])]
         self._tables = {
             table_id: dict(entry) for table_id, entry in manifest.get("tables", {}).items()
         }
         self._stats = manifest.get("stats", _empty_stats())
 
+    # -- epochs -------------------------------------------------------------
+
+    def begin_extension(self) -> None:
+        """Open the next epoch if the directory is sealed (else no-op).
+
+        Idempotent while unsealed: a crashed extension resumes into the
+        epoch it already opened instead of bumping again. Callers that
+        may end up committing nothing (e.g. an extension whose target was
+        already met) should defer this until they know appends follow,
+        so a degenerate extension does not leave the store unsealed.
+        """
+        if self._is_sealed():
+            self._begin_epoch()
+
+    def _is_sealed(self) -> bool:
+        return len(self.epochs) >= self.epoch
+
+    @property
+    def is_sealed(self) -> bool:
+        """True when every opened epoch has been sealed by a finalize."""
+        return self._is_sealed()
+
+    def _begin_epoch(self) -> None:
+        """Durably open the next epoch on a sealed directory.
+
+        The bumped manifest is published *before* any append so every
+        subsequent commit belongs to the new epoch on disk, and a
+        crashed extension — whose manifest is now unsealed — resumes
+        into the same epoch instead of bumping again.
+        """
+        self.epoch = len(self.epochs) + 1
+        self._compact()
+
+    def _seal_epoch(self) -> bool:
+        """Record the current epoch's final table count; True if changed."""
+        count = len(self._tables)
+        if len(self.epochs) < self.epoch:
+            self.epochs.append(count)
+            return True
+        if self.epochs[-1] != count:
+            # Re-finalizing an epoch that grew after its first seal
+            # (legal, if unusual): the seal tracks the final count.
+            self.epochs[-1] = count
+            return True
+        return False
+
+    # -- crash injection ----------------------------------------------------
+
     def _fault_point(self, point: str) -> None:
-        """Crash-injection hook (no-op outside the test harness)."""
+        """Crash-injection hook (armed only when ``fault`` was passed)."""
+        fault = self.fault
+        if fault is not None and fault.commit_n == self._commit_index and fault.point == point:
+            fault.fire()
 
     def _truncate_log(self, valid_bytes: int) -> None:
         """Drop a torn tail record left in the log by a crashed append."""
@@ -579,6 +829,30 @@ class ShardedCorpusWriter:
             entry["source_url"] for entry in self._tables.values() if "source_url" in entry
         }
 
+    def last_source_url(self) -> str | None:
+        """Source URL of the most recently committed table (None when empty).
+
+        On a sealed directory the manifest lists tables in canonical
+        stream order (the finalize guarantees this even for parallel
+        builds), so this is the extraction stream's high-water mark:
+        every file up to and including it was already processed —
+        committed here or rejected by parsing/filtering.
+        """
+        for entry in reversed(self._tables.values()):
+            return entry.get("source_url")
+        return None
+
+    def last_committed_table(self) -> "AnnotatedTable | None":
+        """The most recently committed table (None when empty).
+
+        One shard read — pairs with :meth:`last_source_url` to recover
+        the high-water mark's metadata (e.g. which topic the sealed
+        build stopped in) without scanning the corpus.
+        """
+        for entry in reversed(self._tables.values()):
+            return self._read_committed(entry["shard"], entry["line"])
+        return None
+
     def stats_hint(self) -> dict | None:
         """Committed statistics (pending tables are not yet included)."""
         if self._pending:
@@ -601,6 +875,7 @@ class ShardedCorpusWriter:
         A commit with nothing pending writes nothing (it only creates
         the base manifest if the directory has none yet).
         """
+        self._commit_index += 1
         self._fault_point("before-shard-append")
         if not self._pending:
             self._record_empty_commit()
@@ -704,7 +979,17 @@ class ShardedCorpusWriter:
         self._log_records += 1
 
     def _write_record_bytes(self, handle, payload: bytes) -> None:
-        """Write one record's bytes (hookable for torn-write injection)."""
+        """Write one record's bytes (with torn-write crash injection)."""
+        fault = self.fault
+        if (
+            fault is not None
+            and fault.commit_n == self._commit_index
+            and fault.point == "torn-log-append"
+        ):
+            handle.write(payload[: max(1, len(payload) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            fault.fire()
         handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
@@ -725,23 +1010,33 @@ class ShardedCorpusWriter:
         self._log_records = 0
 
     def finalize(self) -> int:
-        """Commit anything pending and compact the log away.
+        """Commit anything pending, seal the epoch, compact the log away.
 
         Every build path ends with this call: the finished directory
-        holds only shard files and the compacted ``manifest.json``, so
-        its bytes do not depend on how many commits (or interruptions)
+        holds only shard files and the compacted ``manifest.json`` —
+        with the current epoch sealed at its final table count — so its
+        bytes do not depend on how many commits (or interruptions)
         produced it. Returns the number of tables the final commit
         flushed.
         """
         committed = self.commit()
-        if self._log_records or not (self.directory / MANIFEST_FILENAME).exists():
+        sealed = self._seal_epoch()
+        if sealed or self._log_records or not (self.directory / MANIFEST_FILENAME).exists():
             self._compact()
         return committed
 
     def _write_manifest(self) -> None:
         _write_manifest(
             self.directory,
-            build_manifest(self.name, self.shard_size, self._shards, self._tables, self._stats),
+            build_manifest(
+                self.name,
+                self.shard_size,
+                self._shards,
+                self._tables,
+                self._stats,
+                epoch=self.epoch,
+                epochs=self.epochs,
+            ),
         )
 
     def as_reader(self, cache_shards: int = 2) -> ShardedJsonlStore:

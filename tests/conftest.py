@@ -36,10 +36,12 @@ def kill_at(commit_n: int, worker: int | None = 0, point: str = "before-log-appe
     return FaultSpec(worker=worker, commit_n=commit_n, point=point)
 
 
-def _parallel_build_entry(store_dir, config, generator_config, processes, fault, batch_size, shard_size):
+def _parallel_build_entry(
+    store_dir, config, generator_config, processes, fault, batch_size, shard_size, extend=False
+):
     builder = CorpusBuilder(config=config, generator_config=generator_config, batch_size=batch_size)
     ParallelCorpusBuilder(builder, processes=processes, fault=fault).build(
-        store_dir, shard_size=shard_size
+        store_dir, shard_size=shard_size, extend=extend
     )
 
 
@@ -52,6 +54,7 @@ def run_parallel_build_subprocess(
     batch_size: int = 8,
     shard_size: int = 8,
     timeout: float = 180.0,
+    extend: bool = False,
 ):
     """Run one parallel build in a child process and return the Process.
 
@@ -63,7 +66,16 @@ def run_parallel_build_subprocess(
     ctx = build_mp_context()
     process = ctx.Process(
         target=_parallel_build_entry,
-        args=(str(store_dir), config, generator_config, processes, fault, batch_size, shard_size),
+        args=(
+            str(store_dir),
+            config,
+            generator_config,
+            processes,
+            fault,
+            batch_size,
+            shard_size,
+            extend,
+        ),
     )
     process.start()
     process.join(timeout=timeout)

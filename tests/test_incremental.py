@@ -1,0 +1,551 @@
+"""Incremental epoch growth: delta builds, artifact refresh, crash safety.
+
+The contract under test (see ``GitTables.extend``): growing a sealed
+corpus directory appends a new **epoch** whose tables are produced by
+resuming the deterministic construction stream exactly where the sealed
+store left off — O(new tables) of pipeline work — and the resulting
+directory is byte-identical to a from-scratch build of the larger
+configuration, modulo the manifest's epoch trailer. Crashes at any
+commit point of an extension (serial or parallel, worker or
+coordinator) must leave a resumable directory that converges to those
+same bytes. Superseded index artifacts must survive until every engine
+has delta-refreshed from them (the prune-ordering window).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import GitTables
+from repro.applications.data_search import SEARCH_ARTIFACT
+from repro.applications.schema_completion import COMPLETION_ARTIFACT
+from repro.config import PipelineConfig
+from repro.core.annotation import ColumnAnnotation, TableAnnotations
+from repro.core.corpus import AnnotatedTable
+from repro.core.pipeline import build_corpus
+from repro.core.annotation import AnnotationMethod
+from repro.dataframe.table import Table
+from repro.errors import CorpusError
+from repro.github.content import GeneratorConfig
+from repro.pipeline.stages import ResumeSkipStage
+from repro.serving.metrics import ServiceMetrics
+from repro.storage._io import directory_file_bytes
+from repro.storage.artifacts import IndexArtifactStore
+from repro.storage.columnar import PROJECTION_ARTIFACT
+from repro.storage.parallel import ParallelCorpusBuilder
+from repro.core.pipeline import CorpusBuilder
+from repro.storage.sharded import (
+    ShardedCorpusWriter,
+    ShardedJsonlStore,
+    read_store_epoch,
+)
+
+BASE_TABLES = 24
+GROWN_TABLES = 30
+SHARDS = 8
+BATCH = 4
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def grow_generator():
+    return GeneratorConfig(n_repositories=200, mean_rows=25, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return PipelineConfig(target_tables=BASE_TABLES, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def grown_config(base_config):
+    return base_config.replace(target_tables=GROWN_TABLES)
+
+
+@pytest.fixture(scope="module")
+def base_store(tmp_path_factory, base_config, grow_generator):
+    """A sealed base-epoch directory with warmed (published) artifacts."""
+    directory = tmp_path_factory.mktemp("incremental") / "base"
+    session = GitTables.build(
+        base_config,
+        generator_config=grow_generator,
+        batch_size=BATCH,
+        store_dir=directory,
+        shard_size=SHARDS,
+    )
+    _ = session.search_engine
+    _ = session.completer
+    return directory
+
+
+@pytest.fixture(scope="module")
+def grown_reference(tmp_path_factory, grown_config, grow_generator):
+    """A one-shot build of the grown configuration, engines warmed."""
+    directory = tmp_path_factory.mktemp("incremental") / "one-shot"
+    session = GitTables.build(
+        grown_config,
+        generator_config=grow_generator,
+        batch_size=BATCH,
+        store_dir=directory,
+        shard_size=SHARDS,
+    )
+    _ = session.search_engine
+    _ = session.completer
+    return directory
+
+
+@pytest.fixture(scope="module")
+def extended_reference(tmp_path_factory, base_store, grow_generator):
+    """The base directory grown in place through the public facade."""
+    directory = tmp_path_factory.mktemp("incremental") / "extended"
+    shutil.copytree(base_store, directory)
+    GitTables.load(directory).extend(target_tables=GROWN_TABLES, shard_size=SHARDS)
+    return directory
+
+
+def _answers(session: GitTables) -> tuple:
+    searches = tuple(
+        tuple(session.search(query, k=5))
+        for query in ("status and total price per order", "population by city")
+    )
+    completions = tuple(
+        tuple(session.complete_schema(prefix, k=5)) for prefix in (("id",), ("name", "city"))
+    )
+    return searches, completions, session.stats(), session.annotation_stats()
+
+
+def _manifest_sans_epochs(directory: Path) -> dict:
+    manifest = json.loads((Path(directory) / "manifest.json").read_text())
+    manifest.pop("epoch", None)
+    manifest.pop("epochs", None)
+    return manifest
+
+
+def _extracted(url: str) -> SimpleNamespace:
+    return SimpleNamespace(url=url)
+
+
+def _annotated(table_id: str) -> AnnotatedTable:
+    table = Table(["id", "status"], [["1", "OPEN"]], table_id=table_id)
+    annotations = TableAnnotations(table_id=table_id)
+    annotations.add(
+        ColumnAnnotation("status", "status", "dbpedia", AnnotationMethod.SYNTACTIC, 1.0)
+    )
+    return AnnotatedTable(
+        table=table,
+        annotations=annotations,
+        topic="id",
+        repository="octo/data",
+        source_url=f"https://github.com/octo/data/blob/main/{table_id}.csv",
+        license_key="mit",
+    )
+
+
+class TestEpochGrowthEquality:
+    def test_extend_matches_one_shot_build(self, extended_reference, grown_reference):
+        assert read_store_epoch(extended_reference) == (2, True)
+        assert read_store_epoch(grown_reference) == (1, True)
+        assert (
+            ShardedJsonlStore(extended_reference).content_fingerprint()
+            == ShardedJsonlStore(grown_reference).content_fingerprint()
+        )
+        # Byte-identical modulo the manifest's epoch trailer.
+        extended_bytes = directory_file_bytes(extended_reference)
+        one_shot_bytes = directory_file_bytes(grown_reference)
+        extended_bytes.pop("manifest.json")
+        one_shot_bytes.pop("manifest.json")
+        assert extended_bytes == one_shot_bytes
+        assert _manifest_sans_epochs(extended_reference) == _manifest_sans_epochs(grown_reference)
+
+    def test_extended_session_serves_identical_answers(
+        self, extended_reference, grown_reference
+    ):
+        assert _answers(GitTables.load(extended_reference)) == _answers(
+            GitTables.load(grown_reference)
+        )
+
+    def test_delta_refreshed_artifacts_converge(self, extended_reference, grown_reference):
+        """Appending embeddings to prior-epoch artifacts reproduces the
+        from-scratch artifacts bit for bit."""
+        for name in (SEARCH_ARTIFACT, COMPLETION_ARTIFACT, PROJECTION_ARTIFACT):
+            assert directory_file_bytes(
+                Path(extended_reference) / "artifacts" / name
+            ) == directory_file_bytes(Path(grown_reference) / "artifacts" / name), name
+
+    def test_extension_parse_work_is_one_pass_over_the_tail(
+        self, tmp_path, base_store, base_config, grown_config, grow_generator
+    ):
+        """The extension fast-forwards past the sealed epoch's stream
+        prefix: topics the base build finished are never re-searched and
+        the pre-marker stream is never re-parsed, so parse work is one
+        pass over the post-marker tail. The only admissible excess over
+        the one-shot delta is files the base *rejected* under an earlier
+        (now skipped) topic resurfacing under a later one — bounded by
+        the one-shot run's duplicate-URL count."""
+        base_run = build_corpus(base_config, generator_config=grow_generator, batch_size=BATCH)
+        grown_run = build_corpus(grown_config, generator_config=grow_generator, batch_size=BATCH)
+        base_parses = base_run.parsing_report.attempted
+        grown_parses = grown_run.parsing_report.attempted
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        extension = build_corpus(
+            grown_config,
+            generator_config=grow_generator,
+            batch_size=BATCH,
+            store_dir=directory,
+            shard_size=SHARDS,
+            extend=True,
+        )
+        delta = grown_parses - base_parses
+        assert delta <= extension.parsing_report.attempted
+        assert (
+            extension.parsing_report.attempted
+            <= delta + grown_run.extraction_report.duplicate_urls
+        )
+        # The sealed build's finished topics are skipped outright: the
+        # extension's topic list is a suffix of the one-shot run's.
+        grown_topics = grown_run.extraction_report.topics
+        ext_topics = extension.extraction_report.topics
+        assert ext_topics == grown_topics[len(grown_topics) - len(ext_topics) :]
+        assert extension.pipeline_report.stage("resume-skip").items_dropped > 0
+
+    def test_degenerate_extension_reuses_sealed_store(self, tmp_path, base_store):
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        before = directory_file_bytes(directory)
+        session = GitTables.load(directory).extend(target_tables=BASE_TABLES)
+        assert read_store_epoch(directory) == (1, True)
+        assert directory_file_bytes(directory) == before
+        assert len(session.corpus) == BASE_TABLES
+
+    def test_extend_requires_store_backing(self, grow_generator):
+        session = GitTables.build(
+            PipelineConfig(target_tables=6, seed=SEED), generator_config=grow_generator
+        )
+        with pytest.raises(CorpusError, match="store"):
+            session.extend(target_tables=8)
+
+    def test_shrinking_extension_rejected(self, tmp_path, base_store):
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        with pytest.raises(CorpusError):
+            GitTables.load(directory).extend(target_tables=BASE_TABLES - 8)
+
+    def test_extension_without_build_meta_rejected(self, tmp_path, base_store):
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        (directory / "build.json").unlink()
+        with pytest.raises(CorpusError):
+            GitTables.load(directory).extend(target_tables=GROWN_TABLES)
+
+
+class TestSerialExtensionCrash:
+    def test_interrupted_extension_resumes_byte_identical(
+        self, tmp_path, monkeypatch, base_store, grown_config, grow_generator, extended_reference
+    ):
+        """Kill a serial extension between commits; resuming with
+        ``extend=True`` converges to the uninterrupted extension bytes."""
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+
+        original_commit = ShardedCorpusWriter.commit
+        calls = {"n": 0}
+
+        def killed_commit(writer):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt("simulated kill")
+            return original_commit(writer)
+
+        monkeypatch.setattr(ShardedCorpusWriter, "commit", killed_commit)
+        with pytest.raises(KeyboardInterrupt):
+            build_corpus(
+                grown_config,
+                generator_config=grow_generator,
+                batch_size=BATCH,
+                store_dir=directory,
+                shard_size=SHARDS,
+                extend=True,
+            )
+        monkeypatch.undo()
+
+        # The wreckage: epoch 2 is open but unsealed, with a partial
+        # batch of new tables committed.
+        assert read_store_epoch(directory) == (2, False)
+        partial = len(ShardedJsonlStore(directory))
+        assert BASE_TABLES <= partial < GROWN_TABLES
+
+        build_corpus(
+            grown_config,
+            generator_config=grow_generator,
+            batch_size=BATCH,
+            store_dir=directory,
+            shard_size=SHARDS,
+            extend=True,
+        )
+        assert read_store_epoch(directory) == (2, True)
+        assert directory_file_bytes(directory) == directory_file_bytes(extended_reference)
+
+
+class TestParallelExtensionCrash:
+    def _extend_parallel(self, directory, config, generator, processes=2, fault=None):
+        builder = CorpusBuilder(
+            config=config, generator_config=generator, batch_size=BATCH
+        )
+        return ParallelCorpusBuilder(builder, processes=processes, fault=fault).build(
+            directory, shard_size=SHARDS, extend=True
+        )
+
+    def test_parallel_extension_matches_serial_bytes(
+        self, tmp_path, base_store, grown_config, grow_generator, extended_reference
+    ):
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        result = self._extend_parallel(directory, grown_config, grow_generator)
+        assert result.table_count == GROWN_TABLES
+        assert read_store_epoch(directory) == (2, True)
+        assert directory_file_bytes(directory) == directory_file_bytes(extended_reference)
+
+    @pytest.mark.parametrize(
+        "point",
+        ["before-shard-append", "before-log-append", "torn-log-append", "after-log-append"],
+    )
+    def test_worker_killed_mid_extension_then_resume(
+        self,
+        tmp_path,
+        base_store,
+        grown_config,
+        grow_generator,
+        fault_injector,
+        extended_reference,
+        point,
+    ):
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        fault = fault_injector(commit_n=1, worker=0, point=point)
+        with pytest.raises(CorpusError, match="worker 0 died"):
+            self._extend_parallel(directory, grown_config, grow_generator, fault=fault)
+        # Resume the crashed extension; same final bytes as the serial
+        # uninterrupted extension.
+        result = self._extend_parallel(directory, grown_config, grow_generator)
+        assert result.table_count == GROWN_TABLES
+        assert read_store_epoch(directory) == (2, True)
+        assert directory_file_bytes(directory) == directory_file_bytes(extended_reference)
+
+    def test_coordinator_killed_before_manifest_publish_then_resume(
+        self,
+        tmp_path,
+        base_store,
+        grown_config,
+        grow_generator,
+        fault_injector,
+        parallel_build_subprocess,
+        extended_reference,
+    ):
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        fault = fault_injector(commit_n=1, worker=None, point="before-manifest-publish")
+        crashed = parallel_build_subprocess(
+            directory,
+            grown_config,
+            grow_generator,
+            processes=2,
+            fault=fault,
+            batch_size=BATCH,
+            shard_size=SHARDS,
+            extend=True,
+        )
+        assert crashed.exitcode != 0
+        resumed = parallel_build_subprocess(
+            directory,
+            grown_config,
+            grow_generator,
+            processes=2,
+            batch_size=BATCH,
+            shard_size=SHARDS,
+            extend=True,
+        )
+        assert resumed.exitcode == 0
+        assert read_store_epoch(directory) == (2, True)
+        assert directory_file_bytes(directory) == directory_file_bytes(extended_reference)
+
+
+class TestPruneOrderingWindow:
+    def test_prior_epoch_artifacts_survive_until_engines_republish(
+        self, tmp_path, base_store, grown_config, grow_generator
+    ):
+        """An extension's finalize publishes the new projection but must
+        NOT prune the superseded search/completion artifacts: the
+        engines delta-refresh *from* them. Only after every engine has
+        republished is the prior epoch's state garbage."""
+        directory = tmp_path / "store"
+        shutil.copytree(base_store, directory)
+        old_fingerprint = ShardedJsonlStore(directory).content_fingerprint()
+
+        build_corpus(
+            grown_config,
+            generator_config=grow_generator,
+            batch_size=BATCH,
+            store_dir=directory,
+            shard_size=SHARDS,
+            extend=True,
+        )
+        new_fingerprint = ShardedJsonlStore(directory).content_fingerprint()
+        assert new_fingerprint != old_fingerprint
+
+        artifacts = IndexArtifactStore.for_corpus_dir(directory)
+        # The crash window: the store already describes the new epoch,
+        # yet the superseded engine artifacts are still on disk — a
+        # session starting here can still delta-refresh.
+        for name in (SEARCH_ARTIFACT, COMPLETION_ARTIFACT):
+            stale = artifacts.load_any(name)
+            assert stale is not None, name
+            assert stale.fingerprint["corpus"] == old_fingerprint, name
+        projection = artifacts.load_any(PROJECTION_ARTIFACT)
+        assert projection is not None
+        assert projection.fingerprint["corpus"] == new_fingerprint
+
+        session = GitTables.load(directory)
+        _ = session.search_engine
+        _ = session.completer
+        for name in (SEARCH_ARTIFACT, COMPLETION_ARTIFACT):
+            refreshed = artifacts.load_any(name)
+            assert refreshed.fingerprint["corpus"] == new_fingerprint, name
+        # Everything now keys to the grown corpus: nothing left to prune.
+        assert artifacts.prune(new_fingerprint) == []
+
+
+class TestFastForwardSkip:
+    def test_marker_drops_unprocessed_rejects_in_prefix(self):
+        stage = ResumeSkipStage({"a", "b"}, fast_forward_past="b")
+        items = [_extracted(url) for url in ("a", "x", "b", "c", "d")]
+        assert [item.url for item in stage.process(iter(items), None)] == ["c", "d"]
+
+    def test_membership_only_without_marker(self):
+        stage = ResumeSkipStage({"a"})
+        items = [_extracted(url) for url in ("a", "x", "b")]
+        assert [item.url for item in stage.process(iter(items), None)] == ["x", "b"]
+
+    def test_membership_still_applies_after_marker(self):
+        stage = ResumeSkipStage({"a", "b", "c"}, fast_forward_past="b")
+        items = [_extracted(url) for url in ("a", "b", "c", "d")]
+        assert [item.url for item in stage.process(iter(items), None)] == ["d"]
+
+    def test_writer_last_source_url(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "store", shard_size=SHARDS)
+        assert writer.last_source_url() is None
+        writer.extend([_annotated("t000"), _annotated("t001")])
+        writer.commit()
+        reopened = ShardedCorpusWriter(tmp_path / "store", shard_size=SHARDS)
+        assert reopened.last_source_url() == (
+            "https://github.com/octo/data/blob/main/t001.csv"
+        )
+        assert reopened.last_committed_table().table_id == "t001"
+
+
+class TestSealedPrefixBoundary:
+    """The store recognizes prior sealed epochs by manifest fingerprint."""
+
+    def test_boundary_recovers_the_sealed_epoch(self, tmp_path, base_store, extended_reference):
+        base_key = ShardedJsonlStore(base_store).content_fingerprint()
+        extended = ShardedJsonlStore(extended_reference)
+        assert extended.sealed_prefix_boundary(base_key) == BASE_TABLES
+        # The current state is not a *prior* epoch, and junk matches nothing.
+        assert extended.sealed_prefix_boundary(extended.content_fingerprint()) is None
+        assert extended.sealed_prefix_boundary("not-a-fingerprint") is None
+        assert extended.sealed_prefix_boundary(None) is None
+
+    def test_boundary_inside_a_partially_filled_shard(self, tmp_path):
+        """Extensions fill the sealed epoch's partial final shard before
+        rolling new ones, so the seal boundary usually falls *inside* a
+        shard; the reconstruction must truncate that shard's entry to
+        the lines the earlier epoch had committed."""
+        directory = tmp_path / "store"
+        writer = ShardedCorpusWriter(directory, shard_size=7)
+        writer.extend([_annotated(f"t{i:03d}") for i in range(10)])
+        writer.commit()
+        writer.finalize()
+        base_key = ShardedJsonlStore(directory).content_fingerprint()
+        extension = ShardedCorpusWriter(directory, shard_size=7, extend=True)
+        extension.begin_extension()
+        extension.extend([_annotated(f"t{i:03d}") for i in range(10, 13)])
+        extension.commit()
+        extension.finalize()
+        store = ShardedJsonlStore(directory)
+        assert [e["count"] for e in store._manifest["shards"]] == [7, 6]
+        assert store.sealed_prefix_boundary(base_key) == 10
+
+    def test_iter_from_matches_full_iteration_tail(self, extended_reference):
+        store = ShardedJsonlStore(extended_reference)
+        everything = [annotated.table_id for annotated in store]
+        tail = [annotated.table_id for annotated in store.iter_from(BASE_TABLES)]
+        assert tail == everything[BASE_TABLES:]
+        assert list(store.iter_from(len(store))) == []
+
+    def test_iter_schemas_start_skips_prefix_shards(self, extended_reference):
+        from repro.core.corpus import GitTablesCorpus
+
+        corpus = GitTablesCorpus(store=ShardedJsonlStore(extended_reference))
+        full = list(corpus.iter_schemas())
+        assert list(corpus.iter_schemas(start=BASE_TABLES)) == full[BASE_TABLES:]
+
+
+class TestMetricsEpochSurface:
+    def test_snapshot_reports_store_epoch_and_reloads(self):
+        metrics = ServiceMetrics()
+        metrics.record_worker_store("worker-00", {"epoch": 2, "reloads": 1})
+        metrics.record_worker_store("worker-01", {"epoch": 1, "reloads": 0})
+        workers = metrics.snapshot(workers={"configured": 2}, store_epoch=2)["workers"]
+        assert workers["store_epoch"] == 2
+        assert workers["epochs"] == {"worker-00": 2, "worker-01": 1}
+        assert workers["artifact_reloads"] == {"worker-00": 1, "worker-01": 0}
+
+
+class TestBenchRegressionGate:
+    @pytest.fixture()
+    def bench_module(self):
+        root = Path(__file__).resolve().parent.parent
+        sys.path.insert(0, str(root))
+        try:
+            spec = importlib.util.spec_from_file_location(
+                "bench_script", root / "scripts" / "bench.py"
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            yield module
+        finally:
+            sys.path.remove(str(root))
+
+    def test_compare_flags_only_throughput_regressions(self, bench_module, tmp_path):
+        baseline = tmp_path / "BENCH_x.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "tables_per_second": 100.0,
+                    "search_qps": 50.0,
+                    "build_seconds": 10.0,
+                    "results_equal": True,
+                }
+            )
+        )
+        fresh = {
+            "tables_per_second": 75.0,  # -25% — beyond the 20% tolerance
+            "search_qps": 45.0,  # -10% — within tolerance
+            "build_seconds": 99.0,  # absolute seconds are never gated
+            "results_equal": False,  # booleans are never gated
+        }
+        regressions = bench_module.compare_against_baseline(baseline, fresh)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("tables_per_second")
+
+    def test_compare_passes_within_tolerance(self, bench_module, tmp_path):
+        baseline = tmp_path / "BENCH_x.json"
+        baseline.write_text(json.dumps({"tables_per_second": 100.0}))
+        assert bench_module.compare_against_baseline(baseline, {"tables_per_second": 90.0}) == []
