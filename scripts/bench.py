@@ -39,6 +39,12 @@ Suites:
   from-scratch rebuild of the grown corpus; enforces the ≥5x speedup /
   exact-equality / equal-content-fingerprint acceptance criteria and
   writes ``BENCH_incremental.json``.
+* ``compaction`` — online re-shard of a sharded store while a
+  2-worker pool keeps serving it: serving QPS during the concurrent
+  :func:`~repro.storage.compaction.compact_store` (through worker
+  hot-reload of the new generation) vs steady state; enforces the
+  ≥0.8x QPS ratio / bit-identical-response / equal-content-fingerprint
+  acceptance criteria and writes ``BENCH_compaction.json``.
 * ``all`` — every suite.
 
 ``--compare`` turns a run into a **regression gate**: results are
@@ -58,6 +64,7 @@ default run deselects, so ``-m slow`` is required)::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_ann.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_stats.py -s -m slow
     PYTHONPATH=src python -m pytest benchmarks/test_bench_incremental.py -s -m slow
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_compaction.py -s -m slow
 """
 
 from __future__ import annotations
@@ -116,6 +123,12 @@ from benchmarks.test_bench_incremental import (  # noqa: E402
     MIN_SPEEDUP as INCREMENTAL_MIN_SPEEDUP,
     N_TABLES as INCREMENTAL_N_TABLES,
     run_incremental_benchmark,
+)
+from benchmarks.test_bench_compaction import (  # noqa: E402
+    MIN_QPS_RATIO as COMPACTION_MIN_QPS_RATIO,
+    N_TABLES as COMPACTION_N_TABLES,
+    WORKERS as COMPACTION_WORKERS,
+    run_compaction_benchmark,
 )
 
 #: Throughputs below ``baseline * (1 - REGRESSION_TOLERANCE)`` fail the
@@ -348,6 +361,40 @@ def run_incremental_suite(tables: int, output: Path) -> int:
     return 0
 
 
+def run_compaction_suite(tables: int, output: Path) -> int:
+    result = run_compaction_benchmark(n_tables=tables)
+    _write_baseline(output, "compaction", result)
+    print(
+        f"re-shard {result['shards_before']} -> {result['shards_after']} shards "
+        f"over {result['n_tables']} tables "
+        f"(generation {result['generation']}, {result['compact_seconds']:.2f}s rewrite, "
+        f"{result['workers']} workers): "
+        f"steady {result['steady_qps']:.0f} QPS | "
+        f"during compaction {result['during_compaction_qps']:.0f} QPS | "
+        f"ratio {result['qps_ratio']:.2f}x"
+    )
+    if result["generation"] != 2:
+        print("FAIL: compaction did not publish a new generation", file=sys.stderr)
+        return 1
+    if not result["fingerprints_equal"]:
+        print("FAIL: compaction changed the content fingerprint", file=sys.stderr)
+        return 1
+    if not result["results_equal"]:
+        print("FAIL: served answers changed during the re-shard", file=sys.stderr)
+        return 1
+    if not result["pool_settled_on_new_generation"] or not result["workers_reloaded"]:
+        print("FAIL: workers never hot-reloaded the new layout", file=sys.stderr)
+        return 1
+    if result["qps_ratio"] < COMPACTION_MIN_QPS_RATIO:
+        print(
+            f"FAIL: QPS during compaction fell to {result['qps_ratio']:.2f}x of "
+            f"steady state (gate {COMPACTION_MIN_QPS_RATIO}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def compare_against_baseline(baseline_path: Path, fresh: dict) -> list[str]:
     """Throughput regressions of ``fresh`` vs a committed baseline.
 
@@ -426,6 +473,13 @@ SUITES = {
         INCREMENTAL_N_TABLES,
         "BENCH_incremental.json",
         f"in-place +10% growth vs from-scratch rebuild (>={INCREMENTAL_MIN_SPEEDUP}x gate)",
+    ),
+    "compaction": (
+        run_compaction_suite,
+        COMPACTION_N_TABLES,
+        "BENCH_compaction.json",
+        f"online re-shard under a live {COMPACTION_WORKERS}-worker pool "
+        f"(QPS ratio >= {COMPACTION_MIN_QPS_RATIO}x gate)",
     ),
 }
 

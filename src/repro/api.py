@@ -384,6 +384,46 @@ class GitTables:
         self._artifacts.prune(ShardedJsonlStore(directory).content_fingerprint())
         return self
 
+    def compact(self, shard_size: int | None = None) -> dict:
+        """Re-shard the backing store in place — online, zero re-embedding.
+
+        Rewrites the sealed store directory to ``shard_size`` tables per
+        shard (``None`` keeps the current size, reducing the call to
+        cleanup of a previously crashed compaction) and publishes the
+        result as a new manifest **generation**. The corpus content is
+        untouched — same tables, same order — so the store keeps its
+        ``content_fingerprint`` and every derived artifact (search and
+        completion indexes, ANN tiers, the columnar projection) remains
+        valid as-is: the session simply reopens the new layout and
+        re-resolves its engines from the same mmap'd artifacts.
+
+        Safe to run while a :meth:`serve` pool is serving the same
+        directory: workers follow the generation bump through their
+        store-version probe and hot-reload (visible in
+        ``QueryService.metrics()`` under ``workers.store_generation`` /
+        ``workers.generations``), and answers are bit-identical before,
+        during, and after the swap. Returns the compaction report as a
+        plain dict (generation, shard counts, fingerprint, files swept).
+        """
+        from .storage.compaction import compact_store
+
+        directory = getattr(self._corpus.store, "directory", None)
+        if directory is None or not is_sharded_dir(directory):
+            raise CorpusError(
+                "compact() requires a session over a sharded store directory "
+                "(build with store_dir=... or load one)"
+            )
+        report = compact_store(directory, shard_size=shard_size)
+        if report.rewritten:
+            # Reopen the new layout; engines rebuild lazily from the
+            # unchanged (fingerprint-pinned) artifacts — no embedding.
+            cache_shards = getattr(self._corpus.store, "cache_shards", 2)
+            self._corpus = GitTablesCorpus.load(directory, cache_shards=cache_shards)
+            self._search_engine = None
+            self._completer = None
+            self._kg_benchmarks.clear()
+        return report.to_dict()
+
     # -- shared lazy state -------------------------------------------------
 
     @property

@@ -65,9 +65,10 @@ class ServiceMetrics:
         #: source ("local" / "worker-00" / ...) -> latest index_stats()
         #: dict reported by that executor (engine -> tier stats).
         self._index_stats: dict[str, dict] = {}
-        #: source -> latest {"epoch": ..., "reloads": ...} store state
-        #: piggybacked by that worker (epoch it serves, cumulative
-        #: artifact reloads after store extensions).
+        #: source -> latest {"epoch": ..., "generation": ..., "reloads":
+        #: ...} store state piggybacked by that worker (epoch and layout
+        #: generation it serves, cumulative reloads after store
+        #: extensions or compactions).
         self._worker_store: dict[str, dict] = {}
         self._started_at = time.monotonic()
 
@@ -138,12 +139,13 @@ class ServiceMetrics:
             self._index_stats[source] = stats
 
     def record_worker_store(self, source: str, state: dict) -> None:
-        """Store one worker's latest store-generation report.
+        """Store one worker's latest store-version report.
 
-        ``state`` is ``{"epoch": ..., "reloads": ...}``: the store epoch
-        the worker's session currently serves and its cumulative count
-        of artifact reloads triggered by store extensions. Cumulative,
-        so only the latest report per source is kept.
+        ``state`` is ``{"epoch": ..., "generation": ..., "reloads":
+        ...}``: the store epoch and shard-layout generation the worker's
+        session currently serves, plus its cumulative count of reloads
+        triggered by store extensions or online compactions.
+        Cumulative, so only the latest report per source is kept.
         """
         with self._lock:
             self._worker_store[source] = state
@@ -183,15 +185,18 @@ class ServiceMetrics:
         queue_limit: int | None = None,
         workers: dict | None = None,
         store_epoch: int | None = None,
+        store_generation: int | None = None,
     ) -> dict:
         """A point-in-time picture of the whole service, as plain data.
 
-        ``store_epoch`` is the parent's current view of the backing
-        store's sealed epoch (None without a store directory); the
+        ``store_epoch`` and ``store_generation`` are the parent's
+        current view of the backing store's sealed epoch and shard
+        layout generation (None without a store directory); the
         ``workers`` section additionally reports each worker's served
-        epoch and cumulative artifact-reload count, so an in-flight
-        store extension is visible as parent epoch > worker epochs
-        until every worker has reloaded.
+        epoch/generation and cumulative reload count, so an in-flight
+        store extension (or online compaction) is visible as parent
+        epoch (generation) ahead of worker epochs (generations) until
+        every worker has reloaded.
         """
         with self._lock:
             endpoints: dict[str, dict] = {}
@@ -238,8 +243,13 @@ class ServiceMetrics:
                     "crashes": self._worker_crashes,
                     "respawns": self._worker_respawns,
                     "store_epoch": store_epoch,
+                    "store_generation": store_generation,
                     "epochs": {
                         source: state.get("epoch")
+                        for source, state in sorted(self._worker_store.items())
+                    },
+                    "generations": {
+                        source: state.get("generation", 1)
                         for source, state in sorted(self._worker_store.items())
                     },
                     "artifact_reloads": {

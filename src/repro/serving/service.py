@@ -29,7 +29,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from ..config import ServingConfig
 from ..errors import DeadlineExceeded, ServiceClosed, ServiceOverloaded, ServingError
-from ..storage.sharded import read_store_epoch
+from ..storage.sharded import read_store_version
 from .batcher import MicroBatcher, Request
 from .endpoints import canonicalize
 from .metrics import ServiceMetrics
@@ -200,23 +200,27 @@ class QueryService:
         """A point-in-time snapshot dict (QPS, batch histogram, latency).
 
         For store-backed services the ``workers`` section also reports
-        the store's current sealed epoch next to each worker's served
-        epoch and artifact-reload count — a live view of an in-place
-        :meth:`GitTables.extend` propagating through the pool.
+        the store's current sealed epoch and shard-layout generation
+        next to each worker's served epoch/generation and reload count
+        — a live view of an in-place :meth:`GitTables.extend` (or
+        :meth:`GitTables.compact`) propagating through the pool.
         """
         store_epoch = None
+        store_generation = None
         if self._directory is not None:
             try:
-                epoch, sealed = read_store_epoch(self._directory)
+                epoch, sealed, generation = read_store_version(self._directory)
             except Exception:
                 pass
             else:
+                store_generation = generation
                 if sealed:
                     store_epoch = epoch
         return self._metrics.snapshot(
             queue_limit=self.config.max_queue,
             workers=self._executor.worker_info(),
             store_epoch=store_epoch,
+            store_generation=store_generation,
         )
 
     def worker_pids(self) -> list[int]:

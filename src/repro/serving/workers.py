@@ -33,7 +33,7 @@ import traceback
 
 from ..errors import ServiceClosed, ServingError, WorkerCrashed
 from ..storage.parallel import build_mp_context
-from ..storage.sharded import read_store_epoch
+from ..storage.sharded import read_store_version
 from .batcher import Request
 from .endpoints import execute_batch
 
@@ -42,8 +42,9 @@ __all__ = ["LocalExecutor", "WorkerPool"]
 #: How long pool construction waits for every worker's ready ack.
 STARTUP_TIMEOUT_SECONDS = 120.0
 
-#: Minimum seconds between a worker's store-epoch probes (one manifest
-#: read each) — reload detection latency, not correctness, is at stake.
+#: Minimum seconds between a worker's store-version probes (one bounded
+#: manifest read each) — reload detection latency, not correctness, is
+#: at stake.
 EPOCH_PROBE_INTERVAL_SECONDS = 0.5
 
 
@@ -60,16 +61,21 @@ def _serving_worker_main(
     (one malformed batch must not take down the pool). The piggybacked
     ``index_stats`` element is the session's cumulative ANN-tier
     instrumentation (None when no engine is built) and ``store_state``
-    is ``{"epoch": ..., "reloads": ...}``, so the parent's metrics see
-    the tier and store generation in use without an extra round trip.
+    is ``{"epoch": ..., "generation": ..., "reloads": ...}``, so the
+    parent's metrics see the tier and store version in use without an
+    extra round trip.
 
     Between batches (and on idle ticks) the worker probes the store
-    manifest's epoch counter: when the directory has been **extended**
-    (sealed at a newer epoch than the session was loaded from), the
-    session is reloaded — warming from the delta-refreshed artifacts, or
-    delta-refreshing them itself when it wins the race — so a long-lived
-    pool serves the grown corpus without a restart. Exits on the
-    ``None`` sentinel or when the parent dies.
+    manifest's epoch and generation counters: when the directory has
+    been **extended** (sealed at a newer epoch than the session was
+    loaded from) the session is reloaded — warming from the
+    delta-refreshed artifacts, or delta-refreshing them itself when it
+    wins the race; when it has been **compacted** (layout generation
+    bumped, same content fingerprint) the reload re-opens the new shard
+    layout over the *same* mmap'd artifacts, so no embedding work
+    happens at all. Either way a long-lived pool follows the store
+    without a restart. Exits on the ``None`` sentinel or when the
+    parent dies.
     """
 
     def leave():
@@ -86,7 +92,7 @@ def _serving_worker_main(
         # not pay the build cost.
         _ = session.search_engine
         _ = session.completer
-        epoch, _sealed = read_store_epoch(directory)
+        epoch, _sealed, generation = read_store_version(directory)
     except Exception:
         result_queue.put(("error", worker, None, traceback.format_exc(), None, None))
         return leave()
@@ -96,24 +102,25 @@ def _serving_worker_main(
     last_probe = time.monotonic()
 
     def maybe_reload():
-        """Reload the session when the store sealed a newer epoch."""
-        nonlocal session, epoch, reloads, last_probe
+        """Reload when the store sealed a newer epoch or re-sharded."""
+        nonlocal session, epoch, generation, reloads, last_probe
         now = time.monotonic()
         if now - last_probe < EPOCH_PROBE_INTERVAL_SECONDS:
             return
         last_probe = now
         try:
-            current, sealed = read_store_epoch(directory)
-            if not sealed or current <= epoch:
+            current, sealed, current_generation = read_store_version(directory)
+            if not sealed or (current <= epoch and current_generation == generation):
                 return
             fresh = GitTables.load(directory, index_config=index_config)
             _ = fresh.search_engine
             _ = fresh.completer
         except Exception:
-            return  # keep serving the current epoch; retry next probe
+            return  # keep serving the current view; retry next probe
         session = fresh
-        memo.clear()  # memoized results describe the smaller corpus
+        memo.clear()  # memoized results may describe the older view
         epoch = current
+        generation = current_generation
         reloads += 1
 
     while True:
@@ -127,7 +134,7 @@ def _serving_worker_main(
         if task is None:
             return leave()
         maybe_reload()
-        store_state = {"epoch": epoch, "reloads": reloads}
+        store_state = {"epoch": epoch, "generation": generation, "reloads": reloads}
         _, batch_id, endpoint, key, payloads = task
         try:
             results = execute_batch(session, endpoint, key, payloads, memo=memo)
@@ -334,13 +341,52 @@ class WorkerPool:
             for request in requests:
                 self._resolve(request, error=error)
             return
-        target.task_queue.put(
-            ("batch", batch.batch_id, first.endpoint, first.key,
-             [request.payload for request in requests])
-        )
+        self._send(target, batch)
 
-    def _least_loaded_locked(self):
+    def _send(self, target: _WorkerHandle, batch: _Batch) -> None:
+        """Enqueue one registered batch on a worker's task queue.
+
+        ``put`` can raise — the queue is full, or its feeder is gone
+        because the worker crashed and was torn down. Swallowing that
+        would strand every future in the batch until its deadline (the
+        worker never saw the task, so no result can ever arrive).
+        Instead the failure is handled exactly like an orphaned batch of
+        a crashed worker: unregister, retry once on another worker (the
+        rejecting one only when no other is live), then fail with
+        :class:`~repro.errors.WorkerCrashed`.
+        """
+        first = batch.requests[0]
+        try:
+            target.task_queue.put(
+                ("batch", batch.batch_id, first.endpoint, first.key,
+                 [request.payload for request in batch.requests])
+            )
+            return
+        except Exception:
+            pass
+        with self._lock:
+            owned = self._batches.pop(batch.batch_id, None) is not None
+            if owned:
+                target.load -= len(batch.requests)
+        if not owned:
+            # Crash handling already claimed this batch (and will
+            # re-dispatch or fail it); a second owner would double-resolve.
+            return
+        if batch.retried:
+            error = WorkerCrashed(
+                f"serving worker {target.index} rejected this request's batch "
+                f"twice (task queue full or closed)"
+            )
+            for request in batch.requests:
+                self._resolve(request, error=error)
+            return
+        batch.retried = True
+        self._redispatch(batch, exclude=target.index)
+
+    def _least_loaded_locked(self, exclude: int | None = None):
         live = [h for h in self._workers if not h.dead and h.process is not None]
+        if exclude is not None and len(live) > 1:
+            live = [h for h in live if h.index != exclude]
         if not live:
             return None
         return min(live, key=lambda handle: (handle.load, handle.index))
@@ -433,10 +479,9 @@ class WorkerPool:
             for request in batch.requests:
                 self._resolve(request, error=error)
 
-    def _redispatch(self, batch: _Batch) -> None:
-        first = batch.requests[0]
+    def _redispatch(self, batch: _Batch, exclude: int | None = None) -> None:
         with self._lock:
-            target = self._least_loaded_locked()
+            target = self._least_loaded_locked(exclude=exclude)
             if target is not None:
                 batch.worker = target.index
                 self._batches[batch.batch_id] = batch
@@ -446,10 +491,7 @@ class WorkerPool:
             for request in batch.requests:
                 self._resolve(request, error=error)
             return
-        target.task_queue.put(
-            ("batch", batch.batch_id, first.endpoint, first.key,
-             [request.payload for request in batch.requests])
-        )
+        self._send(target, batch)
 
     # -- shutdown ----------------------------------------------------------
 

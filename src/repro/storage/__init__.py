@@ -10,6 +10,10 @@ cross-session build state for resumable corpus construction.
 per-worker shard ranges and delta logs (:class:`WorkerShardWriter`)
 merged on commit boundaries by a :class:`ParallelCorpusBuilder`
 coordinator into the same canonical on-disk layout.
+:mod:`repro.storage.compaction` re-shards a sealed directory online
+(:func:`compact_store`): the same tables are repacked under a bumped
+manifest generation with the content fingerprint pinned, so derived
+artifacts survive and serving readers hot-reload instead of rebuilding.
 :mod:`repro.storage.columnar` adds the analytics tier: a
 :class:`ColumnarProjection` materializes per-table and per-column
 metadata into typed NumPy arrays (persisted via the artifact store)
@@ -49,6 +53,7 @@ from .checkpoint import (
     save_build_meta,
     worker_checkpoint_ids,
 )
+from .compaction import CompactionReport, compact_store
 from .memory import InMemoryStore
 from .parallel import (
     FaultSpec,
@@ -68,11 +73,19 @@ from .sharded import (
     ShardedJsonlStore,
     build_manifest,
     is_sharded_dir,
+    manifest_generation,
+    read_store_epoch,
+    read_store_version,
 )
 
 __all__ = [
+    "CompactionReport",
     "FaultSpec",
     "ParallelCorpusBuilder",
+    "compact_store",
+    "manifest_generation",
+    "read_store_epoch",
+    "read_store_version",
     "WorkerShardWriter",
     "build_manifest",
     "checkpoint_filename",

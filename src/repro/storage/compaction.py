@@ -1,0 +1,290 @@
+"""Online compaction / re-sharding of a sealed sharded store.
+
+:func:`compact_store` rewrites a sealed corpus directory to a new shard
+size without changing a single table: every committed line is streamed
+in corpus order into freshly packed shard files and the result is
+published as a new manifest **generation**. It is safe to run while a
+:class:`~repro.serving.service.QueryService` keeps serving the same
+directory — the swap reuses the canonical-rewrite discipline of the
+parallel coordinator's finalize:
+
+1. **Stage** — new-generation shards are written as ``*.jsonl.tmp``
+   siblings and fsynced. The live manifest still describes the old
+   layout; readers are untouched.
+2. **Rename** — staged files move to their generation-scoped names
+   (``shard_g00002_00000.jsonl``). Old and new generations never share
+   a filename, so the old manifest still resolves only old files.
+3. **Publish** — the new manifest (generation bumped, ``compacted_from``
+   pinning the pre-compaction content fingerprint) atomically replaces
+   ``manifest.json``. This is the commit point: a crash strictly before
+   it leaves the old layout authoritative; at or after it, the new one.
+4. **Sweep** — old-generation shard files are deleted. A reader that
+   opened the old manifest just before publish may now find one of its
+   files missing; :class:`~repro.storage.sharded.ShardedJsonlStore`
+   diagnoses that as a generation bump and asks to be reopened rather
+   than ever mixing the two layouts.
+
+Because the tables (and their order) are unchanged, the compacted
+manifest pins the old content fingerprint: search/completion artifacts,
+the columnar projection, and ANN tiers all remain valid with zero
+re-embedding, and serving workers hot-reload on the generation bump the
+same way they follow epoch bumps.
+
+Crash recovery is idempotent through re-invocation: a fresh
+:func:`compact_store` first sweeps any staged/renamed leftovers of a
+crashed attempt (restoring the authoritative layout byte-exactly) and
+then redoes the rewrite, which is deterministic — so every resume
+converges to either the old or the new layout, never a mixture.
+
+``fault`` arms deterministic crash injection for the test harness
+(any object with ``point`` and ``fire()``, e.g.
+:class:`~repro.storage.parallel.FaultSpec`; ``commit_n`` is ignored —
+compaction is a single logical commit). Points:
+``"before-shard-publish"``, ``"before-manifest-publish"``,
+``"before-sweep"``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import CorpusError
+from ._io import fsync_dir
+from .parallel import has_parallel_state
+from .sharded import (
+    MANIFEST_LOG_FILENAME,
+    ShardedJsonlStore,
+    _read_manifest,
+    _shard_filename,
+    _write_manifest,
+    build_manifest,
+    manifest_generation,
+    manifest_is_sealed,
+)
+
+__all__ = ["CompactionReport", "compact_store"]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :func:`compact_store` invocation did."""
+
+    directory: str
+    #: Layout generation the store is at after the call.
+    generation: int
+    shard_size: int
+    table_count: int
+    shards_before: int
+    shards_after: int
+    #: Content fingerprint — identical before and after by construction.
+    fingerprint: str
+    #: False when the store was already packed at the requested size and
+    #: only leftover files from a crashed attempt were cleaned up.
+    rewritten: bool
+    #: Stale files removed (crashed-attempt leftovers + swept old layout).
+    swept_files: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _fire(fault, point: str) -> None:
+    """Crash-injection hook (armed only when ``fault`` was passed)."""
+    if fault is not None and getattr(fault, "point", None) == point:
+        fault.fire()
+
+
+def _sweep_stale_files(directory: Path, manifest: dict) -> int:
+    """Delete shard files the authoritative manifest does not list.
+
+    A crashed compaction leaves behind either staged ``*.jsonl.tmp``
+    files or renamed shards of a generation that never published; both
+    are invisible to every reader (no manifest references them) and are
+    removed here so the directory is byte-exactly one layout again.
+    """
+    listed = {entry["file"] for entry in manifest.get("shards", [])}
+    swept = 0
+    for path in list(directory.glob("shard_*.jsonl.tmp")):
+        path.unlink()
+        swept += 1
+    for path in list(directory.glob("shard_*.jsonl")):
+        if path.name not in listed:
+            path.unlink()
+            swept += 1
+    if swept:
+        fsync_dir(directory)
+    return swept
+
+
+def _is_packed(shards: list[dict], shard_size: int) -> bool:
+    """Whether a shard list is already optimally packed at ``shard_size``."""
+    for position, entry in enumerate(shards):
+        count = int(entry["count"])
+        if position < len(shards) - 1:
+            if count != shard_size:
+                return False
+        elif not 0 < count <= shard_size:
+            return False
+    return True
+
+
+def _committed_lines(directory: Path, entry: dict):
+    """The committed lines of one shard file, bytes preserved exactly."""
+    with open(directory / entry["file"], "rb") as handle:
+        data = handle.read(int(entry["bytes"]))
+    lines = data.splitlines(keepends=True)
+    if len(lines) != int(entry["count"]):
+        raise CorpusError(
+            f"shard {entry['file']} holds {len(lines)} committed lines, "
+            f"manifest says {entry['count']}; the corpus is corrupt"
+        )
+    return lines
+
+
+def compact_store(
+    directory: str | os.PathLike[str],
+    shard_size: int | None = None,
+    fault=None,
+) -> CompactionReport:
+    """Rewrite a sealed store to ``shard_size`` under a new generation.
+
+    ``shard_size=None`` keeps the current size — which on a sealed store
+    is always already packed, so the call degenerates to cleaning up any
+    leftovers of a previously crashed compaction (this is also what
+    makes re-running after a crash idempotent). Refuses unsealed
+    directories, unfinalized serial builds (``manifest.log`` present),
+    and directories with in-flight parallel-build state: compaction
+    only ever rewrites *fully committed* layouts.
+    """
+    directory = Path(directory)
+    if has_parallel_state(directory):
+        raise CorpusError(
+            f"cannot compact {directory}: an in-flight parallel build owns it; "
+            f"resume and finalize the build first"
+        )
+    manifest = _read_manifest(directory)
+    if (directory / MANIFEST_LOG_FILENAME).exists():
+        raise CorpusError(
+            f"cannot compact {directory}: uncompacted manifest log present "
+            f"(unfinalized build); finalize the writer first"
+        )
+    if not manifest_is_sealed(manifest):
+        raise CorpusError(
+            f"cannot compact {directory}: the current epoch is not sealed; "
+            f"finalize the build first"
+        )
+    old_shards = manifest.get("shards", [])
+    old_size = int(manifest["shard_size"])
+    new_size = old_size if shard_size is None else int(shard_size)
+    if new_size < 1:
+        raise ValueError("shard_size must be >= 1")
+
+    # Restore the directory to byte-exactly the authoritative layout
+    # before touching anything (heals crashed-attempt leftovers).
+    swept = _sweep_stale_files(directory, manifest)
+
+    generation = manifest_generation(manifest)
+    # The pin must be computed from the *pre-rewrite* view so repeated
+    # compactions keep reporting the original content fingerprint.
+    fingerprint = ShardedJsonlStore(directory).content_fingerprint()
+    tables = manifest.get("tables", {})
+
+    if new_size == old_size and _is_packed(old_shards, old_size):
+        return CompactionReport(
+            directory=str(directory),
+            generation=generation,
+            shard_size=old_size,
+            table_count=len(tables),
+            shards_before=len(old_shards),
+            shards_after=len(old_shards),
+            fingerprint=fingerprint,
+            rewritten=False,
+            swept_files=swept,
+        )
+
+    new_generation = generation + 1
+
+    # Stage: pack every committed line, in corpus order, into
+    # new-generation shards written as fsynced .tmp siblings.
+    new_entries: list[dict] = []
+    staged: list[tuple[Path, str]] = []
+    group: list[bytes] = []
+
+    def flush_group() -> None:
+        filename = _shard_filename(len(new_entries), new_generation)
+        tmp_path = directory / (filename + ".tmp")
+        payload = b"".join(group)
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        staged.append((tmp_path, filename))
+        new_entries.append({"file": filename, "count": len(group), "bytes": len(payload)})
+        group.clear()
+
+    for entry in old_shards:
+        for line in _committed_lines(directory, entry):
+            group.append(line)
+            if len(group) >= new_size:
+                flush_group()
+    if group:
+        flush_group()
+    fsync_dir(directory)
+
+    # Remap table locations by global position; the manifest lists
+    # tables in corpus order, and order is preserved exactly.
+    prefix = [0]
+    for entry in old_shards:
+        prefix.append(prefix[-1] + int(entry["count"]))
+    new_tables: dict[str, dict] = {}
+    for table_id, entry in tables.items():
+        position = prefix[int(entry["shard"])] + int(entry["line"])
+        location = dict(entry)
+        location["shard"] = position // new_size
+        location["line"] = position % new_size
+        new_tables[table_id] = location
+
+    _fire(fault, "before-shard-publish")
+    for tmp_path, filename in staged:
+        os.replace(tmp_path, directory / filename)
+    fsync_dir(directory)
+
+    _fire(fault, "before-manifest-publish")
+    # The commit point: one atomic manifest replace flips every reader
+    # that opens from here on to the new layout.
+    _write_manifest(
+        directory,
+        build_manifest(
+            manifest.get("name", "gittables"),
+            new_size,
+            new_entries,
+            new_tables,
+            manifest.get("stats", {}),
+            epoch=manifest.get("epoch", 1),
+            epochs=manifest.get("epochs", []),
+            generation=new_generation,
+            compacted_from={"fingerprint": fingerprint, "table_count": len(new_tables)},
+        ),
+    )
+
+    _fire(fault, "before-sweep")
+    keep = {entry["file"] for entry in new_entries}
+    for path in list(directory.glob("shard_*.jsonl")):
+        if path.name not in keep:
+            path.unlink()
+            swept += 1
+    fsync_dir(directory)
+
+    return CompactionReport(
+        directory=str(directory),
+        generation=new_generation,
+        shard_size=new_size,
+        table_count=len(new_tables),
+        shards_before=len(old_shards),
+        shards_after=len(new_entries),
+        fingerprint=fingerprint,
+        rewritten=True,
+        swept_files=swept,
+    )

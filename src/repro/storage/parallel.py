@@ -92,6 +92,7 @@ from .sharded import (
     heal_shard_files,
     is_sharded_dir,
     manifest_epoch,
+    manifest_generation,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -221,6 +222,16 @@ class FaultSpec:
     * ``"before-manifest-publish"`` — canonical shards rewritten and
       renamed, canonical manifest not yet published (mid-compaction);
     * ``"before-cleanup"`` — canonical manifest published, worker-scoped
+      files not yet deleted.
+
+    :func:`~repro.storage.compaction.compact_store` points (``worker``
+    and ``commit_n`` ignored — one logical commit):
+
+    * ``"before-shard-publish"`` — new-generation shards staged as
+      ``.tmp`` files only;
+    * ``"before-manifest-publish"`` — staged shards renamed into place,
+      old manifest still authoritative;
+    * ``"before-sweep"`` — new manifest published, old-generation shard
       files not yet deleted.
 
     Only the crash/concurrency tests construct these; production builds
@@ -626,6 +637,10 @@ class _StoreState:
     epoch: int = 1
     #: Table counts at which earlier epochs were sealed.
     epochs: list = field(default_factory=list)
+    #: Shard-layout generation the manifest describes (1 when absent).
+    generation: int = 1
+    #: Fingerprint pin left by online compaction (None if never compacted).
+    compacted_from: dict | None = None
 
     @property
     def epoch_is_sealed(self) -> bool:
@@ -663,6 +678,9 @@ def _read_store_state(directory: Path) -> _StoreState:
         state.manifest_shard_size = int(manifest.get("shard_size", 0)) or None
         state.epoch = manifest_epoch(manifest)
         state.epochs = [int(count) for count in manifest.get("epochs", [])]
+        state.generation = manifest_generation(manifest)
+        compacted = manifest.get("compacted_from")
+        state.compacted_from = dict(compacted) if compacted is not None else None
         if state.manifest_is_canonical:
             # A serial-era manifest's stats describe exactly the
             # canonical tables being adopted.
@@ -752,7 +770,15 @@ def merge_worker_manifests(
             tables[table_id] = moved
         _fold_stats(stats, worker_state["stats"])
     manifest = build_manifest(
-        name, shard_size, shards, tables, stats, epoch=state.epoch, epochs=state.epochs
+        name,
+        shard_size,
+        shards,
+        tables,
+        stats,
+        epoch=state.epoch,
+        epochs=state.epochs,
+        generation=state.generation,
+        compacted_from=state.compacted_from,
     )
     manifest["parallel"] = {
         "processes": processes,
@@ -1038,6 +1064,29 @@ class _CoordinatorRun:
                 else:  # pragma: no cover - defensive for foreign logs
                     self.pending_url_locations[entry["source_url"]] = location
 
+        # --- sealed-prefix fast-forward ------------------------------------
+        #: Source URL of the last table of the sealed canonical prefix —
+        #: the extraction stream's high-water mark. When the canonical
+        #: tables are exactly a sealed epoch's prefix (a fresh extension,
+        #: or a crashed extension being resumed), every stream URL up to
+        #: and including this one was already processed by the sealed
+        #: build: committed (and mapped via ``pending_url_locations``) or
+        #: rejected by parsing/filtering. Enumeration resolves those
+        #: units directly instead of re-dispatching the rejected ones to
+        #: workers — the parallel twin of the serial path's
+        #: ``ResumeSkipStage(fast_forward_past=...)`` — so extension
+        #: parse work stays O(tail). Mid-build canonical state (no seal,
+        #: or serial commits past the seal) gets no marker: rejected
+        #: URLs are then tracked by worker ``done`` records instead.
+        self.fast_forward_past: str | None = None
+        if state.epochs and len(state.canonical_tables) == state.epochs[-1]:
+            last_entry = max(
+                state.canonical_tables.values(),
+                key=lambda entry: (entry["shard"], entry["line"]),
+            )
+            self.fast_forward_past = last_entry.get("source_url")
+        self._fast_forwarding = self.fast_forward_past is not None
+
         # --- dispatch bookkeeping ------------------------------------------
         #: Indices handed to a worker this session and not yet resolved
         #: (resolution removes them, so ``len(dispatched)`` is the
@@ -1163,6 +1212,13 @@ class _CoordinatorRun:
                     self.stored[index] = location
                     self.resolved.add(index)
                     self.dispatched.discard(index)
+                elif self._fast_forwarding:
+                    # Inside the sealed prefix but not stored: a sealed
+                    # epoch already processed and *rejected* this URL.
+                    # Resolve it here so it is never dispatched again.
+                    self.resolved.add(index)
+                if self._fast_forwarding and item["url"] == self.fast_forward_past:
+                    self._fast_forwarding = False
             self.next_emit += 1
 
     # -- progress accounting ------------------------------------------------
@@ -1489,7 +1545,7 @@ class _CoordinatorRun:
         def flush_shard() -> None:
             if not current_lines:
                 return
-            filename = _shard_filename(len(shards))
+            filename = _shard_filename(len(shards), self.state.generation)
             payload = b"".join(current_lines)
             tmp_path = self.directory / (filename + ".tmp")
             with open(tmp_path, "wb") as handle:
@@ -1553,6 +1609,8 @@ class _CoordinatorRun:
             stats,
             epoch=self.state.epoch,
             epochs=epochs,
+            generation=self.state.generation,
+            compacted_from=self.state.compacted_from,
         )
         _write_manifest(self.directory, manifest)
         log_path = self.directory / MANIFEST_LOG_FILENAME

@@ -61,6 +61,21 @@ are bookkeeping *about* the corpus, not part of its content: the
 content fingerprint covers shards and tables only, so an extended store
 and a from-scratch build of the same table set share a fingerprint (and
 therefore artifacts).
+
+**Generations.** Online compaction (:mod:`repro.storage.compaction`)
+rewrites a sealed store to a new shard size without changing a single
+table. Each rewrite publishes the manifest under a bumped
+``generation`` counter with generation-scoped shard filenames
+(``shard_g00002_00000.jsonl``), so the files of two layouts never
+overlap: a reader that loaded the previous manifest can never mix shard
+files from both layouts — at worst it finds an old file deleted and
+raises a clear "re-laid out" error telling the caller to reopen. The
+manifest's ``compacted_from`` marker pins the pre-compaction content
+fingerprint (the tables are unchanged, only their packing moved), so
+every derived artifact remains valid across generations with zero
+recomputation. Like the epoch, the generation leads the manifest
+payload so :func:`read_store_version` can probe it from a bounded
+prefix read.
 """
 
 from __future__ import annotations
@@ -89,8 +104,10 @@ __all__ = [
     "heal_shard_files",
     "is_sharded_dir",
     "manifest_epoch",
+    "manifest_generation",
     "manifest_is_sealed",
     "read_store_epoch",
+    "read_store_version",
     "ShardedJsonlStore",
     "ShardedCorpusWriter",
 ]
@@ -110,8 +127,17 @@ def is_sharded_dir(directory: str | os.PathLike[str]) -> bool:
     return os.path.exists(os.path.join(directory, MANIFEST_FILENAME))
 
 
-def _shard_filename(index: int) -> str:
-    return f"shard_{index:05d}.jsonl"
+def _shard_filename(index: int, generation: int = 1) -> str:
+    """Shard file name for one layout generation.
+
+    Generation 1 keeps the historical names. Later generations scope the
+    name under the generation counter so two layouts never share a file:
+    an old manifest can only ever reference old-generation files, which
+    is what makes an online re-shard safe to observe mid-swap.
+    """
+    if generation <= 1:
+        return f"shard_{index:05d}.jsonl"
+    return f"shard_g{generation:05d}_{index:05d}.jsonl"
 
 
 def _encode_table(annotated: "AnnotatedTable") -> bytes:
@@ -151,6 +177,8 @@ def build_manifest(
     stats: dict,
     epoch: int = 1,
     epochs: list[int] | None = None,
+    generation: int = 1,
+    compacted_from: dict | None = None,
 ) -> dict:
     """The canonical manifest payload (single source of the key layout).
 
@@ -160,21 +188,34 @@ def build_manifest(
     describes; ``epochs`` lists the table count at which each earlier
     epoch was sealed (``epochs[i]`` is epoch ``i + 1``'s count — the
     current epoch is *sealed* exactly when ``len(epochs) >= epoch``).
-    The epoch keys sit at the front of the payload so
-    :func:`read_store_epoch` can parse them from a bounded prefix read.
+    ``generation`` is the shard-layout generation (bumped by online
+    compaction); ``compacted_from`` pins the pre-compaction content
+    fingerprint as ``{"fingerprint", "table_count"}`` and is emitted
+    only when set, so never-compacted manifests keep their exact bytes.
+    The epoch and generation keys sit at the front of the payload so
+    :func:`read_store_version` can parse them from a bounded prefix
+    read.
     """
-    return {
+    manifest = {
         "format": SHARDED_FORMAT,
         "version": 1,
         "epoch": epoch,
         "epochs": list(epochs or []),
-        "name": name,
-        "shard_size": shard_size,
-        "table_count": len(tables),
-        "shards": shards,
-        "tables": tables,
-        "stats": stats,
+        "generation": generation,
     }
+    if compacted_from is not None:
+        manifest["compacted_from"] = dict(compacted_from)
+    manifest.update(
+        {
+            "name": name,
+            "shard_size": shard_size,
+            "table_count": len(tables),
+            "shards": shards,
+            "tables": tables,
+            "stats": stats,
+        }
+    )
+    return manifest
 
 
 def manifest_epoch(manifest: dict) -> int:
@@ -187,22 +228,31 @@ def manifest_is_sealed(manifest: dict) -> bool:
     return len(manifest.get("epochs", [])) >= manifest_epoch(manifest)
 
 
-#: Bytes of manifest prefix read by :func:`read_store_epoch`. The epoch
-#: keys are the first ones in the payload, so this covers them even with
-#: a long sealed-epoch history.
+def manifest_generation(manifest: dict) -> int:
+    """The shard-layout generation (pre-generation manifests are 1)."""
+    return int(manifest.get("generation", 1))
+
+
+#: Bytes of manifest prefix read by :func:`read_store_version`. The
+#: epoch and generation keys are the first ones in the payload, so this
+#: covers them even with a long sealed-epoch history.
 _EPOCH_PROBE_BYTES = 4096
 _EPOCH_RE = re.compile(r'"epoch":\s*(\d+)\s*,')
 _EPOCHS_RE = re.compile(r'"epochs":\s*\[([\s\d,]*)\]', re.S)
+_GENERATION_RE = re.compile(r'"generation":\s*(\d+)')
 
 
-def read_store_epoch(directory: str | os.PathLike[str]) -> tuple[int, bool]:
-    """``(epoch, sealed)`` of a sharded directory, via one bounded read.
+def read_store_version(directory: str | os.PathLike[str]) -> tuple[int, bool, int]:
+    """``(epoch, sealed, generation)`` of a store, via one bounded read.
 
     The staleness probe long-lived readers (serving workers) run between
-    batches: O(1) regardless of corpus size, because the epoch keys lead
-    the manifest payload and the manifest is only ever replaced
-    atomically. Falls back to a full manifest parse if the prefix does
-    not contain both keys (a pre-epoch manifest reports ``(1, False)``).
+    batches: O(1) regardless of corpus size, because the epoch and
+    generation keys lead the manifest payload and the manifest is only
+    ever replaced atomically. A bumped epoch means the corpus grew; a
+    bumped generation means the same tables were re-laid out (online
+    compaction) — either way the reader must reopen. Falls back to a
+    full manifest parse if the prefix does not contain the epoch keys (a
+    pre-epoch manifest reports ``(1, False, 1)``).
     """
     path = Path(directory) / MANIFEST_FILENAME
     try:
@@ -212,12 +262,28 @@ def read_store_epoch(directory: str | os.PathLike[str]) -> tuple[int, bool]:
         raise CorpusError(f"no corpus manifest found at {path}") from None
     epoch_match = _EPOCH_RE.search(head)
     epochs_match = _EPOCHS_RE.search(head)
+    generation_match = _GENERATION_RE.search(head)
     if epoch_match and epochs_match:
         epoch = int(epoch_match.group(1))
         sealed_count = len([tok for tok in epochs_match.group(1).split(",") if tok.strip()])
-        return epoch, sealed_count >= epoch
+        generation = int(generation_match.group(1)) if generation_match else 1
+        return epoch, sealed_count >= epoch, generation
     manifest = _read_manifest(Path(directory))
-    return manifest_epoch(manifest), manifest_is_sealed(manifest)
+    return (
+        manifest_epoch(manifest),
+        manifest_is_sealed(manifest),
+        manifest_generation(manifest),
+    )
+
+
+def read_store_epoch(directory: str | os.PathLike[str]) -> tuple[int, bool]:
+    """``(epoch, sealed)`` of a sharded directory, via one bounded read.
+
+    The epoch-only view of :func:`read_store_version`, kept for callers
+    that do not care about the shard layout generation.
+    """
+    epoch, sealed, _ = read_store_version(directory)
+    return epoch, sealed
 
 
 def _read_manifest(directory: Path) -> dict:
@@ -376,6 +442,16 @@ class ShardedJsonlStore:
         """Table counts at which each finalized epoch was sealed."""
         return [int(count) for count in self._manifest.get("epochs", [])]
 
+    @property
+    def generation(self) -> int:
+        """The shard-layout generation this store's manifest describes."""
+        return manifest_generation(self._manifest)
+
+    @property
+    def compacted_from(self) -> dict | None:
+        """Fingerprint pin left by online compaction (None if never compacted)."""
+        return self._manifest.get("compacted_from")
+
     def shard_files(self) -> list[str]:
         """Shard file names in shard order."""
         return [entry["file"] for entry in self._manifest.get("shards", [])]
@@ -401,13 +477,26 @@ class ShardedJsonlStore:
         without reading any shard. Derived index artifacts use this as
         their staleness guard: any commit changes the manifest, which
         changes the fingerprint, which invalidates the artifacts.
+
+        Online compaction moves tables between shard files without
+        changing the corpus content, so a compacted manifest pins the
+        pre-compaction fingerprint in ``compacted_from`` and this method
+        keeps reporting it while the table count still matches the pin —
+        artifacts, projections, and ANN tiers stay valid across
+        re-shards with zero recomputation. The first append after a
+        compaction breaks the pin (the count moves past it) and the
+        fingerprint reverts to the structural hash of the new layout.
         """
         if self._content_fingerprint is None:
-            self._content_fingerprint = self._structural_fingerprint(
-                self._manifest.get("shards", []),
-                self._manifest.get("tables", {}),
-                self._manifest.get("table_count"),
-            )
+            compacted = self._manifest.get("compacted_from")
+            if compacted is not None and int(compacted.get("table_count", -1)) == len(self):
+                self._content_fingerprint = str(compacted["fingerprint"])
+            else:
+                self._content_fingerprint = self._structural_fingerprint(
+                    self._manifest.get("shards", []),
+                    self._manifest.get("tables", {}),
+                    self._manifest.get("table_count"),
+                )
         return self._content_fingerprint
 
     def _structural_fingerprint(self, shards: list, tables: dict, table_count) -> str:
@@ -443,9 +532,21 @@ class ShardedJsonlStore:
         of at most one boundary-shard read. Returns the prefix's table
         count, or ``None`` when ``corpus_key`` matches no strictly
         smaller sealed epoch.
+
+        A store that was compacted and then extended cannot reconstruct
+        the pre-compaction layout from its current shards (compaction
+        repacked them), but the ``compacted_from`` pin records exactly
+        which fingerprint the old layout reported and at what table
+        count — so an artifact keyed by the pre-compaction fingerprint
+        still delta-refreshes over the tail instead of rebuilding.
         """
         if not isinstance(corpus_key, str):
             return None
+        compacted = self._manifest.get("compacted_from")
+        if compacted is not None and compacted.get("fingerprint") == corpus_key:
+            pinned_count = int(compacted.get("table_count", -1))
+            if 0 < pinned_count < len(self) and pinned_count in self.sealed_epochs:
+                return pinned_count
         shards = self._manifest.get("shards", [])
         for seal_count in reversed(self.sealed_epochs):
             if seal_count >= len(self):
@@ -510,8 +611,15 @@ class ShardedJsonlStore:
             self._cache.move_to_end(index)
             return self._cache[index]
         entry = self._manifest["shards"][index]
-        tables = _read_shard_tables(self.directory / entry["file"], entry["bytes"])
+        try:
+            tables = _read_shard_tables(self.directory / entry["file"], entry["bytes"])
+        except FileNotFoundError:
+            self._raise_if_relaid(entry)
+            raise CorpusError(
+                f"missing shard file {self.directory / entry['file']}"
+            ) from None
         if len(tables) != entry["count"]:
+            self._raise_if_relaid(entry)
             raise CorpusError(
                 f"shard {entry['file']} holds {len(tables)} tables, "
                 f"manifest says {entry['count']}"
@@ -520,6 +628,28 @@ class ShardedJsonlStore:
         while len(self._cache) > self.cache_shards:
             self._cache.popitem(last=False)
         return tables
+
+    def _raise_if_relaid(self, entry: dict) -> None:
+        """Diagnose a missing/short shard caused by an online re-shard.
+
+        Generation-scoped filenames guarantee a reader can never *mix*
+        two layouts (its manifest only names files of one generation);
+        the one mid-swap state it can observe is an old-generation file
+        deleted by the post-publish sweep. Probing the live manifest
+        distinguishes that from genuine corruption and tells the caller
+        exactly what to do: reopen the store.
+        """
+        try:
+            _, _, current = read_store_version(self.directory)
+        except CorpusError:
+            return
+        if current != self.generation:
+            raise CorpusError(
+                f"shard {entry['file']} belongs to layout generation "
+                f"{self.generation}, but the store was re-laid out to "
+                f"generation {current} while this reader was open; "
+                f"reopen the store to pick up the new layout"
+            )
 
     def get(self, table_id: str) -> "AnnotatedTable | None":
         location = self._locations.get(table_id)
@@ -648,6 +778,8 @@ class ShardedCorpusWriter:
         self.shard_size = shard_size
         self.epoch = 1
         self.epochs: list[int] = []
+        self.generation = 1
+        self.compacted_from: dict | None = None
         if self._has_existing_state():
             self._load_existing_state()
             self._heal_shards()
@@ -663,8 +795,13 @@ class ShardedCorpusWriter:
     # -- durability-scope hooks (overridden by per-worker writers) ---------
 
     def shard_filename(self, index: int) -> str:
-        """Name of this writer's ``index``-th shard file."""
-        return _shard_filename(index)
+        """Name of this writer's ``index``-th shard file.
+
+        Scoped to the store's current layout generation, so shards
+        appended after an online compaction join the compacted layout's
+        namespace instead of reviving swept generation-1 names.
+        """
+        return _shard_filename(index, self.generation)
 
     def _log_path(self) -> Path:
         """This writer's manifest delta log."""
@@ -691,6 +828,9 @@ class ShardedCorpusWriter:
         self.shard_size = int(manifest.get("shard_size", self.shard_size))
         self.epoch = manifest_epoch(manifest)
         self.epochs = [int(count) for count in manifest.get("epochs", [])]
+        self.generation = manifest_generation(manifest)
+        compacted = manifest.get("compacted_from")
+        self.compacted_from = dict(compacted) if compacted is not None else None
         self._shards = [dict(entry) for entry in manifest.get("shards", [])]
         self._tables = {
             table_id: dict(entry) for table_id, entry in manifest.get("tables", {}).items()
@@ -1036,6 +1176,8 @@ class ShardedCorpusWriter:
                 self._stats,
                 epoch=self.epoch,
                 epochs=self.epochs,
+                generation=self.generation,
+                compacted_from=self.compacted_from,
             ),
         )
 

@@ -86,10 +86,44 @@ def run_parallel_build_subprocess(
     return process
 
 
+def _compaction_entry(store_dir, shard_size, fault):
+    from repro.storage.compaction import compact_store
+
+    compact_store(store_dir, shard_size=shard_size, fault=fault)
+
+
+def run_compaction_subprocess(
+    store_dir, shard_size=None, fault: FaultSpec | None = None, timeout: float = 120.0
+):
+    """Run one :func:`compact_store` in a child process; return the Process.
+
+    Compaction runs in the calling process, so SIGKILL fault points
+    (``before-shard-publish`` / ``before-manifest-publish`` /
+    ``before-sweep``) would take the test runner down; this wrapper lets
+    the child die (exitcode ``-SIGKILL``) while pytest survives to
+    assert on the wreckage and re-run the compaction.
+    """
+    ctx = build_mp_context()
+    process = ctx.Process(target=_compaction_entry, args=(str(store_dir), shard_size, fault))
+    process.start()
+    process.join(timeout=timeout)
+    if process.is_alive():  # pragma: no cover - hung compaction
+        process.terminate()
+        process.join(timeout=10.0)
+        raise AssertionError("compaction subprocess did not finish in time")
+    return process
+
+
 @pytest.fixture()
 def fault_injector():
     """The :func:`kill_at` fault-spec factory, as a fixture."""
     return kill_at
+
+
+@pytest.fixture()
+def compaction_subprocess():
+    """The :func:`run_compaction_subprocess` wrapper, as a fixture."""
+    return run_compaction_subprocess
 
 
 @pytest.fixture()

@@ -325,3 +325,109 @@ class TestIndexTierMetrics:
         # Counters are merged across workers: every query is accounted for.
         assert index["search"]["queries"] >= len(queries)
         assert sum(index["search"]["probed_partitions"].values()) >= len(queries)
+
+
+class TestDispatchQueueGuard:
+    """Regression: a failing ``task_queue.put`` during dispatch used to be
+    swallowed, stranding every future in the batch until its deadline —
+    the worker never saw the task, so no result could ever arrive. The
+    pool must treat it like an orphaned batch of a crashed worker:
+    retry once on another worker, then fail with ``WorkerCrashed``."""
+
+    @staticmethod
+    def _stub_pool(queues):
+        import threading
+
+        from repro.serving.workers import WorkerPool, _WorkerHandle
+
+        pool = WorkerPool.__new__(WorkerPool)
+        pool._lock = threading.Lock()
+        pool._batches = {}
+        pool._next_batch_id = 0
+        pool.resolved = []
+        pool._resolve = lambda request, result=None, error=None: pool.resolved.append(
+            (request, error)
+        )
+        pool._workers = []
+        for index, task_queue in enumerate(queues):
+            from repro.serving.workers import _WorkerHandle as Handle
+
+            handle = Handle(index)
+            handle.process = object()  # routing only checks "not dead, not None"
+            handle.task_queue = task_queue
+            pool._workers.append(handle)
+        return pool
+
+    @staticmethod
+    def _requests(n):
+        from concurrent.futures import Future
+
+        from repro.serving.batcher import Request
+
+        return [
+            Request(seq=i, endpoint="search", key=("search", 4), payload=(f"q{i}",), future=Future())
+            for i in range(n)
+        ]
+
+    class _FullQueue:
+        def __init__(self):
+            self.puts = 0
+
+        def put(self, item):
+            self.puts += 1
+            import queue
+
+            raise queue.Full
+
+    class _GoodQueue:
+        def __init__(self):
+            self.items = []
+
+        def put(self, item):
+            self.items.append(item)
+
+    def test_rejected_dispatch_retries_on_another_worker(self):
+        full, good = self._FullQueue(), self._GoodQueue()
+        pool = self._stub_pool([full, good])
+        requests = self._requests(2)
+        pool.dispatch(requests)
+        # The batch landed on the healthy worker and is still in flight.
+        assert full.puts == 1
+        assert len(good.items) == 1
+        assert good.items[0][2] == "search"
+        assert good.items[0][4] == [request.payload for request in requests]
+        assert pool.resolved == []
+        [batch] = pool._batches.values()
+        assert batch.worker == 1 and batch.retried
+        assert pool._workers[0].load == 0
+        assert pool._workers[1].load == len(requests)
+
+    def test_twice_rejected_dispatch_fails_with_worker_crashed(self):
+        from repro.errors import WorkerCrashed
+
+        pool = self._stub_pool([self._FullQueue(), self._FullQueue()])
+        requests = self._requests(3)
+        pool.dispatch(requests)
+        # Nothing is stranded: every future fails loudly and promptly.
+        assert len(pool.resolved) == len(requests)
+        assert {id(request) for request, _ in pool.resolved} == {
+            id(request) for request in requests
+        }
+        assert all(isinstance(error, WorkerCrashed) for _, error in pool.resolved)
+        assert pool._batches == {}
+        assert all(handle.load == 0 for handle in pool._workers)
+
+    def test_unowned_batch_is_left_to_the_crash_handler(self):
+        from repro.serving.workers import _Batch
+
+        full = self._FullQueue()
+        pool = self._stub_pool([full])
+        requests = self._requests(1)
+        # The crash handler already claimed this batch (it is not in
+        # pool._batches); _send must not resolve or re-dispatch it — a
+        # second owner would double-resolve the futures.
+        batch = _Batch(99, requests, worker=0)
+        pool._send(pool._workers[0], batch)
+        assert pool.resolved == []
+        assert not batch.retried
+        assert pool._batches == {}
